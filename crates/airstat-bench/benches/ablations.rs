@@ -1,0 +1,263 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Probe window length** (§4.2): the paper uses a 300 s window of
+//!   15 s probes. Shorter windows answer faster but are noisier; this
+//!   ablation quantifies the ratio variance at 60/300/900 s and times the
+//!   window maintenance.
+//! * **Poll batching** (§2): the pull-based backend regulates load by
+//!   bounding the per-poll batch. This ablation measures drain time for a
+//!   deep queue across batch sizes.
+//! * **Edge vs backend classification** (§3.3): the paper classifies
+//!   flows on the AP so only counters cross the WAN. This ablation
+//!   compares the bytes shipped per flow for both designs.
+//! * **Serving radio vs scanning radio** (§5.2): measures the sampling
+//!   bias between MR16-style and MR18-style utilization measurement.
+
+use airstat_classify::apps::RuleSet;
+use airstat_rf::airtime::ChannelLoad;
+use airstat_rf::band::{Band, Channel};
+use airstat_rf::scanner::{ScanningRadio, ServingRadio};
+use airstat_sim::traffic::metadata_for;
+use airstat_classify::Application;
+use airstat_stats::{SeedTree, SlidingRatio};
+use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
+use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel, TunnelConfig};
+use airstat_telemetry::wire::put_field_str;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+
+/// Probe-window ablation: ratio variance vs window length.
+fn probe_window_length(c: &mut Criterion) {
+    let mut rng = SeedTree::new(0xAB1).rng();
+    println!("\n[ablation] probe-window length (true delivery 0.7):");
+    for window_s in [60u64, 300, 900] {
+        // Measure the spread of reported ratios around the true rate.
+        let mut ratios = Vec::new();
+        for _ in 0..200 {
+            let mut w = SlidingRatio::new(window_s);
+            for t in (0..window_s * 4).step_by(15) {
+                w.record(t, rng.gen::<f64>() < 0.7);
+            }
+            ratios.push(w.ratio().unwrap());
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / ratios.len() as f64;
+        println!(
+            "  window {window_s:>4} s: mean {mean:.3}, std {:.3} ({} probes in flight)",
+            var.sqrt(),
+            window_s / 15
+        );
+    }
+    let mut group = c.benchmark_group("ablation_probe_window");
+    for window_s in [60u64, 300, 900] {
+        group.bench_function(format!("window_{window_s}s"), |b| {
+            b.iter_with_setup(|| SeedTree::new(1), |seed| {
+                let mut rng = seed.rng();
+                let mut w = SlidingRatio::new(window_s);
+                for t in (0..3_600u64).step_by(15) {
+                    w.record(t, rng.gen::<f64>() < 0.7);
+                }
+                black_box(w.ratio())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Poll-batch ablation: drain latency of a deep queue per batch size.
+fn poll_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_poll_batch");
+    group.sample_size(20);
+    for batch in [8usize, 64, 512] {
+        group.bench_function(format!("drain_2048_reports_batch_{batch}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut agent = DeviceAgent::with_capacity(1, 4096);
+                    for t in 0..2_048u64 {
+                        agent.submit(t, ReportPayload::Usage(vec![]));
+                    }
+                    (
+                        agent,
+                        Tunnel::new(TunnelConfig {
+                            drop_probability: 0.0,
+                            poll_batch: batch,
+                        }),
+                        SeedTree::new(2).rng(),
+                    )
+                },
+                |(mut agent, mut tunnel, mut rng)| {
+                    let mut polls = 0u32;
+                    while agent.queued() > 0 {
+                        if let PollOutcome::Delivered(_) = tunnel.poll(&mut agent, &mut rng) {
+                            polls += 1;
+                        }
+                    }
+                    black_box(polls)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Edge-vs-backend classification: bytes on the WAN per flow.
+fn edge_vs_backend_classification(c: &mut Criterion) {
+    let ruleset = RuleSet::standard_2015();
+    let mut rng = SeedTree::new(3).rng();
+    // Edge design: ship one UsageRecord per (client, app) — no metadata.
+    let edge_report = Report {
+        device: 1,
+        seq: 0,
+        timestamp_s: 0,
+        payload: ReportPayload::Usage(vec![UsageRecord {
+            mac: airstat_classify::mac::MacAddress::new([0, 0, 0, 0, 0, 1]),
+            app: Application::Netflix,
+            up_bytes: 1_000,
+            down_bytes: 100_000,
+        }]),
+    };
+    let edge_bytes = edge_report.encode().len();
+    // Backend design: ship raw flow metadata (hostnames!) for each flow.
+    let mut raw = Vec::new();
+    let metadata = metadata_for(Application::Netflix, &mut rng);
+    put_field_str(&mut raw, 1, metadata.best_host().unwrap_or(""));
+    let backend_bytes = raw.len() + 24; // plus counters and framing
+    println!(
+        "\n[ablation] WAN bytes per flow: edge-classified {edge_bytes} B vs raw-metadata {backend_bytes} B \
+         (the paper's AP-side classification keeps reporting ~1 kbit/s)"
+    );
+    let mut group = c.benchmark_group("ablation_classification_site");
+    group.bench_function("edge_classify_then_encode", |b| {
+        b.iter(|| {
+            let app = ruleset.classify(black_box(&metadata));
+            let report = Report {
+                device: 1,
+                seq: 0,
+                timestamp_s: 0,
+                payload: ReportPayload::Usage(vec![UsageRecord {
+                    mac: airstat_classify::mac::MacAddress::new([0, 0, 0, 0, 0, 1]),
+                    app,
+                    up_bytes: 1_000,
+                    down_bytes: 100_000,
+                }]),
+            };
+            report.encode()
+        })
+    });
+    group.bench_function("ship_raw_metadata", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            put_field_str(&mut out, 1, black_box(&metadata).best_host().unwrap_or(""));
+            out
+        })
+    });
+    group.finish();
+}
+
+/// Serving-radio vs scanning-radio measurement (the Figure 6 vs 9 bias).
+fn serving_vs_scanning(c: &mut Criterion) {
+    let busy = ChannelLoad {
+        non_wifi_duty: 0.5,
+        ..ChannelLoad::idle()
+    };
+    let quiet = ChannelLoad {
+        non_wifi_duty: 0.05,
+        ..ChannelLoad::idle()
+    };
+    let serving_channel = Channel::new(Band::Ghz2_4, 6).unwrap();
+    let loads = move |ch: Channel| {
+        if ch == serving_channel {
+            busy
+        } else if ch.band == Band::Ghz2_4 {
+            quiet
+        } else {
+            ChannelLoad::idle()
+        }
+    };
+    // Print the bias once.
+    let mut serving = ServingRadio::new(serving_channel);
+    serving.observe(&busy, 180_000_000);
+    let mut scanner = ScanningRadio::new();
+    scanner.run_for(180_000_000 / 50, &loads);
+    let samples = scanner.collect(&|_| 0);
+    let mean = samples.iter().map(|s| s.utilization).sum::<f64>() / samples.len() as f64;
+    println!(
+        "\n[ablation] same RF world: serving radio reports {:.0}% busy, scanner mean {:.1}% \
+         (the paper's Figure 6 vs Figure 9 discrepancy)",
+        serving.ledger().utilization().unwrap() * 100.0,
+        mean * 100.0
+    );
+    let mut group = c.benchmark_group("ablation_instrument");
+    group.bench_function("serving_radio_3min", |b| {
+        b.iter_with_setup(
+            || ServingRadio::new(serving_channel),
+            |mut radio| {
+                radio.observe(black_box(&busy), 180_000_000);
+                radio.drain()
+            },
+        )
+    });
+    group.bench_function("scanning_radio_3min", |b| {
+        b.iter_with_setup(ScanningRadio::new, |mut radio| {
+            radio.run_for(180_000_000 / 50, &loads);
+            radio.collect(&|_| 0)
+        })
+    });
+    group.finish();
+}
+
+/// Channel-planner ablation: count-based vs utilization-based (§8).
+fn planner_strategies(c: &mut Criterion) {
+    use airstat_core::planner::{evaluate, plan, ChannelMeasurement, PlannerStrategy};
+    use airstat_sim::engine::{channel_load, diurnal, sample_census};
+    use airstat_sim::world::{NeighborEpoch, World};
+    let world = World::generate(&SeedTree::new(0x71A9), 150, 0);
+    let mut measurements = std::collections::HashMap::new();
+    let mut rng = SeedTree::new(0xAB7).rng();
+    for ap in &world.aps {
+        let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+        for n in [1u16, 6, 11] {
+            let channel = Channel::new(Band::Ghz2_4, n).unwrap();
+            let mut util = 0.0;
+            for hour in [9u64, 11, 14, 16, 10] {
+                util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
+                    .utilization();
+            }
+            measurements.insert(
+                (ap.device_id, n),
+                ChannelMeasurement { networks: census.count_on(channel), utilization: util / 5.0 },
+            );
+        }
+    }
+    let measure = |d: u64, ch: Channel| {
+        measurements.get(&(d, ch.number)).copied().unwrap_or_default()
+    };
+    let truth = |d: u64, ch: Channel| measure(d, ch).utilization;
+    let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
+    let by_util = plan(&world, &measure, PlannerStrategy::LowestUtilization);
+    println!(
+        "\n[ablation] channel planning over {} APs: count-based mean busy {:.1}%, \
+         utilization-based {:.1}% (the paper's §8 recommendation)",
+        world.aps.len(),
+        evaluate(&world, &by_count, &truth) * 100.0,
+        evaluate(&world, &by_util, &truth) * 100.0,
+    );
+    let mut group = c.benchmark_group("ablation_planner");
+    group.sample_size(20);
+    group.bench_function("plan_by_count", |b| {
+        b.iter(|| plan(black_box(&world), &measure, PlannerStrategy::FewestNetworks))
+    });
+    group.bench_function("plan_by_utilization", |b| {
+        b.iter(|| plan(black_box(&world), &measure, PlannerStrategy::LowestUtilization))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(30);
+    targets = probe_window_length, poll_batching, edge_vs_backend_classification,
+              serving_vs_scanning, planner_strategies
+}
+criterion_main!(ablations);

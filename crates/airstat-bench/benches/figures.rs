@@ -1,0 +1,146 @@
+//! One bench per paper figure (Figures 1–11).
+//!
+//! As with the table benches, each prints the regenerated series summary
+//! once and then times the query.
+
+use airstat_bench::fixture;
+use airstat_core::figures::{
+    ChannelCensusFigure, DayNightFigure, DecodableFigure, DeliveryFigure, LinkTimeseriesFigure,
+    RssiFigure, SpectrumFigure, UtilVsApsFigure, UtilizationFigure,
+};
+use airstat_rf::band::Band;
+use airstat_sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
+use airstat_sim::engine::{DAY_SAMPLE_HOUR, NIGHT_SAMPLE_HOUR};
+use airstat_stats::SeedTree;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig1_rssi(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = RssiFigure::compute(&output.backend, WINDOW_JAN_2015);
+    println!("\n[figure1]:\n{fig}");
+    c.bench_function("fig1_rssi", |b| {
+        b.iter(|| RssiFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+    });
+}
+
+fn fig2_channels(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = ChannelCensusFigure::compute(&output.backend, WINDOW_JAN_2015);
+    println!("\n[figure2]:\n{fig}");
+    c.bench_function("fig2_channels", |b| {
+        b.iter(|| ChannelCensusFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+    });
+}
+
+fn fig3_delivery(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = DeliveryFigure::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
+    println!("\n[figure3]:\n{fig}");
+    c.bench_function("fig3_delivery", |b| {
+        b.iter(|| DeliveryFigure::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015))
+    });
+}
+
+fn fig4_link24(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = LinkTimeseriesFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz2_4, 2);
+    println!("\n[figure4]:\n{fig}");
+    c.bench_function("fig4_link24", |b| {
+        b.iter(|| {
+            LinkTimeseriesFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4, 2)
+        })
+    });
+}
+
+fn fig5_link5(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = LinkTimeseriesFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz5, 2);
+    println!("\n[figure5]:\n{fig}");
+    c.bench_function("fig5_link5", |b| {
+        b.iter(|| {
+            LinkTimeseriesFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz5, 2)
+        })
+    });
+}
+
+fn fig6_utilization(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = UtilizationFigure::compute(&output.backend, WINDOW_JAN_2015);
+    println!("\n[figure6]:\n{fig}");
+    c.bench_function("fig6_utilization", |b| {
+        b.iter(|| UtilizationFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+    });
+}
+
+fn fig7_scatter24(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = UtilVsApsFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz2_4);
+    println!("\n[figure7]:\n{fig}");
+    c.bench_function("fig7_scatter24", |b| {
+        b.iter(|| UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4))
+    });
+}
+
+fn fig8_scatter5(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = UtilVsApsFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz5);
+    println!("\n[figure8]:\n{fig}");
+    c.bench_function("fig8_scatter5", |b| {
+        b.iter(|| UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz5))
+    });
+}
+
+fn fig9_daynight(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = DayNightFigure::compute(
+        &output.backend,
+        WINDOW_JAN_2015,
+        Band::Ghz2_4,
+        DAY_SAMPLE_HOUR,
+        NIGHT_SAMPLE_HOUR,
+    );
+    println!("\n[figure9]:\n{fig}");
+    c.bench_function("fig9_daynight", |b| {
+        b.iter(|| {
+            DayNightFigure::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2015,
+                Band::Ghz2_4,
+                DAY_SAMPLE_HOUR,
+                NIGHT_SAMPLE_HOUR,
+            )
+        })
+    });
+}
+
+fn fig10_decodable(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let fig = DecodableFigure::compute(&output.backend, WINDOW_JAN_2015);
+    println!("\n[figure10]:\n{fig}");
+    c.bench_function("fig10_decodable", |b| {
+        b.iter(|| DecodableFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+    });
+}
+
+fn fig11_spectrum(c: &mut Criterion) {
+    let seed = SeedTree::new(0xF11);
+    let fig = SpectrumFigure::compute(&seed, 120);
+    println!(
+        "\n[figure11]: 2.4 GHz occupancy {:.1}%, 5 GHz occupancy {:.1}%",
+        fig.occupancy_2_4() * 100.0,
+        fig.occupancy_5() * 100.0
+    );
+    c.bench_function("fig11_spectrum", |b| {
+        b.iter(|| SpectrumFigure::compute(black_box(&seed), 20))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = fig1_rssi, fig2_channels, fig3_delivery, fig4_link24, fig5_link5,
+              fig6_utilization, fig7_scatter24, fig8_scatter5, fig9_daynight,
+              fig10_decodable, fig11_spectrum
+}
+criterion_main!(figures);

@@ -1,0 +1,126 @@
+//! Pipeline micro-benchmarks: the substrate costs behind the paper's
+//! "1 kbit/s per AP" telemetry budget.
+//!
+//! * wire-format encode/decode throughput for a typical usage report;
+//! * application classification throughput (the AP's fast-path rule walk);
+//! * device-OS classification throughput;
+//! * backend ingest throughput;
+//! * end-to-end fleet simulation rate (clients simulated per second).
+
+use airstat_classify::apps::{FlowMetadata, RuleSet};
+use airstat_classify::device::{ClassifierVersion, DeviceClassifier, DeviceEvidence, DhcpFingerprint};
+use airstat_classify::mac::MacAddress;
+use airstat_classify::Application;
+use airstat_sim::{FleetConfig, FleetSimulation};
+use airstat_stats::SeedTree;
+use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_report(records: usize) -> Report {
+    Report {
+        device: 42,
+        seq: 7,
+        timestamp_s: 12_345,
+        payload: ReportPayload::Usage(
+            (0..records)
+                .map(|i| UsageRecord {
+                    mac: MacAddress::new([0, 1, 2, 3, 4, i as u8]),
+                    app: Application::ALL[i % Application::ALL.len()],
+                    up_bytes: 1_000 + i as u64,
+                    down_bytes: 90_000 + i as u64,
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn wire_roundtrip(c: &mut Criterion) {
+    let report = sample_report(64);
+    let encoded = report.encode();
+    println!(
+        "\n[pipeline] 64-record usage report encodes to {} bytes ({:.1} B/record)",
+        encoded.len(),
+        encoded.len() as f64 / 64.0
+    );
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_64_records", |b| b.iter(|| black_box(&report).encode()));
+    group.bench_function("decode_64_records", |b| {
+        b.iter(|| Report::decode(black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn classify_flows(c: &mut Criterion) {
+    let ruleset = RuleSet::standard_2015();
+    let flows: Vec<FlowMetadata> = vec![
+        FlowMetadata::https("movies.netflix.com"),
+        FlowMetadata::https("unknown-host.example"),
+        FlowMetadata::tcp(445),
+        FlowMetadata::udp(9999),
+        FlowMetadata::https("drive.google.com"),
+        FlowMetadata::http("site123.example.com"),
+    ];
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("app_ruleset_walk", |b| {
+        b.iter(|| {
+            for f in &flows {
+                black_box(ruleset.classify(black_box(f)));
+            }
+        })
+    });
+    let classifier = DeviceClassifier::new(ClassifierVersion::V2015);
+    let evidence = DeviceEvidence {
+        mac: Some(MacAddress::new([0x28, 0xCF, 0xE9, 1, 2, 3])),
+        dhcp: vec![DhcpFingerprint::IosStyle],
+        user_agents: vec!["Mozilla/5.0 (iPhone; CPU iPhone OS 8_1 like Mac OS X)".into()],
+    };
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("device_os", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&evidence))))
+    });
+    group.finish();
+}
+
+fn backend_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("ingest_64_record_report", |b| {
+        b.iter_with_setup(
+            || (Backend::new(), sample_report(64)),
+            |(mut backend, report)| {
+                backend.ingest(WindowId(1501), black_box(&report));
+                backend
+            },
+        )
+    });
+    group.finish();
+}
+
+fn fleet_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let config = FleetConfig {
+        seed: 1,
+        poll_drop_probability: 0.0,
+        ..FleetConfig::paper(0.001)
+    };
+    let clients = config.clients(airstat_sim::MeasurementYear::Y2015)
+        + config.clients(airstat_sim::MeasurementYear::Y2014);
+    group.throughput(Throughput::Elements(clients));
+    group.bench_function("full_campaign_0.1pct", |b| {
+        b.iter(|| FleetSimulation::new(black_box(config.clone())).run())
+    });
+    group.finish();
+    let _ = SeedTree::new(0);
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(30);
+    targets = wire_roundtrip, classify_flows, backend_ingest, fleet_simulation
+}
+criterion_main!(pipeline);

@@ -1,0 +1,93 @@
+//! One bench per paper table (Tables 2–7).
+//!
+//! Each bench prints the regenerated rows once (so `cargo bench` output
+//! doubles as the reproduction record) and then times the analytics query
+//! against the shared fleet fixture.
+
+use airstat_bench::{fixture, BENCH_SCALE};
+use airstat_core::tables::{
+    CapabilitiesTable, CategoriesTable, IndustryTable, NearbyTable, OsUsageTable, TopAppsTable,
+};
+use airstat_sim::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
+use airstat_stats::SeedTree;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table2_industry(c: &mut Criterion) {
+    let (_, config) = fixture();
+    let seed = SeedTree::new(config.seed);
+    let table = IndustryTable::compute(config.usage_networks(), &seed);
+    println!("\n[table2] scale {BENCH_SCALE}:\n{table}");
+    c.bench_function("table2_industry", |b| {
+        b.iter(|| IndustryTable::compute(black_box(config.usage_networks()), &seed))
+    });
+}
+
+fn table3_os_usage(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let table = OsUsageTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014);
+    println!("\n[table3]:\n{table}");
+    c.bench_function("table3_os_usage", |b| {
+        b.iter(|| {
+            OsUsageTable::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2015,
+                WINDOW_JAN_2014,
+            )
+        })
+    });
+}
+
+fn table4_capabilities(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let table = CapabilitiesTable::compute(&output.backend, WINDOW_JAN_2014, WINDOW_JAN_2015);
+    println!("\n[table4]:\n{table}");
+    c.bench_function("table4_capabilities", |b| {
+        b.iter(|| {
+            CapabilitiesTable::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2014,
+                WINDOW_JAN_2015,
+            )
+        })
+    });
+}
+
+fn table5_top_apps(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let table = TopAppsTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014, 40);
+    println!("\n[table5] top 40:\n{table}");
+    c.bench_function("table5_top_apps", |b| {
+        b.iter(|| {
+            TopAppsTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014, 40)
+        })
+    });
+}
+
+fn table6_categories(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let table = CategoriesTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014);
+    println!("\n[table6]:\n{table}");
+    c.bench_function("table6_categories", |b| {
+        b.iter(|| {
+            CategoriesTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014)
+        })
+    });
+}
+
+fn table7_nearby(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let table = NearbyTable::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
+    println!("\n[table7]:\n{table}");
+    c.bench_function("table7_nearby", |b| {
+        b.iter(|| NearbyTable::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = table2_industry, table3_os_usage, table4_capabilities,
+              table5_top_apps, table6_categories, table7_nearby
+}
+criterion_main!(tables);

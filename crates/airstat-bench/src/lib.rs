@@ -1,0 +1,36 @@
+//! # airstat-bench — the benchmark harness
+//!
+//! One Criterion bench per paper artifact (see `benches/`): each bench
+//! regenerates a table or figure from a shared fleet simulation, printing
+//! the rows/series it produced and timing the analytics query. The
+//! `ablations` bench group measures the design trade-offs called out in
+//! DESIGN.md (probe-window length, pull batching, edge classification).
+//!
+//! This library part only hosts the shared fixture so every bench file
+//! reuses one simulation run.
+
+use airstat_core::PaperReport;
+use airstat_sim::{FleetConfig, FleetSimulation, SimulationOutput};
+use std::sync::OnceLock;
+
+/// Scale used by the bench fixture (0.5% of the paper's fleet).
+pub const BENCH_SCALE: f64 = 0.005;
+
+/// The shared simulation output: run once, reused by every bench.
+pub fn fixture() -> &'static (SimulationOutput, FleetConfig) {
+    static FIXTURE: OnceLock<(SimulationOutput, FleetConfig)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let config = FleetConfig::paper(BENCH_SCALE);
+        let output = FleetSimulation::new(config.clone()).run();
+        (output, config)
+    })
+}
+
+/// A fully computed report over the fixture, for benches that only render.
+pub fn fixture_report() -> &'static PaperReport {
+    static REPORT: OnceLock<PaperReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let (output, config) = fixture();
+        PaperReport::from_simulation(output, config)
+    })
+}

@@ -1,0 +1,362 @@
+//! Flow accounting: the AP's fast-path/slow-path split (§2.1).
+//!
+//! "Elements within the Click modular router on the fast path handle ...
+//! application classification and usage for each MAC address. Other
+//! specific types of traffic are processed along the slow path, such as
+//! ARP, DHCP, DNS, multicast DNS, TCP SYN/FIN, packets containing HTTP
+//! headers, and packets containing SSL handshakes."
+//!
+//! [`FlowTable`] reproduces that design: the first packets of a flow ride
+//! the slow path, where metadata is extracted and the rule engine runs
+//! once; every later packet is a fast-path counter bump against the cached
+//! classification. TCP FIN (or an idle timeout) retires the entry, and
+//! the table is bounded — eviction picks the least-recently-used flow, a
+//! real constraint on 64 MB devices.
+
+use std::collections::HashMap;
+
+use crate::apps::{Application, FlowMetadata, RuleSet};
+use crate::mac::MacAddress;
+
+/// Identifies one transport flow at the AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// The client's MAC (flows are accounted per client, §2.1).
+    pub client: MacAddress,
+    /// Flow id within the client (hash of the 5-tuple in a real AP).
+    pub flow_id: u64,
+}
+
+/// Direction of one packet relative to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client to network.
+    Up,
+    /// Network to client.
+    Down,
+}
+
+/// Which processing path handled a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Punted to the Click router for metadata extraction.
+    Slow,
+    /// Counted in the cached flow entry.
+    Fast,
+}
+
+#[derive(Debug, Clone)]
+struct FlowEntry {
+    app: Application,
+    up_bytes: u64,
+    down_bytes: u64,
+    last_seen: u64,
+    finished: bool,
+}
+
+/// Per-client, per-application byte totals after flow retirement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppUsage {
+    /// Upstream bytes.
+    pub up_bytes: u64,
+    /// Downstream bytes.
+    pub down_bytes: u64,
+}
+
+/// The bounded flow-accounting table.
+#[derive(Debug)]
+pub struct FlowTable {
+    ruleset: RuleSet,
+    capacity: usize,
+    idle_timeout_s: u64,
+    flows: HashMap<FlowKey, FlowEntry>,
+    usage: HashMap<(MacAddress, Application), AppUsage>,
+    slow_path_packets: u64,
+    fast_path_packets: u64,
+    evictions: u64,
+}
+
+impl FlowTable {
+    /// Creates a table classifying with `ruleset`, holding at most
+    /// `capacity` concurrent flows, retiring idle flows after
+    /// `idle_timeout_s` seconds.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(ruleset: RuleSet, capacity: usize, idle_timeout_s: u64) -> Self {
+        assert!(capacity > 0, "flow table capacity must be > 0");
+        FlowTable {
+            ruleset,
+            capacity,
+            idle_timeout_s,
+            flows: HashMap::new(),
+            usage: HashMap::new(),
+            slow_path_packets: 0,
+            fast_path_packets: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Opens a flow: the TCP SYN / first UDP datagram rides the slow path,
+    /// metadata is inspected and the classification cached.
+    ///
+    /// Reopening a live key reclassifies it (new connection reusing an
+    /// ephemeral port).
+    pub fn open(&mut self, key: FlowKey, metadata: &FlowMetadata, now: u64) -> Application {
+        self.slow_path_packets += 1;
+        if self.flows.len() >= self.capacity && !self.flows.contains_key(&key) {
+            self.evict_lru();
+        }
+        let app = self.ruleset.classify(metadata);
+        self.flows.insert(
+            key,
+            FlowEntry {
+                app,
+                up_bytes: 0,
+                down_bytes: 0,
+                last_seen: now,
+                finished: false,
+            },
+        );
+        app
+    }
+
+    /// Accounts one data packet. Packets for unknown flows (table
+    /// eviction, reboot) are re-punted to the slow path and counted
+    /// against the miscellaneous buckets by transport.
+    pub fn packet(
+        &mut self,
+        key: FlowKey,
+        direction: Direction,
+        bytes: u64,
+        fallback: &FlowMetadata,
+        now: u64,
+    ) -> Path {
+        if !self.flows.contains_key(&key) {
+            // Mid-flow packet with no entry: classify from what little the
+            // packet shows (ports/transport only in practice).
+            self.open(key, fallback, now);
+            let entry = self.flows.get_mut(&key).expect("just inserted");
+            Self::bump(entry, direction, bytes, now);
+            return Path::Slow;
+        }
+        let entry = self.flows.get_mut(&key).expect("checked");
+        Self::bump(entry, direction, bytes, now);
+        self.fast_path_packets += 1;
+        Path::Fast
+    }
+
+    fn bump(entry: &mut FlowEntry, direction: Direction, bytes: u64, now: u64) {
+        match direction {
+            Direction::Up => entry.up_bytes += bytes,
+            Direction::Down => entry.down_bytes += bytes,
+        }
+        entry.last_seen = now;
+    }
+
+    /// Marks a flow finished (TCP FIN/RST on the slow path) and retires it
+    /// into the per-client usage counters.
+    pub fn finish(&mut self, key: FlowKey, now: u64) {
+        self.slow_path_packets += 1;
+        if let Some(mut entry) = self.flows.remove(&key) {
+            entry.last_seen = now;
+            entry.finished = true;
+            self.retire(key.client, &entry);
+        }
+    }
+
+    /// Retires flows idle longer than the timeout.
+    pub fn expire(&mut self, now: u64) {
+        let timeout = self.idle_timeout_s;
+        let stale: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, e)| now.saturating_sub(e.last_seen) >= timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in stale {
+            let entry = self.flows.remove(&key).expect("listed");
+            self.retire(key.client, &entry);
+        }
+    }
+
+    /// Flushes everything (device poll: counters are harvested).
+    pub fn flush(&mut self) -> Vec<((MacAddress, Application), AppUsage)> {
+        let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        for key in keys {
+            let entry = self.flows.remove(&key).expect("listed");
+            self.retire(key.client, &entry);
+        }
+        let mut out: Vec<_> = self.usage.drain().collect();
+        out.sort_by_key(|&((mac, app), _)| (mac, app));
+        out
+    }
+
+    fn retire(&mut self, client: MacAddress, entry: &FlowEntry) {
+        let slot = self.usage.entry((client, entry.app)).or_default();
+        slot.up_bytes += entry.up_bytes;
+        slot.down_bytes += entry.down_bytes;
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&key, _)) = self.flows.iter().min_by_key(|(_, e)| e.last_seen) {
+            let entry = self.flows.remove(&key).expect("listed");
+            self.retire(key.client, &entry);
+            self.evictions += 1;
+        }
+    }
+
+    /// Live flow count.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Packets that took the slow path.
+    pub fn slow_path_packets(&self) -> u64 {
+        self.slow_path_packets
+    }
+
+    /// Packets that took the fast path.
+    pub fn fast_path_packets(&self) -> u64 {
+        self.fast_path_packets
+    }
+
+    /// Flows evicted for capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::FlowMetadata;
+
+    fn mac(n: u8) -> MacAddress {
+        MacAddress::new([0, 0, 0, 0, 0, n])
+    }
+
+    fn key(client: u8, flow: u64) -> FlowKey {
+        FlowKey {
+            client: mac(client),
+            flow_id: flow,
+        }
+    }
+
+    fn table(capacity: usize) -> FlowTable {
+        FlowTable::new(RuleSet::standard_2015(), capacity, 300)
+    }
+
+    #[test]
+    fn slow_then_fast_path() {
+        let mut t = table(16);
+        let metadata = FlowMetadata::https("movies.netflix.com");
+        let app = t.open(key(1, 1), &metadata, 0);
+        assert_eq!(app, Application::Netflix);
+        // Subsequent packets are fast path.
+        for i in 0..10 {
+            let path = t.packet(key(1, 1), Direction::Down, 1500, &metadata, i);
+            assert_eq!(path, Path::Fast);
+        }
+        assert_eq!(t.fast_path_packets(), 10);
+        assert_eq!(t.slow_path_packets(), 1);
+        // FIN retires the flow into the usage counters.
+        t.finish(key(1, 1), 11);
+        assert_eq!(t.live_flows(), 0);
+        let usage = t.flush();
+        assert_eq!(usage.len(), 1);
+        assert_eq!(usage[0].0, (mac(1), Application::Netflix));
+        assert_eq!(usage[0].1.down_bytes, 15_000);
+    }
+
+    #[test]
+    fn directions_accounted_separately() {
+        let mut t = table(16);
+        let m = FlowMetadata::https("client.dropbox.com");
+        t.open(key(1, 1), &m, 0);
+        t.packet(key(1, 1), Direction::Up, 600, &m, 1);
+        t.packet(key(1, 1), Direction::Down, 400, &m, 2);
+        t.finish(key(1, 1), 3);
+        let usage = t.flush();
+        assert_eq!(usage[0].1.up_bytes, 600);
+        assert_eq!(usage[0].1.down_bytes, 400);
+    }
+
+    #[test]
+    fn idle_flows_expire() {
+        let mut t = table(16);
+        let m = FlowMetadata::tcp(9999);
+        t.open(key(1, 1), &m, 0);
+        t.packet(key(1, 1), Direction::Up, 100, &m, 10);
+        t.expire(400); // idle since t=10, timeout 300
+        assert_eq!(t.live_flows(), 0);
+        let usage = t.flush();
+        assert_eq!(usage[0].1.up_bytes, 100);
+    }
+
+    #[test]
+    fn active_flows_survive_expiry() {
+        let mut t = table(16);
+        let m = FlowMetadata::tcp(9999);
+        t.open(key(1, 1), &m, 0);
+        t.packet(key(1, 1), Direction::Up, 100, &m, 350);
+        t.expire(400); // active at 350, not stale at 400
+        assert_eq!(t.live_flows(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_without_losing_bytes() {
+        let mut t = table(2);
+        let m = FlowMetadata::http("site1.example.com");
+        t.open(key(1, 1), &m, 0);
+        t.packet(key(1, 1), Direction::Down, 500, &m, 1);
+        t.open(key(1, 2), &m, 2);
+        t.open(key(1, 3), &m, 3); // evicts flow 1 (LRU)
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.live_flows(), 2);
+        // Flow 1's bytes survived retirement.
+        let usage = t.flush();
+        let total: u64 = usage.iter().map(|(_, u)| u.down_bytes).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn mid_flow_packet_without_entry_repunts() {
+        let mut t = table(16);
+        let fallback = FlowMetadata::tcp(443);
+        let path = t.packet(key(1, 9), Direction::Down, 1000, &fallback, 0);
+        assert_eq!(path, Path::Slow);
+        let usage = t.flush();
+        // Only transport-level evidence: lands in the encrypted bucket.
+        assert_eq!(usage[0].0 .1, Application::EncryptedTcp);
+        assert_eq!(usage[0].1.down_bytes, 1000);
+    }
+
+    #[test]
+    fn per_client_per_app_rollup() {
+        let mut t = table(16);
+        let netflix = FlowMetadata::https("movies.netflix.com");
+        let web = FlowMetadata::http("blah.example.org");
+        // Two Netflix flows from the same client merge.
+        t.open(key(1, 1), &netflix, 0);
+        t.packet(key(1, 1), Direction::Down, 100, &netflix, 1);
+        t.open(key(1, 2), &netflix, 2);
+        t.packet(key(1, 2), Direction::Down, 200, &netflix, 3);
+        // A different client's web flow stays separate.
+        t.open(key(2, 1), &web, 4);
+        t.packet(key(2, 1), Direction::Down, 50, &web, 5);
+        let usage = t.flush();
+        assert_eq!(usage.len(), 2);
+        let netflix_row = usage
+            .iter()
+            .find(|((m, a), _)| *m == mac(1) && *a == Application::Netflix)
+            .unwrap();
+        assert_eq!(netflix_row.1.down_bytes, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        let _ = table(0);
+    }
+}

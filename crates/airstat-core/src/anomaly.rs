@@ -1,0 +1,199 @@
+//! Usage-anomaly detection: finding §6.2's update surges.
+//!
+//! "Software updates from Apple and Microsoft would drive large downloads
+//! across large numbers of clients, sometimes causing sudden increases
+//! totaling tens or hundreds of gigabytes." Operators could not
+//! anticipate them; a backend that watches per-day usage series can at
+//! least *detect* them. The detector here is deliberately robust-simple:
+//! deviations are scored against the median and MAD of the series after
+//! removing a weekday-shape baseline, so the ordinary weekend cliff never
+//! fires it.
+
+/// One detected usage spike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    /// Index of the spiking sample (day).
+    pub index: usize,
+    /// Observed value.
+    pub value: f64,
+    /// Expected value from the baseline.
+    pub expected: f64,
+    /// Robust z-score of the deviation.
+    pub score: f64,
+}
+
+impl Spike {
+    /// Excess bytes above expectation.
+    pub fn excess(&self) -> f64 {
+        self.value - self.expected
+    }
+}
+
+/// Median of a slice (empty → None).
+fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    })
+}
+
+/// Median absolute deviation, scaled to estimate σ (×1.4826).
+fn mad_sigma(values: &[f64], med: f64) -> f64 {
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations).map_or(0.0, |m| m * 1.4826)
+}
+
+/// Detects spikes in a daily series against a weekday-shape baseline.
+///
+/// `shape` gives each sample's expected *relative* level (e.g.
+/// [`airstat_sim::surge::WEEKDAY_ACTIVITY`]); the series is normalized by
+/// it before robust scoring, so shape-following variation is invisible to
+/// the detector. Samples more than `threshold` robust σ above the
+/// normalized median are reported, largest score first.
+///
+/// # Panics
+/// Panics when `series` and `shape` lengths differ or a shape entry is
+/// not positive.
+pub fn detect_spikes(series: &[f64], shape: &[f64], threshold: f64) -> Vec<Spike> {
+    assert_eq!(series.len(), shape.len(), "series and shape must align");
+    assert!(shape.iter().all(|&s| s > 0.0), "shape must be positive");
+    if series.len() < 3 {
+        return Vec::new();
+    }
+    let normalized: Vec<f64> = series.iter().zip(shape).map(|(v, s)| v / s).collect();
+    let med = median(&normalized).expect("nonempty");
+    let sigma = mad_sigma(&normalized, med);
+    // When more than half the samples are identical the MAD collapses to
+    // zero; floor the scale at 5% of the median so only deviations that
+    // are material in *bytes* can score, not numerical wiggle.
+    let sigma = sigma.max(med.abs() * 0.05).max(f64::MIN_POSITIVE);
+    let mut spikes: Vec<Spike> = normalized
+        .iter()
+        .enumerate()
+        .filter_map(|(index, &value)| {
+            let score = (value - med) / sigma;
+            (score > threshold).then(|| Spike {
+                index,
+                value: series[index],
+                expected: med * shape[index],
+                score,
+            })
+        })
+        .collect();
+    spikes.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    spikes
+}
+
+/// Attributes a spike to the platform whose series contributed the most
+/// excess on that day.
+///
+/// `per_group` maps a label to that group's daily series. Returns the
+/// label with the largest same-day excess over its own baseline, plus the
+/// excess bytes.
+pub fn attribute_spike<L: Copy>(
+    spike: &Spike,
+    per_group: &[(L, Vec<f64>)],
+    shape: &[f64],
+) -> Option<(L, f64)> {
+    per_group
+        .iter()
+        .filter_map(|(label, series)| {
+            if series.len() != shape.len() || spike.index >= series.len() {
+                return None;
+            }
+            let normalized: Vec<f64> = series.iter().zip(shape).map(|(v, s)| v / s).collect();
+            let med = median(&normalized)?;
+            let excess = series[spike.index] - med * shape[spike.index];
+            Some((*label, excess))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLAT: [f64; 7] = [1.0; 7];
+
+    #[test]
+    fn quiet_series_no_spikes() {
+        let series = [100.0, 102.0, 99.0, 101.0, 98.0, 100.0, 103.0];
+        assert!(detect_spikes(&series, &FLAT, 6.0).is_empty());
+    }
+
+    #[test]
+    fn obvious_spike_detected_and_quantified() {
+        let series = [100.0, 100.0, 350.0, 110.0, 100.0, 100.0, 100.0];
+        let spikes = detect_spikes(&series, &FLAT, 6.0);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].index, 2);
+        assert!((spikes[0].excess() - 250.0).abs() < 15.0);
+        assert!(spikes[0].score > 6.0);
+    }
+
+    #[test]
+    fn weekend_cliff_does_not_fire() {
+        // A realistic business week: weekdays ~100, weekend ~32.
+        let shape = [1.0, 1.02, 1.0, 0.98, 0.92, 0.35, 0.30];
+        let series = [100.0, 103.0, 99.0, 97.0, 93.0, 34.0, 31.0];
+        assert!(
+            detect_spikes(&series, &shape, 6.0).is_empty(),
+            "the weekday shape must absorb the weekend cliff"
+        );
+        // But a genuine surge on Wednesday still fires.
+        let surged = [100.0, 103.0, 320.0, 97.0, 93.0, 34.0, 31.0];
+        let spikes = detect_spikes(&surged, &shape, 6.0);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].index, 2);
+    }
+
+    #[test]
+    fn multiple_spikes_ranked() {
+        let series = [100.0, 400.0, 100.0, 100.0, 250.0, 100.0, 100.0];
+        let spikes = detect_spikes(&series, &FLAT, 6.0);
+        assert_eq!(spikes.len(), 2);
+        assert_eq!(spikes[0].index, 1, "largest first");
+        assert_eq!(spikes[1].index, 4);
+    }
+
+    #[test]
+    fn flat_series_is_safe() {
+        let series = [100.0; 7];
+        assert!(detect_spikes(&series, &FLAT, 6.0).is_empty());
+    }
+
+    #[test]
+    fn attribution_finds_the_right_platform() {
+        let shape = FLAT;
+        let total = [200.0, 200.0, 520.0, 200.0, 200.0, 200.0, 200.0];
+        let spikes = detect_spikes(&total, &shape, 6.0);
+        let per_os = vec![
+            ("ios", vec![100.0, 100.0, 420.0, 100.0, 100.0, 100.0, 100.0]),
+            ("windows", vec![100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0]),
+        ];
+        let (who, excess) = attribute_spike(&spikes[0], &per_os, &shape).unwrap();
+        assert_eq!(who, "ios");
+        assert!((excess - 320.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series and shape must align")]
+    fn shape_mismatch_rejected() {
+        let _ = detect_spikes(&[1.0, 2.0], &[1.0], 3.0);
+    }
+
+    #[test]
+    fn median_helpers() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 9.0, 3.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Network-problem triage: §6.3's "non-wireless problems".
+//!
+//! "We observed several common problems on networks which resulted in poor
+//! performance but were not specific to wireless": overloaded
+//! RADIUS/Active Directory, misconfigured VLANs, aging cables, MTU
+//! blackholes, upstream bottlenecks, DNS failures, and campus-scale mDNS
+//! storms. Users report all of these as "the WiFi is bad"; the operational
+//! value of fleet telemetry is telling the radio problems from the wired
+//! ones.
+//!
+//! [`triage`] implements that separation: symptom events collected at the
+//! AP are classified into a [`RootCause`], and [`TriageReport`] summarizes
+//! a site so an operator sees at a glance whether to blame spectrum or
+//! infrastructure.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symptom the AP (or its clients) observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symptom {
+    /// 802.1X/RADIUS authentication timed out.
+    AuthTimeout,
+    /// DHCP offers never arrived on a VLAN.
+    DhcpNoOffer,
+    /// Client traffic black-holed after association (VLAN reachability).
+    VlanBlackhole,
+    /// Ethernet uplink flapped or renegotiated (bad cable).
+    UplinkFlap,
+    /// Large frames silently dropped (MTU/PMTU discovery broken).
+    MtuBlackhole,
+    /// WAN saturated: high latency with high upstream utilization.
+    UpstreamCongestion,
+    /// DNS queries failing or slow.
+    DnsFailure,
+    /// Broadcast/multicast storm (campus-scale mDNS, §6.3's last bullet).
+    MulticastStorm,
+    /// Low data rates with high channel utilization.
+    AirtimeCongestion,
+    /// Low RSSI reported by many clients.
+    WeakCoverage,
+    /// High retry/loss rates with strong signal (interference).
+    Interference,
+}
+
+impl Symptom {
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Symptom::AuthTimeout => "authentication timeouts",
+            Symptom::DhcpNoOffer => "DHCP no-offer",
+            Symptom::VlanBlackhole => "VLAN blackhole",
+            Symptom::UplinkFlap => "uplink flaps",
+            Symptom::MtuBlackhole => "MTU blackhole",
+            Symptom::UpstreamCongestion => "upstream congestion",
+            Symptom::DnsFailure => "DNS failures",
+            Symptom::MulticastStorm => "multicast storm",
+            Symptom::AirtimeCongestion => "airtime congestion",
+            Symptom::WeakCoverage => "weak coverage",
+            Symptom::Interference => "interference",
+        }
+    }
+}
+
+/// Root-cause classes, split the way §6.3 splits them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// Authentication infrastructure (RADIUS/AD overload).
+    AuthInfrastructure,
+    /// Switching/VLAN configuration.
+    VlanConfig,
+    /// Physical cabling / building wiring.
+    Cabling,
+    /// MTU configuration or discovery.
+    Mtu,
+    /// WAN capacity.
+    UpstreamBandwidth,
+    /// Name resolution.
+    Dns,
+    /// Broadcast-domain design (mDNS at campus scale).
+    BroadcastDomain,
+    /// Genuinely wireless: spectrum, coverage, interference.
+    Wireless,
+}
+
+impl RootCause {
+    /// Whether this cause is wireless (vs the §6.3 non-wireless set).
+    pub fn is_wireless(self) -> bool {
+        self == RootCause::Wireless
+    }
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RootCause::AuthInfrastructure => "RADIUS/AD overload",
+            RootCause::VlanConfig => "VLAN misconfiguration",
+            RootCause::Cabling => "cabling/building wiring",
+            RootCause::Mtu => "MTU configuration",
+            RootCause::UpstreamBandwidth => "upstream bottleneck",
+            RootCause::Dns => "DNS resolution",
+            RootCause::BroadcastDomain => "broadcast-domain scale",
+            RootCause::Wireless => "wireless (RF)",
+        }
+    }
+}
+
+/// Maps a symptom to its root-cause class.
+pub fn triage(symptom: Symptom) -> RootCause {
+    match symptom {
+        Symptom::AuthTimeout => RootCause::AuthInfrastructure,
+        Symptom::DhcpNoOffer | Symptom::VlanBlackhole => RootCause::VlanConfig,
+        Symptom::UplinkFlap => RootCause::Cabling,
+        Symptom::MtuBlackhole => RootCause::Mtu,
+        Symptom::UpstreamCongestion => RootCause::UpstreamBandwidth,
+        Symptom::DnsFailure => RootCause::Dns,
+        Symptom::MulticastStorm => RootCause::BroadcastDomain,
+        Symptom::AirtimeCongestion | Symptom::WeakCoverage | Symptom::Interference => {
+            RootCause::Wireless
+        }
+    }
+}
+
+/// A site's triage summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriageReport {
+    counts: BTreeMap<RootCause, u64>,
+}
+
+impl TriageReport {
+    /// Builds the report from a symptom stream.
+    pub fn from_symptoms<I: IntoIterator<Item = Symptom>>(symptoms: I) -> Self {
+        let mut counts = BTreeMap::new();
+        for s in symptoms {
+            *counts.entry(triage(s)).or_default() += 1;
+        }
+        TriageReport { counts }
+    }
+
+    /// Events attributed to a cause.
+    pub fn count(&self, cause: RootCause) -> u64 {
+        self.counts.get(&cause).copied().unwrap_or(0)
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of events that are genuinely wireless.
+    ///
+    /// The §6.3 insight: this is often *small* — "the WiFi is bad" is
+    /// frequently a wired problem wearing a wireless costume.
+    pub fn wireless_fraction(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.count(RootCause::Wireless) as f64 / total as f64)
+    }
+
+    /// Causes ranked by event count, descending.
+    pub fn ranked(&self) -> Vec<(RootCause, u64)> {
+        let mut out: Vec<_> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        out.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        out
+    }
+}
+
+impl fmt::Display for TriageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "triage of {} problem events:", self.total())?;
+        for (cause, count) in self.ranked() {
+            let marker = if cause.is_wireless() { " (RF)" } else { "" };
+            writeln!(f, "  {:>5}  {}{}", count, cause.name(), marker)?;
+        }
+        if let Some(w) = self.wireless_fraction() {
+            writeln!(
+                f,
+                "wireless share: {:.0}% — the rest is §6.3's wired problems",
+                w * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_symptom_has_a_cause_and_name() {
+        for s in [
+            Symptom::AuthTimeout,
+            Symptom::DhcpNoOffer,
+            Symptom::VlanBlackhole,
+            Symptom::UplinkFlap,
+            Symptom::MtuBlackhole,
+            Symptom::UpstreamCongestion,
+            Symptom::DnsFailure,
+            Symptom::MulticastStorm,
+            Symptom::AirtimeCongestion,
+            Symptom::WeakCoverage,
+            Symptom::Interference,
+        ] {
+            assert!(!s.name().is_empty());
+            assert!(!triage(s).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn wireless_vs_wired_split() {
+        // Only the RF symptoms map to the wireless cause.
+        assert!(triage(Symptom::AirtimeCongestion).is_wireless());
+        assert!(triage(Symptom::WeakCoverage).is_wireless());
+        assert!(triage(Symptom::Interference).is_wireless());
+        for s in [
+            Symptom::AuthTimeout,
+            Symptom::DhcpNoOffer,
+            Symptom::VlanBlackhole,
+            Symptom::UplinkFlap,
+            Symptom::MtuBlackhole,
+            Symptom::UpstreamCongestion,
+            Symptom::DnsFailure,
+            Symptom::MulticastStorm,
+        ] {
+            assert!(!triage(s).is_wireless(), "{s:?} is a §6.3 wired problem");
+        }
+    }
+
+    #[test]
+    fn report_counts_and_ranks() {
+        let report = TriageReport::from_symptoms([
+            Symptom::DnsFailure,
+            Symptom::DnsFailure,
+            Symptom::DnsFailure,
+            Symptom::AuthTimeout,
+            Symptom::Interference,
+        ]);
+        assert_eq!(report.total(), 5);
+        assert_eq!(report.count(RootCause::Dns), 3);
+        assert_eq!(report.ranked()[0].0, RootCause::Dns);
+        assert!((report.wireless_fraction().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vlan_symptoms_merge() {
+        let report =
+            TriageReport::from_symptoms([Symptom::DhcpNoOffer, Symptom::VlanBlackhole]);
+        assert_eq!(report.count(RootCause::VlanConfig), 2);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = TriageReport::from_symptoms([]);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.wireless_fraction(), None);
+        assert!(report.ranked().is_empty());
+    }
+
+    #[test]
+    fn renders() {
+        let report = TriageReport::from_symptoms([
+            Symptom::MulticastStorm,
+            Symptom::MulticastStorm,
+            Symptom::WeakCoverage,
+        ]);
+        let s = report.to_string();
+        assert!(s.contains("broadcast-domain scale"));
+        assert!(s.contains("wireless share: 33%"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Dataset export: the paper's `dl.meraki.net/sigcomm-2015` release.
+//!
+//! §8: "A copy of the wireless link measurements, nearby networks, and
+//! channel utilization data used in this paper is available at ...". That
+//! artifact is gone from the internet; this module regenerates its three
+//! files from a simulated backend, anonymized the way a public release
+//! must be:
+//!
+//! * device identifiers are pseudonymized with a release salt
+//!   (stable within the release, unlinkable outside it);
+//! * only the measurement windows' aggregates appear, never client MACs;
+//! * CSVs carry a header naming units, so the release is self-describing.
+
+use airstat_rf::band::Band;
+use airstat_stats::rng::splitmix64;
+use airstat_telemetry::backend::{Backend, WindowId};
+use std::fmt::Write as _;
+
+/// A releasable dataset: the three CSVs of the paper's artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetRelease {
+    /// `links.csv` — per-link delivery observations.
+    pub links_csv: String,
+    /// `nearby.csv` — per-device, per-channel network counts.
+    pub nearby_csv: String,
+    /// `utilization.csv` — per-device channel-scan aggregates.
+    pub utilization_csv: String,
+}
+
+/// Pseudonymizes a device id under the release salt.
+fn pseudo_device(salt: u64, device: u64) -> u64 {
+    splitmix64(device ^ salt)
+}
+
+fn band_label(band: Band) -> &'static str {
+    match band {
+        Band::Ghz2_4 => "2.4GHz",
+        Band::Ghz5 => "5GHz",
+    }
+}
+
+/// Builds the release from one or more measurement windows.
+///
+/// `windows` pairs a window with the label it carries in the CSVs
+/// (e.g. `(WINDOW_JAN_2015, "2015-01")`).
+pub fn build_release(backend: &Backend, windows: &[(WindowId, &str)], salt: u64) -> DatasetRelease {
+    let mut links_csv = String::from("window,band,rx_device,tx_device,observation_ts_s,delivery_ratio\n");
+    let mut nearby_csv = String::from("window,band,device,channel,networks,hotspots\n");
+    let mut utilization_csv =
+        String::from("window,band,device,channel,ts_s,utilization_ppm,decodable_ppm,networks\n");
+
+    for &(window, label) in windows {
+        for band in [Band::Ghz2_4, Band::Ghz5] {
+            // links.csv
+            for key in backend.link_keys(window, band) {
+                let rx = pseudo_device(salt, key.rx_device);
+                let tx = pseudo_device(salt, key.tx_device);
+                for obs in backend.link_series(window, key) {
+                    let _ = writeln!(
+                        links_csv,
+                        "{label},{},{rx:016x},{tx:016x},{},{:.4}",
+                        band_label(band),
+                        obs.timestamp_s,
+                        obs.ratio
+                    );
+                }
+            }
+            // utilization.csv
+            for obs in backend.scan_observations(window, band) {
+                // Scan observations do not carry the reporting device in
+                // the public query; the per-channel rows are enough for
+                // the paper's figures and keep the release lean.
+                let _ = writeln!(
+                    utilization_csv,
+                    "{label},{},-,{},{},{},{},{}",
+                    band_label(band),
+                    obs.record.channel.number,
+                    obs.timestamp_s,
+                    obs.record.utilization_ppm,
+                    obs.record.decodable_ppm,
+                    obs.record.networks
+                );
+            }
+            // nearby.csv (per-channel totals; device-level rows would leak
+            // site fingerprints, so the release aggregates like the paper).
+            for (channel, count) in backend.nearby_per_channel(window, band) {
+                let _ = writeln!(
+                    nearby_csv,
+                    "{label},{},-,{channel},{count},-",
+                    band_label(band)
+                );
+            }
+        }
+    }
+    DatasetRelease {
+        links_csv,
+        nearby_csv,
+        utilization_csv,
+    }
+}
+
+impl DatasetRelease {
+    /// Row counts per file (excluding headers): `(links, nearby, util)`.
+    pub fn row_counts(&self) -> (usize, usize, usize) {
+        let rows = |s: &str| s.lines().count().saturating_sub(1);
+        (
+            rows(&self.links_csv),
+            rows(&self.nearby_csv),
+            rows(&self.utilization_csv),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_rf::band::Channel;
+    use airstat_telemetry::report::{
+        ChannelScanRecord, LinkRecord, NeighborRecord, Report, ReportPayload,
+    };
+
+    const W: WindowId = WindowId(1501);
+
+    fn backend() -> Backend {
+        let mut b = Backend::new();
+        b.ingest(
+            W,
+            &Report {
+                device: 42,
+                seq: 0,
+                timestamp_s: 300,
+                payload: ReportPayload::Links(vec![LinkRecord {
+                    peer_device: 43,
+                    band: Band::Ghz2_4,
+                    probes_expected: 20,
+                    probes_received: 15,
+                }]),
+            },
+        );
+        b.ingest(
+            W,
+            &Report {
+                device: 42,
+                seq: 1,
+                timestamp_s: 600,
+                payload: ReportPayload::Neighbors(vec![NeighborRecord {
+                    channel: Channel::new(Band::Ghz2_4, 6).unwrap(),
+                    networks: 12,
+                    hotspots: 2,
+                }]),
+            },
+        );
+        b.ingest(
+            W,
+            &Report {
+                device: 42,
+                seq: 2,
+                timestamp_s: 900,
+                payload: ReportPayload::ChannelScan(vec![ChannelScanRecord {
+                    channel: Channel::new(Band::Ghz5, 36).unwrap(),
+                    utilization_ppm: 52_000,
+                    decodable_ppm: 910_000,
+                    networks: 3,
+                }]),
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn release_contains_all_three_files() {
+        let release = build_release(&backend(), &[(W, "2015-01")], 7);
+        let (links, nearby, util) = release.row_counts();
+        assert_eq!(links, 1);
+        assert_eq!(nearby, 11 + 24, "one row per plan channel");
+        assert_eq!(util, 1);
+        assert!(release.links_csv.contains("2015-01,2.4GHz"));
+        assert!(release.links_csv.contains("0.7500"));
+        assert!(release.utilization_csv.contains("52000,910000,3"));
+    }
+
+    #[test]
+    fn device_ids_are_pseudonymized_and_stable() {
+        let a = build_release(&backend(), &[(W, "2015-01")], 7);
+        let b = build_release(&backend(), &[(W, "2015-01")], 7);
+        assert_eq!(a, b, "same salt, same release");
+        assert!(
+            !a.links_csv.contains(",42,") && !a.links_csv.contains(",43,"),
+            "raw device ids must not appear"
+        );
+        let other_salt = build_release(&backend(), &[(W, "2015-01")], 8);
+        assert_ne!(a.links_csv, other_salt.links_csv, "salts unlink releases");
+    }
+
+    #[test]
+    fn headers_are_self_describing() {
+        let release = build_release(&backend(), &[(W, "2015-01")], 7);
+        assert!(release.links_csv.starts_with("window,band,rx_device"));
+        assert!(release.nearby_csv.starts_with("window,band,device,channel"));
+        assert!(release.utilization_csv.starts_with("window,band,device,channel,ts_s"));
+    }
+
+    #[test]
+    fn empty_backend_yields_headers_only() {
+        let release = build_release(&Backend::new(), &[(W, "2015-01")], 7);
+        let (links, _, util) = release.row_counts();
+        assert_eq!(links, 0);
+        assert_eq!(util, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 2: nearby networks by channel number.
+
+use airstat_rf::band::Band;
+use airstat_telemetry::backend::{Backend, WindowId};
+use std::fmt;
+
+use crate::render::render_bars;
+
+/// Figure 2's reproduction: network counts per channel, both bands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelCensusFigure {
+    /// `(channel, count)` for 2.4 GHz channels 1–11.
+    pub counts_2_4: Vec<(u16, u64)>,
+    /// `(channel, count)` for the 5 GHz plan.
+    pub counts_5: Vec<(u16, u64)>,
+}
+
+impl ChannelCensusFigure {
+    /// Computes per-channel totals from all censuses in the window.
+    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+        ChannelCensusFigure {
+            counts_2_4: backend.nearby_per_channel(window, Band::Ghz2_4),
+            counts_5: backend.nearby_per_channel(window, Band::Ghz5),
+        }
+    }
+
+    /// Count on one 2.4 GHz channel.
+    pub fn on_2_4(&self, channel: u16) -> u64 {
+        self.counts_2_4
+            .iter()
+            .find(|&&(c, _)| c == channel)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Ratio of channel-1 networks to channel-6 networks (paper: ≈ 1.37).
+    pub fn ch1_over_ch6(&self) -> Option<f64> {
+        let c6 = self.on_2_4(6);
+        (c6 > 0).then(|| self.on_2_4(1) as f64 / c6 as f64)
+    }
+
+    /// Fraction of 2.4 GHz networks on the non-overlapping set {1, 6, 11}.
+    pub fn primary_fraction_2_4(&self) -> f64 {
+        let total: u64 = self.counts_2_4.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.on_2_4(1) + self.on_2_4(6) + self.on_2_4(11)) as f64 / total as f64
+    }
+
+    /// Fraction of 5 GHz networks on DFS channels (paper: tiny).
+    pub fn dfs_fraction_5(&self) -> f64 {
+        use airstat_rf::band::Channel;
+        let total: u64 = self.counts_5.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let dfs: u64 = self
+            .counts_5
+            .iter()
+            .filter(|&&(c, _)| {
+                Channel::new(Band::Ghz5, c).is_some_and(|ch| ch.requires_dfs())
+            })
+            .map(|&(_, n)| n)
+            .sum();
+        dfs as f64 / total as f64
+    }
+}
+
+impl fmt::Display for ChannelCensusFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "2.4 GHz:")?;
+        let bars24: Vec<(String, u64)> = self
+            .counts_2_4
+            .iter()
+            .map(|&(c, n)| (format!("ch{c}"), n))
+            .collect();
+        f.write_str(&render_bars(&bars24, 50))?;
+        writeln!(f, "5 GHz:")?;
+        let bars5: Vec<(String, u64)> = self
+            .counts_5
+            .iter()
+            .map(|&(c, n)| (format!("ch{c}"), n))
+            .collect();
+        f.write_str(&render_bars(&bars5, 50))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_rf::band::Channel;
+    use airstat_telemetry::report::{NeighborRecord, Report, ReportPayload};
+
+    const W: WindowId = WindowId(1501);
+
+    fn backend() -> Backend {
+        let mut b = Backend::new();
+        let rec = |n: u16, band: Band, count: u32| NeighborRecord {
+            channel: Channel::new(band, n).unwrap(),
+            networks: count,
+            hotspots: 0,
+        };
+        b.ingest(
+            W,
+            &Report {
+                device: 1,
+                seq: 0,
+                timestamp_s: 0,
+                payload: ReportPayload::Neighbors(vec![
+                    rec(1, Band::Ghz2_4, 137),
+                    rec(6, Band::Ghz2_4, 100),
+                    rec(11, Band::Ghz2_4, 100),
+                    rec(3, Band::Ghz2_4, 5),
+                    rec(36, Band::Ghz5, 10),
+                    rec(52, Band::Ghz5, 1), // DFS
+                ]),
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn per_channel_structure() {
+        let fig = ChannelCensusFigure::compute(&backend(), W);
+        assert_eq!(fig.on_2_4(1), 137);
+        assert!((fig.ch1_over_ch6().unwrap() - 1.37).abs() < 1e-9);
+        let primary = fig.primary_fraction_2_4();
+        assert!((primary - 337.0 / 342.0).abs() < 1e-9);
+        let dfs = fig.dfs_fraction_5();
+        assert!((dfs - 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covers_full_plan() {
+        let fig = ChannelCensusFigure::compute(&backend(), W);
+        assert_eq!(fig.counts_2_4.len(), 11);
+        assert_eq!(fig.counts_5.len(), 24);
+    }
+
+    #[test]
+    fn renders_bars() {
+        let s = ChannelCensusFigure::compute(&backend(), W).to_string();
+        assert!(s.contains("ch1"));
+        assert!(s.contains("ch36"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_backend() {
+        let fig = ChannelCensusFigure::compute(&Backend::new(), W);
+        assert_eq!(fig.ch1_over_ch6(), None);
+        assert_eq!(fig.primary_fraction_2_4(), 0.0);
+    }
+}

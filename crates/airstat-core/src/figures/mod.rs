@@ -1,0 +1,21 @@
+//! The paper's figures, one module each.
+
+pub mod channel_census;
+pub mod day_night;
+pub mod decodable;
+pub mod delivery;
+pub mod link_timeseries;
+pub mod rssi;
+pub mod spectrum_scan;
+pub mod util_vs_aps;
+pub mod utilization;
+
+pub use channel_census::ChannelCensusFigure;
+pub use day_night::DayNightFigure;
+pub use decodable::DecodableFigure;
+pub use delivery::DeliveryFigure;
+pub use link_timeseries::LinkTimeseriesFigure;
+pub use rssi::RssiFigure;
+pub use spectrum_scan::SpectrumFigure;
+pub use util_vs_aps::UtilVsApsFigure;
+pub use utilization::UtilizationFigure;

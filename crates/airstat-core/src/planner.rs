@@ -1,0 +1,240 @@
+//! Channel planning: §8's second practical recommendation, as a system.
+//!
+//! "channel planning using a utilization measure to identify the best
+//! wireless channel" — versus the naive strategy of picking the channel
+//! with the fewest visible networks, which Figures 7/8 show is a poor
+//! proxy. This module implements both strategies over MR18-style
+//! measurements plus the fleet-coordination constraint the paper's
+//! system actually has: APs of the same customer network should spread
+//! across the non-overlapping set instead of stacking on one channel.
+
+use airstat_rf::band::{Band, Channel, NON_OVERLAPPING_2_4};
+use airstat_sim::world::World;
+use std::collections::BTreeMap;
+
+/// One channel's measured state at one AP.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelMeasurement {
+    /// Foreign networks heard on the channel.
+    pub networks: u32,
+    /// Measured busy fraction in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// How the planner ranks candidate channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerStrategy {
+    /// Fewest visible networks (the pre-paper heuristic).
+    FewestNetworks,
+    /// Lowest measured utilization (the paper's recommendation).
+    LowestUtilization,
+}
+
+/// A fleet channel plan for the 2.4 GHz band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    /// Channel per AP device id.
+    pub assignments: BTreeMap<u64, Channel>,
+    /// Strategy that produced it.
+    pub strategy: PlannerStrategy,
+}
+
+/// Extra utilization an AP suffers per co-network AP on the same channel
+/// (its siblings carry correlated traffic right next to it).
+pub const SIBLING_PENALTY: f64 = 0.08;
+
+/// Plans 2.4 GHz channels for every AP in the world.
+///
+/// Greedy over networks: each AP picks the candidate from {1, 6, 11} with
+/// the lowest cost, where cost is the strategy's metric plus
+/// [`SIBLING_PENALTY`] for every already-assigned co-network AP on that
+/// channel. `measure` supplies the per-AP, per-channel scan data.
+pub fn plan(
+    world: &World,
+    measure: &dyn Fn(u64, Channel) -> ChannelMeasurement,
+    strategy: PlannerStrategy,
+) -> ChannelPlan {
+    let candidates: Vec<Channel> = NON_OVERLAPPING_2_4
+        .iter()
+        .map(|&n| Channel::new(Band::Ghz2_4, n).expect("plan channel"))
+        .collect();
+    let mut assignments: BTreeMap<u64, Channel> = BTreeMap::new();
+    for network in &world.networks {
+        for &device in &network.aps {
+            let best = candidates
+                .iter()
+                .map(|&ch| {
+                    let m = measure(device, ch);
+                    let siblings = network
+                        .aps
+                        .iter()
+                        .filter(|&&peer| assignments.get(&peer) == Some(&ch))
+                        .count() as f64;
+                    let metric = match strategy {
+                        PlannerStrategy::FewestNetworks => f64::from(m.networks),
+                        PlannerStrategy::LowestUtilization => m.utilization * 100.0,
+                    };
+                    (ch, metric + siblings * SIBLING_PENALTY * 100.0)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(ch, _)| ch)
+                .expect("candidates nonempty");
+            assignments.insert(device, best);
+        }
+    }
+    ChannelPlan {
+        assignments,
+        strategy,
+    }
+}
+
+/// Evaluates a plan: the fleet-mean *true* utilization each AP would see
+/// on its assigned channel, including sibling co-channel penalties.
+///
+/// `truth` supplies the ground-truth busy fraction (which the
+/// count-based planner never looked at).
+pub fn evaluate(world: &World, plan: &ChannelPlan, truth: &dyn Fn(u64, Channel) -> f64) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0u32;
+    for network in &world.networks {
+        for &device in &network.aps {
+            let Some(&ch) = plan.assignments.get(&device) else {
+                continue;
+            };
+            let siblings = network
+                .aps
+                .iter()
+                .filter(|&&peer| peer != device && plan.assignments.get(&peer) == Some(&ch))
+                .count() as f64;
+            total += (truth(device, ch) + siblings * SIBLING_PENALTY).min(1.0);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / f64::from(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_sim::engine::{channel_load, diurnal, sample_census};
+    use airstat_sim::world::NeighborEpoch;
+    use airstat_stats::SeedTree;
+    use std::collections::HashMap;
+
+    fn ch(n: u16) -> Channel {
+        Channel::new(Band::Ghz2_4, n).unwrap()
+    }
+
+    type MeasurementTable = HashMap<(u64, u16), ChannelMeasurement>;
+
+    /// Builds measurement + truth tables from the simulator.
+    fn tables(world: &World) -> (MeasurementTable, HashMap<(u64, u16), f64>) {
+        let mut measurements = HashMap::new();
+        let mut truth = HashMap::new();
+        let mut rng = SeedTree::new(0x71A).rng();
+        for ap in &world.aps {
+            let census = sample_census(world, ap, NeighborEpoch::Jan2015, &mut rng);
+            for n in NON_OVERLAPPING_2_4 {
+                let channel = ch(n);
+                // Average several scan windows like the backend does.
+                let mut util = 0.0;
+                for hour in [9u64, 11, 14, 16, 10] {
+                    util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
+                        .utilization();
+                }
+                util /= 5.0;
+                measurements.insert(
+                    (ap.device_id, n),
+                    ChannelMeasurement {
+                        networks: census.count_on(channel),
+                        utilization: util,
+                    },
+                );
+                truth.insert((ap.device_id, n), util);
+            }
+        }
+        (measurements, truth)
+    }
+
+    #[test]
+    fn utilization_strategy_beats_count_strategy() {
+        let world = World::generate(&SeedTree::new(0x71B), 120, 0);
+        let (measurements, truth) = tables(&world);
+        let measure = |d: u64, c: Channel| measurements.get(&(d, c.number)).copied().unwrap_or_default();
+        let truth_fn = |d: u64, c: Channel| truth.get(&(d, c.number)).copied().unwrap_or(0.0);
+        let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
+        let by_util = plan(&world, &measure, PlannerStrategy::LowestUtilization);
+        let cost_count = evaluate(&world, &by_count, &truth_fn);
+        let cost_util = evaluate(&world, &by_util, &truth_fn);
+        assert!(
+            cost_util < cost_count,
+            "paper's conclusion: measure utilization ({cost_util:.3}) beats counting networks ({cost_count:.3})"
+        );
+    }
+
+    #[test]
+    fn every_ap_gets_a_primary_channel() {
+        let world = World::generate(&SeedTree::new(0x71C), 40, 0);
+        let p = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        assert_eq!(p.assignments.len(), world.aps.len());
+        for channel in p.assignments.values() {
+            assert!(NON_OVERLAPPING_2_4.contains(&channel.number));
+        }
+    }
+
+    #[test]
+    fn siblings_spread_across_channels() {
+        // With identical measurements everywhere, the sibling penalty must
+        // spread a 3-AP network across all three primaries.
+        let world = World::generate(&SeedTree::new(0x71D), 60, 0);
+        let p = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        for network in world.networks.iter().filter(|n| n.aps.len() == 3) {
+            let channels: std::collections::HashSet<u16> = network
+                .aps
+                .iter()
+                .map(|d| p.assignments[d].number)
+                .collect();
+            assert_eq!(channels.len(), 3, "3 siblings on 3 distinct channels");
+        }
+    }
+
+    #[test]
+    fn planner_prefers_the_quiet_channel() {
+        let world = World::generate(&SeedTree::new(0x71E), 2, 0);
+        // Channel 6 quiet, 1 and 11 busy, counts say the opposite.
+        let measure = |_: u64, c: Channel| match c.number {
+            6 => ChannelMeasurement { networks: 30, utilization: 0.05 },
+            _ => ChannelMeasurement { networks: 2, utilization: 0.60 },
+        };
+        let util_plan = plan(&world, &measure, PlannerStrategy::LowestUtilization);
+        let count_plan = plan(&world, &measure, PlannerStrategy::FewestNetworks);
+        // First AP of each network (no sibling pressure yet).
+        let first = world.networks[0].aps[0];
+        assert_eq!(util_plan.assignments[&first].number, 6);
+        assert_ne!(count_plan.assignments[&first].number, 6);
+    }
+
+    #[test]
+    fn evaluate_counts_sibling_penalty() {
+        let world = World::generate(&SeedTree::new(0x71F), 30, 0);
+        // Force everyone onto channel 1.
+        let mut assignments = BTreeMap::new();
+        for ap in &world.aps {
+            assignments.insert(ap.device_id, ch(1));
+        }
+        let stacked = ChannelPlan {
+            assignments,
+            strategy: PlannerStrategy::FewestNetworks,
+        };
+        let spread = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        let truth_fn = |_: u64, _: Channel| 0.10;
+        assert!(
+            evaluate(&world, &stacked, &truth_fn) > evaluate(&world, &spread, &truth_fn),
+            "stacking a network on one channel must cost more"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's tables, one module each.
+
+pub mod capabilities;
+pub mod categories;
+pub mod industry;
+pub mod nearby;
+pub mod os_usage;
+pub mod top_apps;
+
+pub use capabilities::CapabilitiesTable;
+pub use categories::CategoriesTable;
+pub use industry::IndustryTable;
+pub use nearby::NearbyTable;
+pub use os_usage::OsUsageTable;
+pub use top_apps::TopAppsTable;

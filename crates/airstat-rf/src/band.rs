@@ -1,0 +1,379 @@
+//! Frequency bands and the FCC (US) channel plan.
+//!
+//! The paper restricts its radio measurements to US-deployed access points
+//! "to simplify complications due to regulatory domains" (§5), so AirStat
+//! implements the FCC Part 15 channel plan:
+//!
+//! * **2.4 GHz**: channels 1–11, 5 MHz spacing, 20 MHz-wide transmissions —
+//!   only {1, 6, 11} are non-overlapping;
+//! * **5 GHz**: UNII-1 (36–48), UNII-2 (52–64, DFS), UNII-2 extended
+//!   (100–140, DFS), UNII-3 (149–165).
+//!
+//! Figure 2 of the paper plots nearby networks against exactly this channel
+//! axis, and Table 7's "it is possible to find a non-overlapping channel at
+//! 5 GHz" claim depends on the non-overlapping channel counts this module
+//! computes.
+
+use std::fmt;
+
+/// A WiFi frequency band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Band {
+    /// The 2.4 GHz ISM band.
+    Ghz2_4,
+    /// The 5 GHz UNII bands.
+    Ghz5,
+}
+
+impl Band {
+    /// All bands, in display order.
+    pub const ALL: [Band; 2] = [Band::Ghz2_4, Band::Ghz5];
+
+    /// Human-readable name matching the paper's usage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::Ghz2_4 => "2.4 GHz",
+            Band::Ghz5 => "5 GHz",
+        }
+    }
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Channel width of a transmission or channel assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelWidth {
+    /// 20 MHz (classic a/b/g and HT20).
+    Mhz20,
+    /// 40 MHz (HT40, 802.11n).
+    Mhz40,
+    /// 80 MHz (VHT80, 802.11ac).
+    Mhz80,
+}
+
+impl ChannelWidth {
+    /// Width in MHz.
+    pub fn mhz(self) -> f64 {
+        match self {
+            ChannelWidth::Mhz20 => 20.0,
+            ChannelWidth::Mhz40 => 40.0,
+            ChannelWidth::Mhz80 => 80.0,
+        }
+    }
+}
+
+/// The 5 GHz regulatory sub-band a channel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unii {
+    /// UNII-1 lower band, channels 36–48.
+    Unii1,
+    /// UNII-2 middle band, channels 52–64 (DFS required).
+    Unii2,
+    /// UNII-2 extended band, channels 100–140 (DFS required).
+    Unii2Extended,
+    /// UNII-3 upper band, channels 149–165.
+    Unii3,
+}
+
+impl Unii {
+    /// Whether Dynamic Frequency Selection (radar detection) is required.
+    pub fn requires_dfs(self) -> bool {
+        matches!(self, Unii::Unii2 | Unii::Unii2Extended)
+    }
+}
+
+/// A WiFi channel in the FCC plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// Channel number (1–11 at 2.4 GHz, 36–165 at 5 GHz).
+    pub number: u16,
+    /// Band this channel lives in.
+    pub band: Band,
+}
+
+/// FCC 2.4 GHz channel numbers.
+pub const CHANNELS_2_4: [u16; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// The three non-overlapping 20 MHz channels at 2.4 GHz.
+pub const NON_OVERLAPPING_2_4: [u16; 3] = [1, 6, 11];
+
+/// FCC 5 GHz channel numbers (20 MHz centers) across all UNII bands.
+pub const CHANNELS_5: [u16; 24] = [
+    36, 40, 44, 48, // UNII-1
+    52, 56, 60, 64, // UNII-2
+    100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140, // UNII-2e
+    149, 153, 157, 161, 165, // UNII-3
+];
+
+impl Channel {
+    /// Creates a channel, validating the number against the FCC plan.
+    ///
+    /// Returns `None` for numbers outside the plan (e.g. channel 12–14,
+    /// which are not FCC channels, or 5 GHz numbers not in the UNII grid).
+    pub fn new(band: Band, number: u16) -> Option<Self> {
+        let valid = match band {
+            Band::Ghz2_4 => CHANNELS_2_4.contains(&number),
+            Band::Ghz5 => CHANNELS_5.contains(&number),
+        };
+        valid.then_some(Channel { number, band })
+    }
+
+    /// All channels in a band, in ascending order.
+    pub fn all_in(band: Band) -> Vec<Channel> {
+        match band {
+            Band::Ghz2_4 => CHANNELS_2_4
+                .iter()
+                .map(|&n| Channel { number: n, band })
+                .collect(),
+            Band::Ghz5 => CHANNELS_5
+                .iter()
+                .map(|&n| Channel { number: n, band })
+                .collect(),
+        }
+    }
+
+    /// Center frequency in MHz.
+    ///
+    /// 2.4 GHz: `2407 + 5 * n` (channel 1 = 2412, channel 6 = 2437).
+    /// 5 GHz: `5000 + 5 * n` (channel 36 = 5180, channel 44 = 5220).
+    pub fn center_mhz(&self) -> f64 {
+        match self.band {
+            Band::Ghz2_4 => 2407.0 + 5.0 * f64::from(self.number),
+            Band::Ghz5 => 5000.0 + 5.0 * f64::from(self.number),
+        }
+    }
+
+    /// The UNII sub-band for 5 GHz channels; `None` at 2.4 GHz.
+    pub fn unii(&self) -> Option<Unii> {
+        if self.band != Band::Ghz5 {
+            return None;
+        }
+        Some(match self.number {
+            36..=48 => Unii::Unii1,
+            52..=64 => Unii::Unii2,
+            100..=140 => Unii::Unii2Extended,
+            _ => Unii::Unii3,
+        })
+    }
+
+    /// Whether operating here requires DFS radar detection.
+    pub fn requires_dfs(&self) -> bool {
+        self.unii().is_some_and(Unii::requires_dfs)
+    }
+
+    /// Spectral overlap fraction between two 20 MHz transmissions centered
+    /// on `self` and `other`, in `[0, 1]`.
+    ///
+    /// At 2.4 GHz adjacent channel numbers are 5 MHz apart so channels
+    /// within 3 of each other partially overlap; at 5 GHz the 20 MHz grid
+    /// means distinct channels never overlap. Cross-band overlap is zero.
+    pub fn overlap(&self, other: &Channel) -> f64 {
+        if self.band != other.band {
+            return 0.0;
+        }
+        let df = (self.center_mhz() - other.center_mhz()).abs();
+        let width = 20.0;
+        ((width - df) / width).max(0.0)
+    }
+
+    /// Non-overlapping channel count for planning purposes at a width.
+    ///
+    /// Matches the paper's §4.1: three non-overlapping 20 MHz channels at
+    /// 2.4 GHz; at 5 GHz with 40 MHz channels there are four without DFS
+    /// and ten with DFS (the TDWR weather-radar exclusion of channels
+    /// 120–128, in force during the measurement period, removes one pair).
+    pub fn non_overlapping_count(band: Band, width: ChannelWidth, allow_dfs: bool) -> usize {
+        match (band, width) {
+            (Band::Ghz2_4, ChannelWidth::Mhz20) => 3,
+            (Band::Ghz2_4, _) => 1, // a single 40 MHz allocation fits cleanly
+            (Band::Ghz5, ChannelWidth::Mhz20) => CHANNELS_5
+                .iter()
+                .filter(|&&n| {
+                    let ch = Channel { number: n, band: Band::Ghz5 };
+                    (allow_dfs || !ch.requires_dfs()) && !TDWR_EXCLUDED.contains(&n)
+                })
+                .count(),
+            (Band::Ghz5, ChannelWidth::Mhz40) => PAIRS_40_MHZ
+                .iter()
+                .filter(|&&(lo, hi)| allocation_usable(lo, hi, allow_dfs))
+                .count(),
+            (Band::Ghz5, ChannelWidth::Mhz80) => QUADS_80_MHZ
+                .iter()
+                .filter(|&&(lo, hi)| allocation_usable(lo, hi, allow_dfs))
+                .count(),
+        }
+    }
+}
+
+/// 40 MHz primary/secondary pairs in the US 5 GHz plan.
+const PAIRS_40_MHZ: [(u16, u16); 11] = [
+    (36, 40),
+    (44, 48),
+    (52, 56),
+    (60, 64),
+    (100, 104),
+    (108, 112),
+    (116, 120),
+    (124, 128),
+    (132, 136),
+    (149, 153),
+    (157, 161),
+];
+
+/// 80 MHz allocations (identified by lowest 20 MHz center).
+const QUADS_80_MHZ: [(u16, u16); 5] = [(36, 48), (52, 64), (100, 112), (116, 128), (149, 161)];
+
+/// Channels unusable during the 2014–2015 measurement period because of
+/// Terminal Doppler Weather Radar protection (FCC KDB 443999).
+const TDWR_EXCLUDED: [u16; 3] = [120, 124, 128];
+
+/// Whether a multi-channel allocation spanning `[lo, hi]` is usable: every
+/// constituent channel must clear DFS policy and none may be TDWR-blocked.
+///
+/// The 40 MHz pair (116, 120) remains usable in practice (the radio centers
+/// on 118 with 120 as secondary and real deployments used it), which is why
+/// the paper counts **ten** DFS 40 MHz channels: only the fully blocked
+/// (124, 128) pair is lost.
+fn allocation_usable(lo: u16, hi: u16, allow_dfs: bool) -> bool {
+    let members: Vec<u16> = CHANNELS_5
+        .iter()
+        .copied()
+        .filter(|&n| n >= lo && n <= hi)
+        .collect();
+    let dfs_ok = allow_dfs
+        || members
+            .iter()
+            .all(|&n| !Channel { number: n, band: Band::Ghz5 }.requires_dfs());
+    // An allocation is TDWR-blocked only if its *primary* (lowest) channel
+    // is blocked, or every member is blocked, mirroring period practice.
+    let tdwr_blocked =
+        TDWR_EXCLUDED.contains(&lo) || members.iter().all(|n| TDWR_EXCLUDED.contains(n));
+    dfs_ok && !tdwr_blocked
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{} ({})", self.number, self.band)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_center_frequencies() {
+        let ch1 = Channel::new(Band::Ghz2_4, 1).unwrap();
+        let ch6 = Channel::new(Band::Ghz2_4, 6).unwrap();
+        let ch11 = Channel::new(Band::Ghz2_4, 11).unwrap();
+        assert_eq!(ch1.center_mhz(), 2412.0);
+        assert_eq!(ch6.center_mhz(), 2437.0); // Figure 11's 2.437 GHz scan
+        assert_eq!(ch11.center_mhz(), 2462.0);
+        let ch44 = Channel::new(Band::Ghz5, 44).unwrap();
+        assert_eq!(ch44.center_mhz(), 5220.0); // Figure 11's 5.220 GHz scan
+    }
+
+    #[test]
+    fn invalid_channels_rejected() {
+        assert!(Channel::new(Band::Ghz2_4, 12).is_none()); // not FCC
+        assert!(Channel::new(Band::Ghz2_4, 0).is_none());
+        assert!(Channel::new(Band::Ghz5, 37).is_none()); // off-grid
+        assert!(Channel::new(Band::Ghz5, 1).is_none());
+    }
+
+    #[test]
+    fn unii_classification() {
+        let u = |n| Channel::new(Band::Ghz5, n).unwrap().unii().unwrap();
+        assert_eq!(u(36), Unii::Unii1);
+        assert_eq!(u(48), Unii::Unii1);
+        assert_eq!(u(52), Unii::Unii2);
+        assert_eq!(u(64), Unii::Unii2);
+        assert_eq!(u(100), Unii::Unii2Extended);
+        assert_eq!(u(140), Unii::Unii2Extended);
+        assert_eq!(u(149), Unii::Unii3);
+        assert_eq!(u(165), Unii::Unii3);
+        assert!(Channel::new(Band::Ghz2_4, 6).unwrap().unii().is_none());
+    }
+
+    #[test]
+    fn dfs_flags() {
+        assert!(!Channel::new(Band::Ghz5, 36).unwrap().requires_dfs());
+        assert!(Channel::new(Band::Ghz5, 56).unwrap().requires_dfs());
+        assert!(Channel::new(Band::Ghz5, 120).unwrap().requires_dfs());
+        assert!(!Channel::new(Band::Ghz5, 157).unwrap().requires_dfs());
+        assert!(!Channel::new(Band::Ghz2_4, 6).unwrap().requires_dfs());
+    }
+
+    #[test]
+    fn overlap_2_4_structure() {
+        let ch = |n| Channel::new(Band::Ghz2_4, n).unwrap();
+        assert_eq!(ch(1).overlap(&ch(1)), 1.0);
+        assert_eq!(ch(1).overlap(&ch(6)), 0.0); // 25 MHz apart: disjoint
+        assert_eq!(ch(1).overlap(&ch(11)), 0.0);
+        let adj = ch(1).overlap(&ch(2));
+        assert!(adj > 0.7 && adj < 0.8, "adjacent overlap {adj}");
+        assert!(ch(1).overlap(&ch(4)) > 0.0);
+        assert_eq!(ch(1).overlap(&ch(5)), 0.0); // exactly 20 MHz apart
+        // symmetric
+        assert_eq!(ch(3).overlap(&ch(1)), ch(1).overlap(&ch(3)));
+    }
+
+    #[test]
+    fn overlap_5ghz_grid_disjoint() {
+        let a = Channel::new(Band::Ghz5, 36).unwrap();
+        let b = Channel::new(Band::Ghz5, 40).unwrap();
+        assert_eq!(a.overlap(&b), 0.0);
+        assert_eq!(a.overlap(&a), 1.0);
+    }
+
+    #[test]
+    fn cross_band_no_overlap() {
+        let a = Channel::new(Band::Ghz2_4, 6).unwrap();
+        let b = Channel::new(Band::Ghz5, 36).unwrap();
+        assert_eq!(a.overlap(&b), 0.0);
+    }
+
+    #[test]
+    fn paper_non_overlapping_counts() {
+        // §4.1: "Without DFS bands, there are four non-overlapping 40 MHz
+        // channels for 802.11n operation, and with DFS there are ten."
+        assert_eq!(
+            Channel::non_overlapping_count(Band::Ghz5, ChannelWidth::Mhz40, false),
+            4
+        );
+        assert_eq!(
+            Channel::non_overlapping_count(Band::Ghz5, ChannelWidth::Mhz40, true),
+            10
+        );
+        assert_eq!(
+            Channel::non_overlapping_count(Band::Ghz2_4, ChannelWidth::Mhz20, true),
+            3
+        );
+        // 80 MHz: UNII-1 and UNII-3 without DFS; three more quads with DFS.
+        assert_eq!(
+            Channel::non_overlapping_count(Band::Ghz5, ChannelWidth::Mhz80, false),
+            2
+        );
+        assert_eq!(
+            Channel::non_overlapping_count(Band::Ghz5, ChannelWidth::Mhz80, true),
+            5
+        );
+    }
+
+    #[test]
+    fn all_in_counts() {
+        assert_eq!(Channel::all_in(Band::Ghz2_4).len(), 11);
+        assert_eq!(Channel::all_in(Band::Ghz5).len(), 24);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ch = Channel::new(Band::Ghz2_4, 6).unwrap();
+        assert_eq!(ch.to_string(), "ch6 (2.4 GHz)");
+        assert_eq!(Band::Ghz5.to_string(), "5 GHz");
+    }
+}

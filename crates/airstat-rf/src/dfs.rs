@@ -1,0 +1,267 @@
+//! Dynamic Frequency Selection: radar detection and channel evacuation.
+//!
+//! §4.1: the UNII-2 and UNII-2 extended bands "require the use of a
+//! Dynamic Frequency Selection (DFS) protocol where access points first
+//! check for the presence of a radar signal and change channels
+//! automatically if one exists or is detected during operation". This
+//! state machine implements the FCC timing rules the fleet would follow:
+//!
+//! * **CAC** (channel availability check): 60 s of listening before a DFS
+//!   channel may carry traffic;
+//! * **in-service monitoring**: radar during operation forces evacuation
+//!   within the 10 s channel-move time;
+//! * **non-occupancy period**: an evacuated channel is unusable for
+//!   30 minutes.
+//!
+//! Figure 2's near-empty DFS channels are the fleet-level consequence:
+//! operators avoid channels that can evict them mid-shift.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::band::{Band, Channel};
+
+/// CAC duration (s) for non-weather DFS channels.
+pub const CAC_SECONDS: u64 = 60;
+/// Non-occupancy period (s) after radar detection.
+pub const NON_OCCUPANCY_SECONDS: u64 = 30 * 60;
+
+/// The DFS state of one channel at one AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsState {
+    /// Never checked; must run a CAC before use.
+    Unchecked,
+    /// Channel availability check in progress, done at the stored time.
+    CheckingUntil(u64),
+    /// Cleared for operation.
+    Available,
+    /// Radar seen; unusable until the stored time.
+    NonOccupancyUntil(u64),
+}
+
+/// Outcome of a [`DfsMonitor::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsEvent {
+    /// Nothing changed.
+    None,
+    /// The CAC completed; the channel may now carry traffic.
+    CacComplete(Channel),
+    /// Radar detected: evacuate within the channel-move time.
+    RadarDetected(Channel),
+    /// A non-occupancy period expired; the channel may be re-checked.
+    NonOccupancyExpired(Channel),
+}
+
+/// Per-AP DFS bookkeeping across the 5 GHz plan.
+#[derive(Debug, Clone)]
+pub struct DfsMonitor {
+    states: HashMap<u16, DfsState>,
+    /// Probability of a radar detection per monitored second (combines
+    /// real radar and the false positives that plague real deployments).
+    radar_probability_per_s: f64,
+}
+
+impl DfsMonitor {
+    /// Creates a monitor with the given per-second radar probability.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(radar_probability_per_s: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&radar_probability_per_s),
+            "probability must be in [0, 1)"
+        );
+        DfsMonitor {
+            states: HashMap::new(),
+            radar_probability_per_s,
+        }
+    }
+
+    /// The state of a channel (non-DFS channels are always available).
+    pub fn state(&self, channel: Channel) -> DfsState {
+        if !channel.requires_dfs() {
+            return DfsState::Available;
+        }
+        self.states
+            .get(&channel.number)
+            .copied()
+            .unwrap_or(DfsState::Unchecked)
+    }
+
+    /// Whether traffic may be carried on the channel right now.
+    pub fn is_usable(&self, channel: Channel) -> bool {
+        matches!(self.state(channel), DfsState::Available)
+    }
+
+    /// Starts a CAC on a DFS channel at time `now`.
+    ///
+    /// No-op for non-DFS channels and channels already available or in
+    /// non-occupancy.
+    pub fn start_cac(&mut self, channel: Channel, now: u64) {
+        if !channel.requires_dfs() {
+            return;
+        }
+        let entry = self.states.entry(channel.number).or_insert(DfsState::Unchecked);
+        if *entry == DfsState::Unchecked {
+            *entry = DfsState::CheckingUntil(now + CAC_SECONDS);
+        }
+    }
+
+    /// Advances one channel by `dt` seconds of monitoring, possibly
+    /// detecting radar.
+    pub fn tick<R: Rng + ?Sized>(&mut self, channel: Channel, now: u64, dt: u64, rng: &mut R) -> DfsEvent {
+        if !channel.requires_dfs() {
+            return DfsEvent::None;
+        }
+        let state = self.state(channel);
+        match state {
+            DfsState::Unchecked => DfsEvent::None,
+            DfsState::CheckingUntil(t) => {
+                // Radar during CAC restarts the clock into non-occupancy.
+                if self.radar_hits(dt, rng) {
+                    self.states
+                        .insert(channel.number, DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS));
+                    DfsEvent::RadarDetected(channel)
+                } else if now + dt >= t {
+                    self.states.insert(channel.number, DfsState::Available);
+                    DfsEvent::CacComplete(channel)
+                } else {
+                    DfsEvent::None
+                }
+            }
+            DfsState::Available => {
+                if self.radar_hits(dt, rng) {
+                    self.states
+                        .insert(channel.number, DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS));
+                    DfsEvent::RadarDetected(channel)
+                } else {
+                    DfsEvent::None
+                }
+            }
+            DfsState::NonOccupancyUntil(t) => {
+                if now + dt >= t {
+                    self.states.insert(channel.number, DfsState::Unchecked);
+                    DfsEvent::NonOccupancyExpired(channel)
+                } else {
+                    DfsEvent::None
+                }
+            }
+        }
+    }
+
+    fn radar_hits<R: Rng + ?Sized>(&self, dt: u64, rng: &mut R) -> bool {
+        if self.radar_probability_per_s == 0.0 {
+            return false;
+        }
+        let miss = (1.0 - self.radar_probability_per_s).powf(dt as f64);
+        rng.gen::<f64>() > miss
+    }
+
+    /// Picks the best usable 5 GHz channel: non-DFS channels immediately,
+    /// otherwise any available DFS channel, else `None` (caller must run
+    /// CACs first).
+    pub fn pick_usable(&self, candidates: &[Channel]) -> Option<Channel> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|c| c.band == Band::Ghz5)
+            .find(|&c| self.is_usable(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_stats::SeedTree;
+
+    fn dfs_channel() -> Channel {
+        Channel::new(Band::Ghz5, 52).unwrap()
+    }
+
+    fn clear_channel() -> Channel {
+        Channel::new(Band::Ghz5, 36).unwrap()
+    }
+
+    #[test]
+    fn non_dfs_channels_always_usable() {
+        let m = DfsMonitor::new(0.5);
+        assert!(m.is_usable(clear_channel()));
+        assert_eq!(m.state(clear_channel()), DfsState::Available);
+    }
+
+    #[test]
+    fn dfs_channel_needs_cac() {
+        let mut m = DfsMonitor::new(0.0);
+        let ch = dfs_channel();
+        assert!(!m.is_usable(ch));
+        m.start_cac(ch, 0);
+        assert_eq!(m.state(ch), DfsState::CheckingUntil(CAC_SECONDS));
+        let mut rng = SeedTree::new(1).rng();
+        // Not done at 30 s.
+        assert_eq!(m.tick(ch, 30, 10, &mut rng), DfsEvent::None);
+        assert!(!m.is_usable(ch));
+        // Done at 60 s.
+        assert_eq!(m.tick(ch, 55, 10, &mut rng), DfsEvent::CacComplete(ch));
+        assert!(m.is_usable(ch));
+    }
+
+    #[test]
+    fn radar_evacuates_and_recovers() {
+        let mut m = DfsMonitor::new(0.999); // radar nearly certain
+        let ch = dfs_channel();
+        m.start_cac(ch, 0);
+        let mut rng = SeedTree::new(2).rng();
+        let event = m.tick(ch, 0, 60, &mut rng);
+        assert_eq!(event, DfsEvent::RadarDetected(ch));
+        assert!(matches!(m.state(ch), DfsState::NonOccupancyUntil(_)));
+        assert!(!m.is_usable(ch));
+        // Quiet again: after the non-occupancy period the channel resets
+        // to Unchecked (a fresh CAC is required, per the FCC rules).
+        let mut quiet = m.clone();
+        quiet.radar_probability_per_s = 0.0;
+        let event = quiet.tick(ch, NON_OCCUPANCY_SECONDS, 1, &mut rng);
+        assert_eq!(event, DfsEvent::NonOccupancyExpired(ch));
+        assert_eq!(quiet.state(ch), DfsState::Unchecked);
+    }
+
+    #[test]
+    fn in_service_radar_detection() {
+        let mut m = DfsMonitor::new(0.0);
+        let ch = dfs_channel();
+        m.start_cac(ch, 0);
+        let mut rng = SeedTree::new(3).rng();
+        assert_eq!(m.tick(ch, 0, 60, &mut rng), DfsEvent::CacComplete(ch));
+        m.radar_probability_per_s = 0.999;
+        assert_eq!(m.tick(ch, 100, 10, &mut rng), DfsEvent::RadarDetected(ch));
+    }
+
+    #[test]
+    fn pick_usable_prefers_cleared() {
+        let mut m = DfsMonitor::new(0.0);
+        let candidates = [dfs_channel(), clear_channel()];
+        // Only the non-DFS channel is usable before any CAC.
+        assert_eq!(m.pick_usable(&candidates), Some(clear_channel()));
+        // After clearing the DFS channel it becomes pickable (first match).
+        let mut rng = SeedTree::new(4).rng();
+        m.start_cac(dfs_channel(), 0);
+        m.tick(dfs_channel(), 0, 60, &mut rng);
+        assert_eq!(m.pick_usable(&candidates), Some(dfs_channel()));
+    }
+
+    #[test]
+    fn radar_probability_statistics() {
+        // p = 0.01/s over 60 s → P(detect) ≈ 45%.
+        let m = DfsMonitor::new(0.01);
+        let mut rng = SeedTree::new(5).rng();
+        let hits = (0..10_000).filter(|_| m.radar_hits(60, &mut rng)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.452).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1)")]
+    fn rejects_certain_radar() {
+        let _ = DfsMonitor::new(1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # airstat-rf — 802.11 radio and RF-environment substrate
+//!
+//! This crate models everything the paper's access points measure at the
+//! physical and MAC layers, so that the telemetry pipeline and analytics in
+//! the rest of AirStat exercise the same code paths the real Meraki fleet
+//! did:
+//!
+//! * [`band`] — frequency bands, the FCC channel plan (2.4 GHz channels
+//!   1–11, the 5 GHz UNII-1/2/2e/3 sub-bands with DFS flags), channel
+//!   widths, and spectral-overlap computation between channels;
+//! * [`phy`] — client capability descriptors (802.11 g/n/ac, spatial
+//!   streams, 40 MHz support) and exact frame airtime arithmetic for
+//!   beacons, probes and data frames at the paper's rates (a 0.42 ms
+//!   OFDM beacon vs. a 2.592 ms 802.11b beacon);
+//! * [`propagation`] — indoor log-distance path loss with band-dependent
+//!   attenuation and log-normal shadowing, noise floor, RSSI and SNR;
+//! * [`link`] — the inter-AP probe-link model: SNR plus interference plus a
+//!   per-link frequency-selective fading penalty give a delivery
+//!   probability, with slow AR(1) time variation (Figures 3–5);
+//! * [`airtime`] — microsecond busy/decodable counters with the Atheros
+//!   semantics the paper describes: energy-detect time vs. time spent on
+//!   frames with intact PLCP headers (Figures 6, 9, 10);
+//! * [`neighbors`] — the nearby-network census (Table 7, Figure 2),
+//!   including personal-hotspot classification;
+//! * [`interference`] — non-802.11 interferer models (Bluetooth frequency
+//!   hoppers, ZigBee, cordless phones, microwave ovens);
+//! * [`scanner`] — the two measurement instruments: the MR16 serving-radio
+//!   counter (current channel only) and the MR18 dedicated scanning radio
+//!   (5 ms dwell per channel, 3-minute aggregates);
+//! * [`spectrum`] — a USRP-style FFT spectrum synthesizer regenerating the
+//!   Figure 11 waterfalls;
+//! * [`rates`] — HT/VHT MCS tables and SNR-driven rate selection;
+//! * [`dfs`] — the radar-detection state machine (CAC, evacuation,
+//!   non-occupancy) behind Figure 2's empty DFS channels;
+//! * [`qos`] — §8's first practical recommendation: per-client token
+//!   buckets and a deficit-round-robin fair shaper at the AP;
+//! * [`powersave`] — §6.2's smartphone pathology: per-client downlink
+//!   buffering with TIM bits and PS-Poll drain.
+//!
+//! The models are deliberately *generative*: they are parameterized by the
+//! marginal statistics the paper publishes and produce raw per-device
+//! counters, which the analytics crate then re-aggregates — so a failure to
+//! reproduce a figure is a real bug somewhere in the pipeline, not a
+//! tautology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod dfs;
+pub mod band;
+pub mod interference;
+pub mod link;
+pub mod neighbors;
+pub mod phy;
+pub mod powersave;
+pub mod propagation;
+pub mod qos;
+pub mod rates;
+pub mod scanner;
+pub mod spectrum;
+
+pub use airtime::AirtimeLedger;
+pub use band::{Band, Channel, ChannelWidth};
+pub use link::{LinkModel, ProbeLink};
+pub use phy::Capabilities;
+pub use propagation::{Environment, PathLoss};

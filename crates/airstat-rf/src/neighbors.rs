@@ -1,0 +1,286 @@
+//! Nearby-network census: who can this AP hear beaconing?
+//!
+//! §4.1 and Table 7: each Meraki AP scans for nearby BSSIDs when idle. In
+//! January 2015 the average US AP heard **55.5** non-Meraki networks at
+//! 2.4 GHz (up from 28.6 six months earlier) and **3.68** at 5 GHz (up from
+//! 2.47); ~20% of 2.4 GHz networks were personal mobile hotspots. Figure 2
+//! shows the channel distribution: mass on 1/6/11 with channel 1 ~37%
+//! higher than 6 or 11, and 5 GHz concentrated in UNII-1/UNII-3 because
+//! DFS-band channels were rarely used.
+//!
+//! This module provides the census data model and the channel-placement
+//! distribution; the simulator crate decides *how many* neighbours each AP
+//! has (density varies from rural stores to Manhattan skyscrapers).
+
+use airstat_stats::dist::WeightedIndex;
+use rand::Rng;
+
+use crate::band::{Band, Channel, CHANNELS_5};
+
+/// What kind of operator a neighbouring network belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborKind {
+    /// A fixed infrastructure network (office, home, retail AP).
+    Infrastructure,
+    /// A personal mobile hotspot (Novatel, Pantech, Sierra Wireless, a
+    /// phone in hotspot mode) — transient, low power.
+    MobileHotspot,
+    /// Another AP of the same management system (excluded from the paper's
+    /// "interfering networks" counts).
+    SameFleet,
+}
+
+/// One network heard during a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearbyNetwork {
+    /// Channel it beacons on.
+    pub channel: Channel,
+    /// Received beacon strength (dBm).
+    pub rssi_dbm: f64,
+    /// Operator classification.
+    pub kind: NeighborKind,
+    /// Whether its beacons are legacy 802.11b (2.592 ms on air).
+    pub legacy_11b: bool,
+}
+
+/// The result of a neighbourhood scan from one AP.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NeighborCensus {
+    /// Every network heard, both bands.
+    pub networks: Vec<NearbyNetwork>,
+}
+
+impl NeighborCensus {
+    /// Number of networks heard on a band, excluding same-fleet APs — the
+    /// paper's "interfering APs (excluding other Meraki devices)".
+    pub fn interfering_count(&self, band: Band) -> usize {
+        self.networks
+            .iter()
+            .filter(|n| n.channel.band == band && n.kind != NeighborKind::SameFleet)
+            .count()
+    }
+
+    /// Number of mobile hotspots heard on a band.
+    pub fn hotspot_count(&self, band: Band) -> usize {
+        self.networks
+            .iter()
+            .filter(|n| n.channel.band == band && n.kind == NeighborKind::MobileHotspot)
+            .count()
+    }
+
+    /// Networks co-channel with `channel` (full overlap only).
+    pub fn co_channel_count(&self, channel: Channel) -> usize {
+        self.networks
+            .iter()
+            .filter(|n| n.channel == channel && n.kind != NeighborKind::SameFleet)
+            .count()
+    }
+
+    /// Count of networks per channel number for a band (Figure 2's x-axis).
+    pub fn per_channel_histogram(&self, band: Band) -> Vec<(u16, usize)> {
+        Channel::all_in(band)
+            .into_iter()
+            .map(|ch| {
+                let count = self
+                    .networks
+                    .iter()
+                    .filter(|n| n.channel == ch && n.kind != NeighborKind::SameFleet)
+                    .count();
+                (ch.number, count)
+            })
+            .collect()
+    }
+}
+
+/// The channel-placement distribution for neighbouring networks.
+///
+/// Reproduces Figure 2's structure:
+/// * 2.4 GHz: most mass on 1/6/11 with channel 1 ≈ 37% above 6 and 11, a
+///   thin smear across 2–5 and 7–10 from misconfigured or auto-selecting
+///   devices;
+/// * 5 GHz: concentrated on UNII-1 (36–48) and UNII-3 (149–165); DFS
+///   channels see little use.
+#[derive(Debug, Clone)]
+pub struct ChannelPlacement {
+    weights_2_4: WeightedIndex,
+    weights_5: WeightedIndex,
+}
+
+impl Default for ChannelPlacement {
+    fn default() -> Self {
+        Self::paper_like()
+    }
+}
+
+impl ChannelPlacement {
+    /// The placement model matching the paper's observed distribution.
+    pub fn paper_like() -> Self {
+        // 2.4 GHz channels 1..=11. Channel 1 is 1.37x channels 6/11.
+        let w24: Vec<f64> = (1..=11u16)
+            .map(|n| match n {
+                1 => 1.37,
+                6 | 11 => 1.0,
+                _ => 0.05,
+            })
+            .collect();
+        // 5 GHz: UNII-1 and UNII-3 dominate, DFS bands nearly unused.
+        let w5: Vec<f64> = CHANNELS_5
+            .iter()
+            .map(|&n| {
+                let ch = Channel::new(Band::Ghz5, n).expect("plan channel");
+                if ch.requires_dfs() {
+                    0.03
+                } else if n <= 48 {
+                    1.0 // UNII-1
+                } else {
+                    0.85 // UNII-3
+                }
+            })
+            .collect();
+        ChannelPlacement {
+            weights_2_4: WeightedIndex::new(w24),
+            weights_5: WeightedIndex::new(w5),
+        }
+    }
+
+    /// Samples a channel for a new neighbouring network on `band`.
+    pub fn sample<R: Rng + ?Sized>(&self, band: Band, rng: &mut R) -> Channel {
+        match band {
+            Band::Ghz2_4 => {
+                let idx = self.weights_2_4.sample(rng);
+                Channel::new(Band::Ghz2_4, (idx + 1) as u16).expect("index maps to channel")
+            }
+            Band::Ghz5 => {
+                let idx = self.weights_5.sample(rng);
+                Channel::new(Band::Ghz5, CHANNELS_5[idx]).expect("index maps to channel")
+            }
+        }
+    }
+}
+
+/// Samples whether a 2.4 GHz neighbour is a personal mobile hotspot.
+///
+/// The paper measured ~20% in January 2015 (§4.1), roughly doubling in six
+/// months; at 5 GHz only 1.7% of networks were hotspots.
+pub fn hotspot_probability(band: Band) -> f64 {
+    match band {
+        Band::Ghz2_4 => 0.20,
+        Band::Ghz5 => 0.017,
+    }
+}
+
+/// Samples the neighbour kind for a new network.
+pub fn sample_kind<R: Rng + ?Sized>(band: Band, same_fleet_fraction: f64, rng: &mut R) -> NeighborKind {
+    let u: f64 = rng.gen();
+    if u < same_fleet_fraction {
+        NeighborKind::SameFleet
+    } else if u < same_fleet_fraction + (1.0 - same_fleet_fraction) * hotspot_probability(band) {
+        NeighborKind::MobileHotspot
+    } else {
+        NeighborKind::Infrastructure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::NON_OVERLAPPING_2_4;
+    use airstat_stats::SeedTree;
+
+    #[test]
+    fn placement_2_4_favours_one_six_eleven() {
+        let p = ChannelPlacement::paper_like();
+        let mut rng = SeedTree::new(31).rng();
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            let ch = p.sample(Band::Ghz2_4, &mut rng);
+            *counts.entry(ch.number).or_insert(0usize) += 1;
+        }
+        let c1 = counts[&1] as f64;
+        let c6 = counts[&6] as f64;
+        let c11 = counts[&11] as f64;
+        let c3 = *counts.get(&3).unwrap_or(&0) as f64;
+        // Channel 1 ≈ 37% above 6/11 (paper §4.1).
+        assert!((c1 / c6 - 1.37).abs() < 0.1, "c1/c6 = {}", c1 / c6);
+        assert!((c1 / c11 - 1.37).abs() < 0.1);
+        // Non-primary channels are rare but present.
+        assert!(c3 > 0.0 && c3 < c6 * 0.15);
+        // The primaries hold the overwhelming majority of mass.
+        let primary_frac = (c1 + c6 + c11) / n as f64;
+        assert!(primary_frac > 0.85, "primary fraction {primary_frac}");
+        for ch in NON_OVERLAPPING_2_4 {
+            assert!(counts.contains_key(&ch));
+        }
+    }
+
+    #[test]
+    fn placement_5_avoids_dfs() {
+        let p = ChannelPlacement::paper_like();
+        let mut rng = SeedTree::new(32).rng();
+        let n = 100_000;
+        let mut dfs = 0usize;
+        for _ in 0..n {
+            let ch = p.sample(Band::Ghz5, &mut rng);
+            if ch.requires_dfs() {
+                dfs += 1;
+            }
+        }
+        let frac = dfs as f64 / n as f64;
+        assert!(frac < 0.08, "DFS fraction {frac} should be small");
+    }
+
+    #[test]
+    fn census_counts() {
+        let ch6 = Channel::new(Band::Ghz2_4, 6).unwrap();
+        let ch36 = Channel::new(Band::Ghz5, 36).unwrap();
+        let census = NeighborCensus {
+            networks: vec![
+                NearbyNetwork { channel: ch6, rssi_dbm: -70.0, kind: NeighborKind::Infrastructure, legacy_11b: false },
+                NearbyNetwork { channel: ch6, rssi_dbm: -80.0, kind: NeighborKind::MobileHotspot, legacy_11b: false },
+                NearbyNetwork { channel: ch6, rssi_dbm: -60.0, kind: NeighborKind::SameFleet, legacy_11b: false },
+                NearbyNetwork { channel: ch36, rssi_dbm: -75.0, kind: NeighborKind::Infrastructure, legacy_11b: false },
+            ],
+        };
+        assert_eq!(census.interfering_count(Band::Ghz2_4), 2);
+        assert_eq!(census.interfering_count(Band::Ghz5), 1);
+        assert_eq!(census.hotspot_count(Band::Ghz2_4), 1);
+        assert_eq!(census.co_channel_count(ch6), 2); // SameFleet excluded
+    }
+
+    #[test]
+    fn per_channel_histogram_covers_plan() {
+        let census = NeighborCensus::default();
+        let h24 = census.per_channel_histogram(Band::Ghz2_4);
+        assert_eq!(h24.len(), 11);
+        assert!(h24.iter().all(|&(_, c)| c == 0));
+        let h5 = census.per_channel_histogram(Band::Ghz5);
+        assert_eq!(h5.len(), 24);
+    }
+
+    #[test]
+    fn kind_sampling_fractions() {
+        let mut rng = SeedTree::new(33).rng();
+        let n = 100_000;
+        let mut hotspots = 0;
+        let mut fleet = 0;
+        for _ in 0..n {
+            match sample_kind(Band::Ghz2_4, 0.1, &mut rng) {
+                NeighborKind::MobileHotspot => hotspots += 1,
+                NeighborKind::SameFleet => fleet += 1,
+                NeighborKind::Infrastructure => {}
+            }
+        }
+        let hf = hotspots as f64 / n as f64;
+        let ff = fleet as f64 / n as f64;
+        assert!((ff - 0.1).abs() < 0.01, "fleet fraction {ff}");
+        // 20% of the non-fleet 90%.
+        assert!((hf - 0.18).abs() < 0.01, "hotspot fraction {hf}");
+    }
+
+    #[test]
+    fn hotspot_probability_matches_paper() {
+        assert_eq!(hotspot_probability(Band::Ghz2_4), 0.20);
+        assert_eq!(hotspot_probability(Band::Ghz5), 0.017);
+    }
+}

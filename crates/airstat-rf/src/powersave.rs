@@ -1,0 +1,265 @@
+//! 802.11 power-save buffering at the access point.
+//!
+//! §6.2, on the arrival of smartphones: they roam, they wake with cached
+//! IP state, and they implement "aggressive versions of power save poll
+//! which increased the data buffered by access points". This module is
+//! that buffering machinery:
+//!
+//! * downlink frames for a dozing client are queued per client;
+//! * the TIM (traffic indication map) element of each beacon advertises
+//!   which associated clients have buffered traffic;
+//! * a client in legacy PS-Poll mode retrieves **one frame per poll**;
+//!   an awake client drains its whole queue;
+//! * the buffer is bounded — the aggressive-doze pathology shows up as
+//!   drops and as high watermarks in the AP's memory budget.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A client's power management state, as signalled in frame control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Awake: frames flow immediately.
+    Awake,
+    /// Dozing: frames are buffered until a poll or wake.
+    Dozing,
+}
+
+/// Outcome of offering one downlink frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Client awake: sent straight to the air.
+    Sent,
+    /// Client dozing: buffered for later retrieval.
+    Buffered,
+    /// Buffer full: frame dropped (the pathology's visible symptom).
+    Dropped,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClientBuffer {
+    state: Option<PowerState>,
+    frames: VecDeque<u64>,
+    bytes: u64,
+}
+
+/// The AP-side power-save buffer pool.
+#[derive(Debug, Clone)]
+pub struct PowerSaveBuffer {
+    per_client_frame_cap: usize,
+    clients: BTreeMap<u64, ClientBuffer>,
+    dropped_frames: u64,
+    peak_buffered_bytes: u64,
+}
+
+impl PowerSaveBuffer {
+    /// Creates a pool buffering at most `per_client_frame_cap` frames per
+    /// dozing client (the hardware queue depth).
+    ///
+    /// # Panics
+    /// Panics if the cap is zero.
+    pub fn new(per_client_frame_cap: usize) -> Self {
+        assert!(per_client_frame_cap > 0, "frame cap must be > 0");
+        PowerSaveBuffer {
+            per_client_frame_cap,
+            clients: BTreeMap::new(),
+            dropped_frames: 0,
+            peak_buffered_bytes: 0,
+        }
+    }
+
+    /// Records a client's power-state transition (from frame control bits).
+    pub fn set_state(&mut self, client: u64, state: PowerState) {
+        self.clients.entry(client).or_default().state = Some(state);
+    }
+
+    /// Offers a downlink frame of `bytes` for `client`.
+    ///
+    /// Unknown clients are treated as awake (pre-association traffic never
+    /// buffers).
+    pub fn offer(&mut self, client: u64, bytes: u64) -> Delivery {
+        let cap = self.per_client_frame_cap;
+        let entry = self.clients.entry(client).or_default();
+        match entry.state.unwrap_or(PowerState::Awake) {
+            PowerState::Awake => Delivery::Sent,
+            PowerState::Dozing => {
+                if entry.frames.len() >= cap {
+                    self.dropped_frames += 1;
+                    return Delivery::Dropped;
+                }
+                entry.frames.push_back(bytes);
+                entry.bytes += bytes;
+                let total = self.buffered_bytes();
+                self.peak_buffered_bytes = self.peak_buffered_bytes.max(total);
+                Delivery::Buffered
+            }
+        }
+    }
+
+    /// Legacy PS-Poll: the client retrieves exactly one buffered frame.
+    ///
+    /// Returns the frame size, and whether more data remains (the
+    /// more-data bit of the delivered frame).
+    pub fn ps_poll(&mut self, client: u64) -> Option<(u64, bool)> {
+        let entry = self.clients.get_mut(&client)?;
+        let frame = entry.frames.pop_front()?;
+        entry.bytes -= frame;
+        Some((frame, !entry.frames.is_empty()))
+    }
+
+    /// The client wakes: its whole queue drains to the air. Returns the
+    /// drained frames.
+    pub fn wake(&mut self, client: u64) -> Vec<u64> {
+        let entry = self.clients.entry(client).or_default();
+        entry.state = Some(PowerState::Awake);
+        entry.bytes = 0;
+        entry.frames.drain(..).collect()
+    }
+
+    /// Whether the TIM element would set this client's bit.
+    pub fn tim_bit(&self, client: u64) -> bool {
+        self.clients
+            .get(&client)
+            .is_some_and(|c| !c.frames.is_empty())
+    }
+
+    /// All clients with a TIM bit set (beacon construction).
+    pub fn tim_clients(&self) -> Vec<u64> {
+        self.clients
+            .iter()
+            .filter(|(_, c)| !c.frames.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Bytes currently buffered across all clients.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.clients.values().map(|c| c.bytes).sum()
+    }
+
+    /// Highest buffered-bytes watermark observed.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.peak_buffered_bytes
+    }
+
+    /// Frames dropped to full buffers.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awake_clients_bypass_buffering() {
+        let mut b = PowerSaveBuffer::new(8);
+        b.set_state(1, PowerState::Awake);
+        assert_eq!(b.offer(1, 1500), Delivery::Sent);
+        assert_eq!(b.buffered_bytes(), 0);
+        assert!(!b.tim_bit(1));
+        // Unknown client: treated as awake.
+        assert_eq!(b.offer(99, 1500), Delivery::Sent);
+    }
+
+    #[test]
+    fn dozing_clients_buffer_and_set_tim() {
+        let mut b = PowerSaveBuffer::new(8);
+        b.set_state(1, PowerState::Dozing);
+        assert_eq!(b.offer(1, 1500), Delivery::Buffered);
+        assert_eq!(b.offer(1, 500), Delivery::Buffered);
+        assert_eq!(b.buffered_bytes(), 2000);
+        assert!(b.tim_bit(1));
+        assert_eq!(b.tim_clients(), vec![1]);
+    }
+
+    #[test]
+    fn ps_poll_retrieves_one_frame_in_order() {
+        let mut b = PowerSaveBuffer::new(8);
+        b.set_state(1, PowerState::Dozing);
+        b.offer(1, 100);
+        b.offer(1, 200);
+        let (frame, more) = b.ps_poll(1).unwrap();
+        assert_eq!(frame, 100, "FIFO order");
+        assert!(more, "more-data bit set");
+        let (frame, more) = b.ps_poll(1).unwrap();
+        assert_eq!(frame, 200);
+        assert!(!more);
+        assert_eq!(b.ps_poll(1), None);
+        assert!(!b.tim_bit(1));
+    }
+
+    #[test]
+    fn wake_drains_everything() {
+        let mut b = PowerSaveBuffer::new(8);
+        b.set_state(1, PowerState::Dozing);
+        for i in 1..=5u64 {
+            b.offer(1, i * 100);
+        }
+        let drained = b.wake(1);
+        assert_eq!(drained, vec![100, 200, 300, 400, 500]);
+        assert_eq!(b.buffered_bytes(), 0);
+        // Awake now: traffic flows directly.
+        assert_eq!(b.offer(1, 999), Delivery::Sent);
+    }
+
+    #[test]
+    fn bounded_buffers_drop_when_full() {
+        let mut b = PowerSaveBuffer::new(3);
+        b.set_state(1, PowerState::Dozing);
+        for _ in 0..3 {
+            assert_eq!(b.offer(1, 1500), Delivery::Buffered);
+        }
+        assert_eq!(b.offer(1, 1500), Delivery::Dropped);
+        assert_eq!(b.dropped_frames(), 1);
+        assert_eq!(b.buffered_bytes(), 4500);
+    }
+
+    #[test]
+    fn aggressive_doze_pathology() {
+        // §6.2: smartphones doze aggressively while streams keep arriving;
+        // the AP's buffered bytes climb with the dozing population.
+        let mut modest = PowerSaveBuffer::new(64);
+        let mut aggressive = PowerSaveBuffer::new(64);
+        for client in 0..50u64 {
+            modest.set_state(client, PowerState::Awake);
+            aggressive.set_state(client, PowerState::Dozing);
+        }
+        for round in 0..20 {
+            for client in 0..50u64 {
+                modest.offer(client, 1500);
+                aggressive.offer(client, 1500);
+                // Modest clients wake often; aggressive ones rarely.
+                if round % 2 == 0 {
+                    modest.wake(client);
+                    modest.set_state(client, PowerState::Awake);
+                }
+            }
+        }
+        assert_eq!(modest.peak_buffered_bytes(), 0, "awake fleet buffers nothing");
+        assert!(
+            aggressive.peak_buffered_bytes() > 1_000_000,
+            "aggressive doze pins >1 MB of AP memory: {}",
+            aggressive.peak_buffered_bytes()
+        );
+    }
+
+    #[test]
+    fn per_client_isolation() {
+        let mut b = PowerSaveBuffer::new(4);
+        b.set_state(1, PowerState::Dozing);
+        b.set_state(2, PowerState::Dozing);
+        b.offer(1, 100);
+        b.offer(2, 200);
+        assert_eq!(b.tim_clients(), vec![1, 2]);
+        b.wake(1);
+        assert_eq!(b.tim_clients(), vec![2]);
+        assert_eq!(b.buffered_bytes(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame cap must be > 0")]
+    fn zero_cap_rejected() {
+        let _ = PowerSaveBuffer::new(0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Traffic shaping at the access point.
+//!
+//! §8, practical implication (1): "traffic shaping at the wireless access
+//! point to better serve the growing number of bandwidth hungry clients
+//! and applications". The §6.2 motivation is concrete: "in most networks
+//! usage between clients was uneven ... with a subset of clients driving
+//! most of the usage", and OS-update days amplified it.
+//!
+//! Two pieces:
+//!
+//! * [`TokenBucket`] — the per-client rate limiter (sustained rate plus
+//!   burst allowance);
+//! * [`FairShaper`] — a deficit-round-robin scheduler over per-client
+//!   queues, giving each backlogged client an equal share of the air
+//!   regardless of how greedy its offered load is.
+
+/// A token-bucket rate limiter.
+///
+/// ```
+/// use airstat_rf::qos::TokenBucket;
+///
+/// let mut bucket = TokenBucket::new(1_000_000.0, 100_000.0); // 1 MB/s, 100 kB burst
+/// assert!(bucket.try_consume(100_000, 0.0)); // the burst
+/// assert!(!bucket.try_consume(1, 0.0));      // empty until refill
+/// assert!(bucket.try_consume(50_000, 0.05)); // 50 ms later: 50 kB back
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucket {
+    rate_bytes_per_s: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill_s: f64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with a sustained rate and burst size, initially
+    /// full.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(rate_bytes_per_s: f64, burst_bytes: f64) -> Self {
+        assert!(rate_bytes_per_s > 0.0 && rate_bytes_per_s.is_finite());
+        assert!(burst_bytes > 0.0 && burst_bytes.is_finite());
+        TokenBucket {
+            rate_bytes_per_s,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_refill_s: 0.0,
+        }
+    }
+
+    /// Refills tokens up to time `now_s`.
+    ///
+    /// # Panics
+    /// Panics if time runs backwards.
+    pub fn refill(&mut self, now_s: f64) {
+        assert!(now_s >= self.last_refill_s, "time must be monotone");
+        self.tokens = (self.tokens + (now_s - self.last_refill_s) * self.rate_bytes_per_s)
+            .min(self.burst_bytes);
+        self.last_refill_s = now_s;
+    }
+
+    /// Attempts to send `bytes` at time `now_s`; `true` if admitted.
+    pub fn try_consume(&mut self, bytes: u64, now_s: f64) -> bool {
+        self.refill(now_s);
+        let needed = bytes as f64;
+        if self.tokens >= needed {
+            self.tokens -= needed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// A deficit-round-robin fair shaper over per-client queues.
+///
+/// Clients enqueue packets; [`FairShaper::drain`] emits up to a byte
+/// budget per call, visiting backlogged clients in round-robin order and
+/// granting each a per-round quantum. Greedy clients queue deeper, they
+/// do not send faster.
+#[derive(Debug, Clone)]
+pub struct FairShaper {
+    quantum_bytes: u64,
+    queues: Vec<ClientQueue>,
+    cursor: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ClientQueue {
+    client: u64,
+    packets: std::collections::VecDeque<u64>,
+    deficit: u64,
+}
+
+impl FairShaper {
+    /// Creates a shaper with the given per-round quantum.
+    ///
+    /// # Panics
+    /// Panics if `quantum_bytes == 0`.
+    pub fn new(quantum_bytes: u64) -> Self {
+        assert!(quantum_bytes > 0, "quantum must be > 0");
+        FairShaper {
+            quantum_bytes,
+            queues: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Enqueues one packet of `bytes` for `client`.
+    pub fn enqueue(&mut self, client: u64, bytes: u64) {
+        match self.queues.iter_mut().find(|q| q.client == client) {
+            Some(q) => q.packets.push_back(bytes),
+            None => self.queues.push(ClientQueue {
+                client,
+                packets: std::collections::VecDeque::from([bytes]),
+                deficit: 0,
+            }),
+        }
+    }
+
+    /// Bytes queued for one client.
+    pub fn backlog(&self, client: u64) -> u64 {
+        self.queues
+            .iter()
+            .find(|q| q.client == client)
+            .map_or(0, |q| q.packets.iter().sum())
+    }
+
+    /// Total queued bytes.
+    pub fn total_backlog(&self) -> u64 {
+        self.queues.iter().map(|q| q.packets.iter().sum::<u64>()).sum()
+    }
+
+    /// Emits packets worth up to `budget_bytes`, returning
+    /// `(client, bytes)` in transmission order.
+    pub fn drain(&mut self, budget_bytes: u64) -> Vec<(u64, u64)> {
+        let mut sent = Vec::new();
+        let mut remaining = budget_bytes;
+        let mut idle_rounds = 0;
+        while remaining > 0 && self.queues.iter().any(|q| !q.packets.is_empty()) {
+            if self.queues.is_empty() {
+                break;
+            }
+            let idx = self.cursor % self.queues.len();
+            let quantum = self.quantum_bytes;
+            let queue = &mut self.queues[idx];
+            if queue.packets.is_empty() {
+                queue.deficit = 0;
+                self.cursor += 1;
+                idle_rounds += 1;
+                if idle_rounds > self.queues.len() {
+                    break;
+                }
+                continue;
+            }
+            idle_rounds = 0;
+            queue.deficit += quantum;
+            while let Some(&head) = queue.packets.front() {
+                if head > queue.deficit || head > remaining {
+                    break;
+                }
+                queue.packets.pop_front();
+                queue.deficit -= head;
+                remaining -= head;
+                sent.push((queue.client, head));
+            }
+            // A head packet larger than the remaining budget stalls the
+            // whole drain round (the air is simply out of time).
+            if let Some(&head) = queue.packets.front() {
+                if head > remaining && head <= queue.deficit + quantum {
+                    self.cursor += 1;
+                    break;
+                }
+            }
+            self.cursor += 1;
+        }
+        self.queues.retain(|q| !q.packets.is_empty());
+        if self.queues.is_empty() {
+            self.cursor = 0;
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_within_rate() {
+        let mut b = TokenBucket::new(1000.0, 2000.0);
+        // The initial burst admits 2000 bytes immediately.
+        assert!(b.try_consume(2000, 0.0));
+        assert!(!b.try_consume(1, 0.0), "burst exhausted");
+        // One second later 1000 tokens returned.
+        assert!(b.try_consume(1000, 1.0));
+        assert!(!b.try_consume(500, 1.0));
+        // Long idle caps at the burst size.
+        b.refill(100.0);
+        assert!((b.available() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_sustained_rate_enforced() {
+        let mut b = TokenBucket::new(100.0, 100.0);
+        let mut admitted = 0u64;
+        // Offer 50 bytes every 0.1 s for 10 s = 5000 offered.
+        for i in 0..100 {
+            if b.try_consume(50, i as f64 * 0.1) {
+                admitted += 50;
+            }
+        }
+        // Sustained: ~100 B/s × 10 s + burst 100 ≈ 1100.
+        assert!((admitted as f64 - 1100.0).abs() <= 100.0, "admitted {admitted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be monotone")]
+    fn bucket_rejects_time_travel() {
+        let mut b = TokenBucket::new(10.0, 10.0);
+        b.refill(5.0);
+        b.refill(4.0);
+    }
+
+    #[test]
+    fn shaper_equalizes_greedy_and_modest() {
+        let mut s = FairShaper::new(1500);
+        // Greedy client 1 queues 100 packets; modest client 2 queues 10.
+        for _ in 0..100 {
+            s.enqueue(1, 1500);
+        }
+        for _ in 0..10 {
+            s.enqueue(2, 1500);
+        }
+        // Drain one "airtime slot" worth 30 packets.
+        let sent = s.drain(45_000);
+        // While both are backlogged (the first 20 packets), service is
+        // strictly alternating: 10 packets each.
+        let first20 = &sent[..20];
+        let c1_first: usize = first20.iter().filter(|(c, _)| *c == 1).count();
+        let c2_first: usize = first20.iter().filter(|(c, _)| *c == 2).count();
+        assert_eq!(c1_first, 10, "equal service while both backlogged");
+        assert_eq!(c2_first, 10);
+        // Client 2's queue then empties and client 1 takes the remainder.
+        let c1: u64 = sent.iter().filter(|(c, _)| *c == 1).map(|(_, b)| b).sum();
+        let c2: u64 = sent.iter().filter(|(c, _)| *c == 2).map(|(_, b)| b).sum();
+        assert_eq!(c2, 10 * 1500, "modest client fully served");
+        assert_eq!(c1 + c2, 45_000);
+        // The greedy client's backlog survives to later slots.
+        let sent = s.drain(1_000_000);
+        let c1_rest: u64 = sent.iter().filter(|(c, _)| *c == 1).map(|(_, b)| b).sum();
+        assert_eq!(c1_rest + c1, 100 * 1500);
+        assert_eq!(s.total_backlog(), 0);
+    }
+
+    #[test]
+    fn shaper_respects_budget() {
+        let mut s = FairShaper::new(1500);
+        for _ in 0..10 {
+            s.enqueue(1, 1500);
+        }
+        let sent = s.drain(4000);
+        let total: u64 = sent.iter().map(|(_, b)| b).sum();
+        assert!(total <= 4000);
+        assert_eq!(s.backlog(1), 15_000 - total);
+    }
+
+    #[test]
+    fn shaper_handles_mixed_packet_sizes() {
+        let mut s = FairShaper::new(1500);
+        s.enqueue(1, 300);
+        s.enqueue(1, 300);
+        s.enqueue(2, 1500);
+        s.enqueue(3, 60);
+        let sent = s.drain(10_000);
+        let total: u64 = sent.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 2160);
+        assert_eq!(s.total_backlog(), 0);
+        // Every client appears in the output.
+        for c in [1, 2, 3] {
+            assert!(sent.iter().any(|(client, _)| *client == c));
+        }
+    }
+
+    #[test]
+    fn empty_shaper_drains_nothing() {
+        let mut s = FairShaper::new(1500);
+        assert!(s.drain(10_000).is_empty());
+        assert_eq!(s.total_backlog(), 0);
+    }
+
+    #[test]
+    fn update_surge_scenario() {
+        // §6.2: an OS update day. 5 updating clients queue 20 packets
+        // each; 20 interactive clients queue 2 each. With shaping, the
+        // interactive clients' packets all clear in the first slots.
+        let mut s = FairShaper::new(1500);
+        for updater in 0..5u64 {
+            for _ in 0..20 {
+                s.enqueue(updater, 1500);
+            }
+        }
+        for interactive in 100..120u64 {
+            for _ in 0..2 {
+                s.enqueue(interactive, 500);
+            }
+        }
+        // One round's budget: every backlogged client gets a quantum.
+        let sent = s.drain(25 * 1500);
+        for interactive in 100..120u64 {
+            let got: u64 = sent
+                .iter()
+                .filter(|(c, _)| *c == interactive)
+                .map(|(_, b)| b)
+                .sum();
+            assert_eq!(got, 1000, "interactive client {interactive} served in round one");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be > 0")]
+    fn zero_quantum_rejected() {
+        let _ = FairShaper::new(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! 802.11n/ac MCS rate tables and rate adaptation.
+//!
+//! Table 1 of the paper describes 2×2 802.11n radios (MR16/MR18); Table 4
+//! tracks the client side of the same capability space (streams, 40 MHz,
+//! 11ac). This module provides the actual PHY data rates those
+//! capabilities imply, plus a minimal SNR-driven rate-adaptation rule used
+//! by the traffic model to convert offered load into airtime at realistic
+//! speeds.
+//!
+//! Rates are the standard HT (802.11n) and VHT (802.11ac) tables at
+//! long guard interval; short-GI adds 11% and is modeled as a flag.
+
+use crate::band::ChannelWidth;
+use crate::phy::{Capabilities, Generation};
+
+/// Modulation and coding scheme index within one spatial stream (0–9).
+///
+/// HT (802.11n) defines 0–7; VHT (802.11ac) adds 8 (256-QAM 3/4) and
+/// 9 (256-QAM 5/6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mcs(pub u8);
+
+impl Mcs {
+    /// Highest HT index.
+    pub const MAX_HT: Mcs = Mcs(7);
+    /// Highest VHT index.
+    pub const MAX_VHT: Mcs = Mcs(9);
+
+    /// Data subcarrier bits/symbol × coding rate, per 20 MHz, per stream,
+    /// expressed as Mb/s at 800 ns GI.
+    fn base_rate_20mhz(self) -> Option<f64> {
+        // 52 data subcarriers, 4 µs symbol (long GI).
+        let (bits, code) = match self.0 {
+            0 => (1.0, 0.5),    // BPSK 1/2
+            1 => (2.0, 0.5),    // QPSK 1/2
+            2 => (2.0, 0.75),   // QPSK 3/4
+            3 => (4.0, 0.5),    // 16-QAM 1/2
+            4 => (4.0, 0.75),   // 16-QAM 3/4
+            5 => (6.0, 2.0 / 3.0), // 64-QAM 2/3
+            6 => (6.0, 0.75),   // 64-QAM 3/4
+            7 => (6.0, 5.0 / 6.0), // 64-QAM 5/6
+            8 => (8.0, 0.75),   // 256-QAM 3/4 (VHT only)
+            9 => (8.0, 5.0 / 6.0), // 256-QAM 5/6 (VHT only)
+            _ => return None,
+        };
+        Some(52.0 * bits * code / 4.0)
+    }
+
+    /// Minimum SNR (dB) for reliable decoding at this MCS, 20 MHz.
+    ///
+    /// Classic waterfall numbers; each 40→80 MHz doubling costs ~3 dB.
+    pub fn required_snr_db(self) -> f64 {
+        match self.0 {
+            0 => 5.0,
+            1 => 8.0,
+            2 => 10.0,
+            3 => 13.0,
+            4 => 16.0,
+            5 => 19.0,
+            6 => 21.0,
+            7 => 23.0,
+            8 => 26.0,
+            9 => 28.0,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// PHY data rate (Mb/s) for an MCS at a width and stream count.
+///
+/// Returns `None` for invalid combinations (MCS 8/9 below VHT handled by
+/// the caller via capabilities; width scaling: 40 MHz ≈ 2.08×, 80 ≈ 4.5×
+/// the 20 MHz rate thanks to extra data subcarriers).
+pub fn phy_rate_mbps(mcs: Mcs, width: ChannelWidth, streams: u8, short_gi: bool) -> Option<f64> {
+    if streams == 0 || streams > 4 {
+        return None;
+    }
+    let base = mcs.base_rate_20mhz()?;
+    let width_factor = match width {
+        ChannelWidth::Mhz20 => 1.0,
+        ChannelWidth::Mhz40 => 108.0 / 52.0, // 108 data subcarriers
+        ChannelWidth::Mhz80 => 234.0 / 52.0, // 234 data subcarriers
+    };
+    let gi = if short_gi { 10.0 / 9.0 } else { 1.0 };
+    Some(base * width_factor * f64::from(streams) * gi)
+}
+
+/// The highest MCS a station's capabilities permit.
+pub fn max_mcs(caps: &Capabilities) -> Mcs {
+    match caps.generation() {
+        Generation::Ac => Mcs::MAX_VHT,
+        Generation::N => Mcs::MAX_HT,
+        // Legacy rates are not MCS-indexed; map to the closest class.
+        Generation::G | Generation::B => Mcs(0),
+    }
+}
+
+/// The widest channel a station's capabilities permit.
+pub fn max_width(caps: &Capabilities) -> ChannelWidth {
+    if caps.supports_ac() {
+        ChannelWidth::Mhz80
+    } else if caps.forty_mhz() {
+        ChannelWidth::Mhz40
+    } else {
+        ChannelWidth::Mhz20
+    }
+}
+
+/// Minstrel-style rate selection: the fastest MCS whose SNR requirement
+/// (adjusted for width) is met, at the widest permitted channel.
+///
+/// Returns `(mcs, width, rate_mbps)`; legacy stations fall back to 20 MHz
+/// OFDM at 24 Mb/s-class rates.
+///
+/// ```
+/// use airstat_rf::phy::{Capabilities, Generation};
+/// use airstat_rf::rates::{select_rate, Mcs};
+///
+/// let station = Capabilities::new(Generation::N, true, true, 2);
+/// let (mcs, _, rate) = select_rate(&station, 35.0);
+/// assert_eq!(mcs, Mcs(7));
+/// assert!((rate - 270.0).abs() < 1.0); // 2x2 HT40 long-GI top rate
+/// ```
+pub fn select_rate(caps: &Capabilities, snr_db: f64) -> (Mcs, ChannelWidth, f64) {
+    let width = max_width(caps);
+    let width_penalty_db = match width {
+        ChannelWidth::Mhz20 => 0.0,
+        ChannelWidth::Mhz40 => 3.0,
+        ChannelWidth::Mhz80 => 6.0,
+    };
+    let ceiling = max_mcs(caps);
+    let streams = caps.streams();
+    let mut best: Option<(Mcs, f64)> = None;
+    for idx in 0..=ceiling.0 {
+        let mcs = Mcs(idx);
+        if snr_db >= mcs.required_snr_db() + width_penalty_db {
+            if let Some(rate) = phy_rate_mbps(mcs, width, streams, false) {
+                best = Some((mcs, rate));
+            }
+        }
+    }
+    match best {
+        Some((mcs, rate)) => (mcs, width, rate),
+        // Below MCS0 at the chosen width: drop to 20 MHz MCS0 if audible
+        // at all; the MAC's lowest mandatory rate keeps the link alive.
+        None => {
+            let rate = phy_rate_mbps(Mcs(0), ChannelWidth::Mhz20, 1, false).expect("MCS0 valid");
+            (Mcs(0), ChannelWidth::Mhz20, rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(generation: Generation, forty: bool, streams: u8) -> Capabilities {
+        Capabilities::new(generation, true, forty, streams)
+    }
+
+    #[test]
+    fn canonical_ht_rates() {
+        // MCS7, 20 MHz, 1 stream, long GI = 65 Mb/s.
+        let r = phy_rate_mbps(Mcs(7), ChannelWidth::Mhz20, 1, false).unwrap();
+        assert!((r - 65.0).abs() < 0.1, "{r}");
+        // Short GI: 72.2 Mb/s.
+        let r = phy_rate_mbps(Mcs(7), ChannelWidth::Mhz20, 1, true).unwrap();
+        assert!((r - 72.2).abs() < 0.3, "{r}");
+        // MCS15-equivalent: 2 streams, 40 MHz, long GI = 270 Mb/s.
+        let r = phy_rate_mbps(Mcs(7), ChannelWidth::Mhz40, 2, false).unwrap();
+        assert!((r - 270.0).abs() < 1.0, "{r}");
+        // MCS0 single stream 20 MHz = 6.5 Mb/s.
+        let r = phy_rate_mbps(Mcs(0), ChannelWidth::Mhz20, 1, false).unwrap();
+        assert!((r - 6.5).abs() < 0.1, "{r}");
+    }
+
+    #[test]
+    fn canonical_vht_rates() {
+        // VHT MCS9, 80 MHz, 1 stream, long GI = 390 Mb/s.
+        let r = phy_rate_mbps(Mcs(9), ChannelWidth::Mhz80, 1, false).unwrap();
+        assert!((r - 390.0).abs() < 2.0, "{r}");
+        // 2 streams: 780 Mb/s.
+        let r = phy_rate_mbps(Mcs(9), ChannelWidth::Mhz80, 2, false).unwrap();
+        assert!((r - 780.0).abs() < 4.0, "{r}");
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        assert!(phy_rate_mbps(Mcs(10), ChannelWidth::Mhz20, 1, false).is_none());
+        assert!(phy_rate_mbps(Mcs(5), ChannelWidth::Mhz20, 0, false).is_none());
+        assert!(phy_rate_mbps(Mcs(5), ChannelWidth::Mhz20, 5, false).is_none());
+    }
+
+    #[test]
+    fn rate_monotone_in_mcs_width_streams() {
+        let mut prev = 0.0;
+        for idx in 0..=9 {
+            let r = phy_rate_mbps(Mcs(idx), ChannelWidth::Mhz20, 1, false).unwrap();
+            assert!(r > prev, "MCS{idx} must beat MCS{}", idx - 1);
+            prev = r;
+        }
+        let r20 = phy_rate_mbps(Mcs(4), ChannelWidth::Mhz20, 2, false).unwrap();
+        let r40 = phy_rate_mbps(Mcs(4), ChannelWidth::Mhz40, 2, false).unwrap();
+        let r80 = phy_rate_mbps(Mcs(4), ChannelWidth::Mhz80, 2, false).unwrap();
+        assert!(r40 > 2.0 * r20 && r80 > 2.0 * r40);
+    }
+
+    #[test]
+    fn capability_ceilings() {
+        assert_eq!(max_mcs(&caps(Generation::Ac, true, 2)), Mcs::MAX_VHT);
+        assert_eq!(max_mcs(&caps(Generation::N, true, 2)), Mcs::MAX_HT);
+        assert_eq!(max_width(&caps(Generation::Ac, true, 1)), ChannelWidth::Mhz80);
+        assert_eq!(max_width(&caps(Generation::N, true, 1)), ChannelWidth::Mhz40);
+        assert_eq!(max_width(&caps(Generation::N, false, 1)), ChannelWidth::Mhz20);
+    }
+
+    #[test]
+    fn rate_selection_tracks_snr() {
+        let station = caps(Generation::N, true, 2);
+        let (mcs_hi, width_hi, rate_hi) = select_rate(&station, 35.0);
+        assert_eq!(mcs_hi, Mcs(7));
+        assert_eq!(width_hi, ChannelWidth::Mhz40);
+        assert!((rate_hi - 270.0).abs() < 1.0);
+        let (mcs_mid, _, rate_mid) = select_rate(&station, 17.0);
+        assert!(mcs_mid < Mcs(7));
+        assert!(rate_mid < rate_hi);
+        // Deep fade: falls back to MCS0 at 20 MHz.
+        let (mcs_lo, width_lo, rate_lo) = select_rate(&station, 2.0);
+        assert_eq!(mcs_lo, Mcs(0));
+        assert_eq!(width_lo, ChannelWidth::Mhz20);
+        assert!((rate_lo - 6.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn ac_beats_n_at_high_snr() {
+        let n = caps(Generation::N, true, 2);
+        let ac = caps(Generation::Ac, true, 2);
+        let (_, _, rate_n) = select_rate(&n, 40.0);
+        let (_, _, rate_ac) = select_rate(&ac, 40.0);
+        assert!(rate_ac > 2.0 * rate_n, "{rate_ac} vs {rate_n}");
+    }
+
+    #[test]
+    fn selection_monotone_in_snr() {
+        let station = caps(Generation::Ac, true, 3);
+        let mut prev = 0.0;
+        for snr in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0] {
+            let (_, _, rate) = select_rate(&station, snr);
+            assert!(rate >= prev, "rate must not drop as SNR rises");
+            prev = rate;
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based tests for the RF substrate.
+//!
+//! Invariants: airtime conservation (`wifi <= busy <= elapsed`), delivery
+//! probabilities stay in [0, 1] and are monotone in SNR and anti-monotone
+//! in utilization, channel overlap is a symmetric [0, 1] kernel, path loss
+//! is monotone in distance, and scanner bookkeeping never loses dwells.
+
+use airstat_rf::airtime::{AirtimeLedger, ChannelLoad};
+use airstat_rf::band::{Band, Channel, CHANNELS_2_4, CHANNELS_5};
+use airstat_rf::link::{LinkModel, ProbeLink};
+use airstat_rf::propagation::{Environment, PathLoss};
+use airstat_rf::band::ChannelWidth;
+use airstat_rf::dfs::{DfsMonitor, DfsState};
+use airstat_rf::phy::{Capabilities, Generation};
+use airstat_rf::qos::{FairShaper, TokenBucket};
+use airstat_rf::rates::{phy_rate_mbps, select_rate, Mcs};
+use airstat_rf::scanner::{ScanningRadio, SCAN_DWELL_US};
+use airstat_stats::SeedTree;
+use proptest::prelude::*;
+
+fn any_band() -> impl Strategy<Value = Band> {
+    prop_oneof![Just(Band::Ghz2_4), Just(Band::Ghz5)]
+}
+
+fn any_channel() -> impl Strategy<Value = Channel> {
+    any_band().prop_flat_map(|band| {
+        let numbers: Vec<u16> = match band {
+            Band::Ghz2_4 => CHANNELS_2_4.to_vec(),
+            Band::Ghz5 => CHANNELS_5.to_vec(),
+        };
+        prop::sample::select(numbers).prop_map(move |n| Channel::new(band, n).unwrap())
+    })
+}
+
+fn any_environment() -> impl Strategy<Value = Environment> {
+    prop_oneof![
+        Just(Environment::OpenIndoor),
+        Just(Environment::DenseIndoor),
+        Just(Environment::OpenOutdoor),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ledger_invariant(intervals in prop::collection::vec(
+        (0u64..10_000_000, 0u64..20_000_000, 0u64..30_000_000), 0..50)) {
+        let mut ledger = AirtimeLedger::new();
+        for (elapsed, busy, wifi) in intervals {
+            ledger.account(elapsed, busy, wifi);
+            prop_assert!(ledger.wifi_us() <= ledger.busy_us());
+            prop_assert!(ledger.busy_us() <= ledger.elapsed_us());
+            if let Some(u) = ledger.utilization() {
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+            if let Some(d) = ledger.decodable_fraction() {
+                prop_assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_load_fractions_bounded(
+        bssids in 0u32..500,
+        legacy in 0.0f64..1.0,
+        load_bps in 0.0f64..1e10,
+        rate in 1.0f64..300.0,
+        duty in 0.0f64..1.0,
+        corrupt in 0.0f64..1.0) {
+        let load = ChannelLoad {
+            beaconing_bssids: bssids,
+            legacy_beacon_fraction: legacy,
+            data_load_bps: load_bps,
+            mean_data_rate_mbps: rate,
+            non_wifi_duty: duty,
+            corrupt_preamble_fraction: corrupt,
+        };
+        let u = load.utilization();
+        let d = load.decodable_fraction();
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        prop_assert!((0.0..=1.0).contains(&d), "decodable {d}");
+        // Wifi time can never exceed busy time.
+        prop_assert!(d * u <= u + 1e-12);
+    }
+
+    #[test]
+    fn delivery_probability_bounded_and_monotone(
+        band in any_band(),
+        rssi in -120.0f64..-20.0,
+        penalty in 0.0f64..40.0,
+        util in 0.0f64..1.0) {
+        let model = LinkModel::for_band(band);
+        let link = ProbeLink { band, rssi_dbm: rssi, multipath_penalty_db: penalty };
+        let p = model.delivery_probability(&link, util, 0.0);
+        prop_assert!((0.0..=1.0).contains(&p));
+
+        // Monotone in RSSI.
+        let stronger = ProbeLink { band, rssi_dbm: rssi + 5.0, multipath_penalty_db: penalty };
+        prop_assert!(model.delivery_probability(&stronger, util, 0.0) >= p - 1e-12);
+
+        // Anti-monotone in utilization.
+        let busier = model.delivery_probability(&link, (util + 0.2).min(1.0), 0.0);
+        prop_assert!(busier <= p + 1e-12);
+
+        // Anti-monotone in multipath penalty.
+        let worse = ProbeLink { band, rssi_dbm: rssi, multipath_penalty_db: penalty + 5.0 };
+        prop_assert!(model.delivery_probability(&worse, util, 0.0) <= p + 1e-12);
+    }
+
+    #[test]
+    fn overlap_kernel_properties(a in any_channel(), b in any_channel()) {
+        let oab = a.overlap(&b);
+        let oba = b.overlap(&a);
+        prop_assert!((oab - oba).abs() < 1e-12, "symmetric");
+        prop_assert!((0.0..=1.0).contains(&oab));
+        prop_assert!((a.overlap(&a) - 1.0).abs() < 1e-12, "self-overlap is 1");
+    }
+
+    #[test]
+    fn path_loss_monotone(env in any_environment(), band in any_band(),
+                          d1 in 1.0f64..500.0, delta in 0.1f64..500.0) {
+        let pl = PathLoss::new(env);
+        prop_assert!(pl.median_loss_db(band, d1 + delta) > pl.median_loss_db(band, d1));
+    }
+
+    #[test]
+    fn path_loss_band_ordering(env in any_environment(), d in 1.0f64..500.0) {
+        let pl = PathLoss::new(env);
+        prop_assert!(pl.median_loss_db(Band::Ghz5, d) > pl.median_loss_db(Band::Ghz2_4, d));
+    }
+
+    #[test]
+    fn scanner_conserves_dwell_time(sweeps in 1u64..20) {
+        let mut s = ScanningRadio::new();
+        let total_us = sweeps * s.sweep_duration_us();
+        s.run_for(total_us, &|_| ChannelLoad::idle());
+        let samples = s.collect(&|_| 0);
+        // Every channel was visited `sweeps` times; utilization of idle
+        // channels is 0 and defined (not NaN).
+        prop_assert_eq!(samples.len(), s.sweep_len());
+        for c in samples {
+            prop_assert_eq!(c.utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn scanner_measures_load_exactly(util in 0.0f64..1.0) {
+        let mut s = ScanningRadio::new();
+        let load = ChannelLoad { non_wifi_duty: util, ..ChannelLoad::idle() };
+        s.run_for(10 * s.sweep_duration_us(), &|_| load);
+        let samples = s.collect(&|_| 0);
+        for c in samples {
+            // Quantization error: one dwell accounts whole microseconds.
+            prop_assert!((c.utilization - util).abs() < 1.0 / SCAN_DWELL_US as f64 + 1e-9,
+                "measured {} expected {}", c.utilization, util);
+        }
+    }
+}
+
+
+fn any_caps() -> impl Strategy<Value = Capabilities> {
+    (
+        prop_oneof![
+            Just(Generation::B),
+            Just(Generation::G),
+            Just(Generation::N),
+            Just(Generation::Ac)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        1u8..=4,
+    )
+        .prop_map(|(g, d, f, s)| Capabilities::new(g, d, f, s))
+}
+
+proptest! {
+    #[test]
+    fn rate_selection_monotone_in_snr(caps in any_caps(),
+                                      snr in -10.0f64..50.0, delta in 0.0f64..20.0) {
+        let (_, _, low) = select_rate(&caps, snr);
+        let (_, _, high) = select_rate(&caps, snr + delta);
+        prop_assert!(high >= low, "rate must not drop as SNR rises");
+        prop_assert!(low > 0.0, "there is always a fallback rate");
+    }
+
+    #[test]
+    fn phy_rates_scale_with_streams(mcs in 0u8..=9, streams in 1u8..=4) {
+        let one = phy_rate_mbps(Mcs(mcs), ChannelWidth::Mhz20, 1, false).unwrap();
+        let many = phy_rate_mbps(Mcs(mcs), ChannelWidth::Mhz20, streams, false).unwrap();
+        prop_assert!((many - one * f64::from(streams)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_offered_plus_burst(
+        rate in 1.0f64..1e6, burst in 1.0f64..1e6,
+        packets in prop::collection::vec((1u64..10_000, 0.0f64..10.0), 1..100)) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut offers: Vec<(u64, f64)> = packets;
+        offers.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut admitted = 0u64;
+        let mut last_t = 0.0;
+        for (bytes, t) in offers {
+            last_t = t.max(last_t);
+            if bucket.try_consume(bytes, last_t) {
+                admitted += bytes;
+            }
+        }
+        // Admission can never beat rate * elapsed + burst.
+        let bound = rate * last_t + burst + 1.0;
+        prop_assert!((admitted as f64) <= bound, "admitted {admitted} > bound {bound}");
+    }
+
+    #[test]
+    fn shaper_conserves_bytes(packets in prop::collection::vec((0u64..8, 1u64..3000), 0..200),
+                              budget in 0u64..500_000) {
+        let mut shaper = FairShaper::new(1500);
+        let mut offered = 0u64;
+        for (client, bytes) in packets {
+            shaper.enqueue(client, bytes);
+            offered += bytes;
+        }
+        let sent: u64 = shaper.drain(budget).iter().map(|(_, b)| b).sum();
+        prop_assert!(sent <= budget.max(0), "budget respected");
+        prop_assert_eq!(sent + shaper.total_backlog(), offered, "no bytes created or lost");
+    }
+
+    #[test]
+    fn dfs_lifecycle_is_sound(seed in any::<u64>(), radar_p in 0.0f64..0.1) {
+        let mut monitor = DfsMonitor::new(radar_p);
+        let channel = Channel::new(Band::Ghz5, 100).unwrap();
+        let mut rng = SeedTree::new(seed).rng();
+        monitor.start_cac(channel, 0);
+        let mut now = 0u64;
+        for _ in 0..200 {
+            let _ = monitor.tick(channel, now, 30, &mut rng);
+            now += 30;
+            // Invariant: usable implies state Available; non-DFS always usable.
+            match monitor.state(channel) {
+                DfsState::Available => prop_assert!(monitor.is_usable(channel)),
+                _ => prop_assert!(!monitor.is_usable(channel)),
+            }
+        }
+        let clear = Channel::new(Band::Ghz5, 36).unwrap();
+        prop_assert!(monitor.is_usable(clear));
+    }
+}

@@ -1,0 +1,180 @@
+//! Scenario configuration.
+//!
+//! Everything is derived from the paper's §2–§5 setup: 20,667 networks,
+//! 10,000 MR16s, 10,000 MR18s, one-week measurement windows in January
+//! 2014 and January 2015, plus the July 2014 neighbour comparison. The
+//! `scale` knob shrinks every population proportionally so the full
+//! pipeline runs in seconds on a laptop while keeping every distribution's
+//! *shape*; `scale = 1.0` reproduces the paper's magnitudes.
+
+use airstat_telemetry::backend::WindowId;
+
+/// The two usage-measurement years.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementYear {
+    /// January 15–22, 2014.
+    Y2014,
+    /// January 15–22, 2015.
+    Y2015,
+}
+
+impl MeasurementYear {
+    /// The backend window this year's data lands in.
+    pub fn window(self) -> WindowId {
+        match self {
+            MeasurementYear::Y2014 => WINDOW_JAN_2014,
+            MeasurementYear::Y2015 => WINDOW_JAN_2015,
+        }
+    }
+}
+
+/// Backend window for January 15–22, 2014.
+pub const WINDOW_JAN_2014: WindowId = WindowId(1401);
+/// Backend window for the July 2014 neighbour/link comparison ("six
+/// months ago" in §4).
+pub const WINDOW_JUL_2014: WindowId = WindowId(1407);
+/// Backend window for January 15–22, 2015.
+pub const WINDOW_JAN_2015: WindowId = WindowId(1501);
+
+/// Seconds in the one-week measurement window.
+pub const WEEK_S: u64 = 7 * 24 * 3600;
+
+/// Top-level fleet configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Root random seed; every run with the same seed is byte-identical.
+    pub seed: u64,
+    /// Population scale in `(0, 1]` relative to the paper's fleet.
+    pub scale: f64,
+    /// Networks in the usage panel at `scale = 1.0` (paper: 20,667).
+    pub usage_networks_full: u32,
+    /// MR16-class APs in the radio panel at `scale = 1.0` (paper: 10,000).
+    pub mr16_aps_full: u32,
+    /// MR18-class APs in the scan panel at `scale = 1.0` (paper: 10,000).
+    pub mr18_aps_full: u32,
+    /// Unique clients per week at `scale = 1.0` for the 2015 window
+    /// (paper: 5,578,126). The 2014 window is derived from growth rates.
+    pub clients_2015_full: u64,
+    /// Interval between link-stat report submissions (s). The probe
+    /// machinery itself stays at 15 s probes / 300 s windows; this only
+    /// controls how often the sliding-window value is *reported*.
+    pub link_report_interval_s: u64,
+    /// Interval between MR18 scan aggregations (s); paper: 180.
+    pub scan_window_s: u64,
+    /// Probability a poll round-trip is lost (transport fault injection).
+    pub poll_drop_probability: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::paper(0.01)
+    }
+}
+
+impl FleetConfig {
+    /// The paper-faithful configuration at the given scale.
+    ///
+    /// # Panics
+    /// Panics unless `0 < scale <= 1`.
+    pub fn paper(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        FleetConfig {
+            seed: 0x0051_60C0_2015,
+            scale,
+            usage_networks_full: 20_667,
+            mr16_aps_full: 10_000,
+            mr18_aps_full: 10_000,
+            clients_2015_full: 5_578_126,
+            link_report_interval_s: 3600,
+            scan_window_s: 180,
+            poll_drop_probability: 0.01,
+        }
+    }
+
+    /// A tiny smoke-test configuration for unit tests.
+    pub fn smoke() -> Self {
+        FleetConfig {
+            link_report_interval_s: 6 * 3600,
+            ..FleetConfig::paper(0.002)
+        }
+    }
+
+    /// Networks in the usage panel at this scale (at least 1).
+    pub fn usage_networks(&self) -> u32 {
+        scale_count(self.usage_networks_full, self.scale)
+    }
+
+    /// MR16 APs at this scale.
+    pub fn mr16_aps(&self) -> u32 {
+        scale_count(self.mr16_aps_full, self.scale)
+    }
+
+    /// MR18 APs at this scale.
+    pub fn mr18_aps(&self) -> u32 {
+        scale_count(self.mr18_aps_full, self.scale)
+    }
+
+    /// Target client count for a measurement year at this scale.
+    ///
+    /// 2014 is 2015 divided by the paper's 37% total growth.
+    pub fn clients(&self, year: MeasurementYear) -> u64 {
+        let full_2015 = self.clients_2015_full as f64;
+        let full = match year {
+            MeasurementYear::Y2015 => full_2015,
+            MeasurementYear::Y2014 => full_2015 / 1.371,
+        };
+        ((full * self.scale).round() as u64).max(1)
+    }
+}
+
+fn scale_count(full: u32, scale: f64) -> u32 {
+    ((f64::from(full) * scale).round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let cfg = FleetConfig::paper(1.0);
+        assert_eq!(cfg.usage_networks(), 20_667);
+        assert_eq!(cfg.mr16_aps(), 10_000);
+        assert_eq!(cfg.mr18_aps(), 10_000);
+        assert_eq!(cfg.clients(MeasurementYear::Y2015), 5_578_126);
+        // 2014 ≈ 4.07M (paper: "4.07 million to 5.58 million").
+        let c2014 = cfg.clients(MeasurementYear::Y2014);
+        assert!((c2014 as f64 - 4.07e6).abs() < 0.03e6, "{c2014}");
+    }
+
+    #[test]
+    fn scaling_is_proportional() {
+        let cfg = FleetConfig::paper(0.1);
+        assert_eq!(cfg.usage_networks(), 2_067);
+        assert_eq!(cfg.mr16_aps(), 1_000);
+        let ratio = cfg.clients(MeasurementYear::Y2015) as f64 / 5_578_126.0;
+        assert!((ratio - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tiny_scale_never_zero() {
+        let cfg = FleetConfig::paper(1e-6);
+        assert!(cfg.usage_networks() >= 1);
+        assert!(cfg.mr16_aps() >= 1);
+        assert!(cfg.clients(MeasurementYear::Y2014) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn zero_scale_rejected() {
+        let _ = FleetConfig::paper(0.0);
+    }
+
+    #[test]
+    fn windows_are_distinct() {
+        assert_ne!(WINDOW_JAN_2014, WINDOW_JUL_2014);
+        assert_ne!(WINDOW_JUL_2014, WINDOW_JAN_2015);
+        assert_eq!(MeasurementYear::Y2014.window(), WINDOW_JAN_2014);
+        assert_eq!(MeasurementYear::Y2015.window(), WINDOW_JAN_2015);
+    }
+}

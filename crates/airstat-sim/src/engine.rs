@@ -1,0 +1,918 @@
+//! The discrete-event fleet engine.
+//!
+//! [`FleetSimulation::run`] executes the paper's full measurement campaign
+//! against a synthetic fleet and returns a loaded [`Backend`]:
+//!
+//! * **usage windows** — January 2014 and January 2015 client panels.
+//!   Each year gets its own population model, device-classifier version
+//!   and application ruleset (§3's heuristics improved between the
+//!   windows); flows are classified at the edge and shipped through
+//!   fault-injected tunnels;
+//! * **radio windows** — July 2014 and January 2015 for the MR16 panel:
+//!   neighbour censuses (Table 7 / Figure 2), serving-radio airtime
+//!   counters (Figure 6), and week-long probe-link delivery series
+//!   (Figures 3–5) driven by per-link AR(1) fading plus the epoch's
+//!   interference level;
+//! * **scan window** — January 2015 for the MR18 panel: 3-minute
+//!   channel-scan aggregates sampled at 10:00 and 22:00 local
+//!   (Figures 7–10).
+//!
+//! Determinism: all randomness descends from `FleetConfig::seed` through
+//! labelled [`SeedTree`] children, so any table regenerates bit-identically.
+
+use airstat_classify::apps::{Application, RuleSet};
+use airstat_classify::flows::{Direction, FlowKey, FlowTable};
+use airstat_classify::device::{ClassifierVersion, DeviceClassifier};
+use airstat_rf::airtime::ChannelLoad;
+use airstat_rf::band::{Band, Channel};
+use airstat_rf::link::{FadingProcess, LinkModel};
+use airstat_rf::propagation::{Environment, PathLoss};
+use airstat_stats::dist::{Exponential, LogNormal};
+use airstat_stats::SeedTree;
+use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_telemetry::crash::{DeviceMemory, RebootReason};
+use airstat_telemetry::report::{
+    AirtimeRecord, ChannelScanRecord, ClientInfoRecord, CrashRecord, LinkRecord, NeighborRecord,
+    ReportPayload, UsageRecord,
+};
+use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel, TunnelConfig};
+use rand::Rng;
+
+use crate::config::{
+    FleetConfig, MeasurementYear, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014,
+};
+use crate::population::PopulationModel;
+use crate::traffic::generate_weekly;
+use crate::world::{ApModel, ApSite, NeighborEpoch, World};
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct SimulationOutput {
+    /// The loaded backend store — what the analytics crate queries.
+    pub backend: Backend,
+    /// The generated world (for topology-aware analyses and examples).
+    pub world: World,
+    /// Polls attempted across all tunnels.
+    pub polls_attempted: u64,
+    /// Polls lost to injected faults (all retransmitted eventually).
+    pub polls_lost: u64,
+    /// Clients (2015 window) whose usage arrived through more than one AP;
+    /// the backend's MAC-level aggregation (§2.3) merges them.
+    pub roamed_clients: u64,
+}
+
+/// The simulation driver.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    config: FleetConfig,
+}
+
+/// Firmware version the simulated fleet runs during the windows (§2.2).
+///
+/// Kept for the January 2015 window; see [`firmware_for`].
+pub const FIRMWARE_VERSION: &str = "mr-25.9";
+
+/// §2.2: "a total of 2 major firmware revisions ... January and December
+/// 2014". The July 2014 panel therefore runs the January revision; the
+/// January 2015 panels run the December one. Crash signatures segregate
+/// by revision exactly as the real triage dashboards did.
+pub fn firmware_for(window: WindowId) -> &'static str {
+    use crate::config::WINDOW_JUL_2014;
+    if window == WINDOW_JUL_2014 {
+        "mr-24.11"
+    } else {
+        FIRMWARE_VERSION
+    }
+}
+
+/// Hours of the Figure 9 sampling points (local time).
+pub const DAY_SAMPLE_HOUR: u64 = 10;
+/// Night sampling hour for Figure 9.
+pub const NIGHT_SAMPLE_HOUR: u64 = 22;
+
+impl FleetSimulation {
+    /// Creates a simulation with the given configuration.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetSimulation { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the full campaign.
+    pub fn run(&self) -> SimulationOutput {
+        let seed = SeedTree::new(self.config.seed);
+        let world = World::generate(&seed, self.config.mr16_aps(), self.config.mr18_aps());
+        let mut backend = Backend::new();
+        let mut polls = PollStats::default();
+
+        // Usage panels.
+        let mut roamed_clients = 0;
+        for year in [MeasurementYear::Y2014, MeasurementYear::Y2015] {
+            let roamed = self.run_usage_window(&seed, year, &mut backend, &mut polls);
+            if year == MeasurementYear::Y2015 {
+                roamed_clients = roamed;
+            }
+        }
+        // Radio panels (MR16): July 2014 and January 2015.
+        self.run_radio_window(
+            &seed.child("radio-jul14"),
+            &world,
+            NeighborEpoch::Jul2014,
+            WINDOW_JUL_2014,
+            &mut backend,
+            &mut polls,
+        );
+        self.run_radio_window(
+            &seed.child("radio-jan15"),
+            &world,
+            NeighborEpoch::Jan2015,
+            WINDOW_JAN_2015,
+            &mut backend,
+            &mut polls,
+        );
+        // Scan panel (MR18): January 2015.
+        self.run_scan_window(
+            &seed.child("scan-jan15"),
+            &world,
+            NeighborEpoch::Jan2015,
+            WINDOW_JAN_2015,
+            &mut backend,
+            &mut polls,
+        );
+
+        SimulationOutput {
+            backend,
+            world,
+            polls_attempted: polls.attempted,
+            polls_lost: polls.lost,
+            roamed_clients,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Usage panel
+    // ------------------------------------------------------------------
+
+    fn run_usage_window(
+        &self,
+        seed: &SeedTree,
+        year: MeasurementYear,
+        backend: &mut Backend,
+        polls: &mut PollStats,
+    ) -> u64 {
+        let window = year.window();
+        let year_label = match year {
+            MeasurementYear::Y2014 => "usage-2014",
+            MeasurementYear::Y2015 => "usage-2015",
+        };
+        let node = seed.child(year_label);
+        let mut rng = node.child("clients").rng();
+        let population = PopulationModel::new(year);
+        let (classifier, ruleset) = match year {
+            MeasurementYear::Y2014 => (
+                DeviceClassifier::new(ClassifierVersion::V2014),
+                RuleSet::standard_2014(),
+            ),
+            MeasurementYear::Y2015 => (
+                DeviceClassifier::new(ClassifierVersion::V2015),
+                RuleSet::standard_2015(),
+            ),
+        };
+        let n_clients = self.config.clients(year);
+        // Clients are grouped under virtual usage-panel APs; each AP is a
+        // device agent polled through a faulty tunnel.
+        const CLIENTS_PER_AP: u64 = 250;
+        let pl = PathLoss::new(Environment::DenseIndoor);
+        let distance = LogNormal::from_median_p90(20.0, 55.0);
+        // Usage-panel device ids live far above the radio panel's.
+        let mut device_id = 1_000_000u64;
+        let mut client_id = 0u64;
+        let mut roamed_clients = 0u64;
+        // Usage records a roaming client produced at its *next* AP (§2.3:
+        // the backend re-aggregates these by MAC).
+        let mut roaming_spill: Vec<UsageRecord> = Vec::new();
+        while client_id < n_clients {
+            device_id += 1;
+            let mut agent = DeviceAgent::new(device_id);
+            let batch_end = (client_id + CLIENTS_PER_AP).min(n_clients);
+            let mut usage_records = std::mem::take(&mut roaming_spill);
+            let mut info_records = Vec::new();
+            while client_id < batch_end {
+                let client = population.sample_client(client_id, &mut rng);
+                client_id += 1;
+                // RSSI on both bands from one geometry draw.
+                let d = distance.sample(&mut rng);
+                let shadow = pl.sample_shadowing_db(&mut rng);
+                let rssi24 = pl.rssi_dbm(Band::Ghz2_4, 23.0, d, shadow);
+                let rssi5 = pl.rssi_dbm(Band::Ghz5, 24.0, d, shadow);
+                // Band selection: only some dual-band clients *prefer*
+                // 5 GHz (driver roaming policies of the era), and even
+                // those fall back when the higher band is too attenuated.
+                // Net effect: ~80% of associated clients sit on 2.4 GHz
+                // and the 5 GHz population reads *weaker* than 2.4 GHz —
+                // both §3.1 observations.
+                let prefers_5 = client.caps.dual_band() && rng.gen::<f64>() < 0.55;
+                let band = if prefers_5 && rssi5 > -78.0 {
+                    Band::Ghz5
+                } else {
+                    Band::Ghz2_4
+                };
+                let rssi = match band {
+                    Band::Ghz2_4 => rssi24,
+                    Band::Ghz5 => rssi5,
+                };
+                let os = classifier.classify(&client.evidence);
+                info_records.push(ClientInfoRecord {
+                    mac: client.mac,
+                    os,
+                    caps: client.caps,
+                    band,
+                    rssi_dbm: rssi.min(-25.0),
+                });
+                // One week of flows, pushed through the AP's flow table
+                // (§2.1): the first packet of each flow takes the slow
+                // path where the ruleset runs once; data rides the fast
+                // path; FIN retires the entry into per-client counters.
+                let week = generate_weekly(&client, year, &mut rng);
+                let mut flow_table = FlowTable::new(ruleset.clone(), 256, 300);
+                for (i, flow) in week.flows.iter().enumerate() {
+                    let key = FlowKey {
+                        client: client.mac,
+                        flow_id: i as u64,
+                    };
+                    let t = i as u64;
+                    flow_table.open(key, &flow.metadata, t);
+                    if flow.up_bytes > 0 {
+                        flow_table.packet(key, Direction::Up, flow.up_bytes, &flow.metadata, t);
+                    }
+                    if flow.down_bytes > 0 {
+                        flow_table.packet(key, Direction::Down, flow.down_bytes, &flow.metadata, t);
+                    }
+                    flow_table.finish(key, t + 1);
+                }
+                let mut per_app: std::collections::BTreeMap<Application, (u64, u64)> =
+                    Default::default();
+                for ((_, app), usage) in flow_table.flush() {
+                    let slot = per_app.entry(app).or_default();
+                    slot.0 += usage.up_bytes;
+                    slot.1 += usage.down_bytes;
+                }
+                // Roaming: phones wander across APs during the week
+                // (§6.2 calls out smartphone roaming explicitly); a
+                // roamer's later flows show up at a different AP and the
+                // backend must merge them by MAC.
+                let roam_p = if os.is_mobile() { 0.45 } else { 0.10 };
+                let roams = rng.gen::<f64>() < roam_p && client_id < n_clients;
+                if roams {
+                    roamed_clients += 1;
+                }
+                for (app, (up, down)) in per_app {
+                    if roams && rng.gen::<f64>() < 0.4 {
+                        // This app's bytes were used at the next AP.
+                        roaming_spill.push(UsageRecord {
+                            mac: client.mac,
+                            app,
+                            up_bytes: up,
+                            down_bytes: down,
+                        });
+                    } else {
+                        usage_records.push(UsageRecord {
+                            mac: client.mac,
+                            app,
+                            up_bytes: up,
+                            down_bytes: down,
+                        });
+                    }
+                }
+            }
+            // Split into multiple reports (daily polls in production).
+            for (i, chunk) in info_records.chunks(512).enumerate() {
+                agent.submit(i as u64 * 86_400, ReportPayload::ClientInfo(chunk.to_vec()));
+            }
+            for (i, chunk) in usage_records.chunks(512).enumerate() {
+                agent.submit(
+                    i as u64 * 3_600,
+                    ReportPayload::Usage(chunk.to_vec()),
+                );
+            }
+            self.drain_agent(&node.indexed(device_id), &mut agent, window, backend, polls);
+        }
+        // Any spill from the final batch lands on one more roaming AP.
+        if !roaming_spill.is_empty() {
+            device_id += 1;
+            let mut agent = DeviceAgent::new(device_id);
+            agent.submit(0, ReportPayload::Usage(roaming_spill));
+            self.drain_agent(&node.indexed(device_id), &mut agent, window, backend, polls);
+        }
+        roamed_clients
+    }
+
+    // ------------------------------------------------------------------
+    // Radio panel (MR16 + link probes + censuses)
+    // ------------------------------------------------------------------
+
+    fn run_radio_window(
+        &self,
+        node: &SeedTree,
+        world: &World,
+        epoch: NeighborEpoch,
+        window: WindowId,
+        backend: &mut Backend,
+        polls: &mut PollStats,
+    ) {
+        let model24 = LinkModel::for_band(Band::Ghz2_4);
+        let model5 = LinkModel::for_band(Band::Ghz5);
+        for ap in &world.aps {
+            let ap_node = node.indexed(ap.device_id);
+            let mut rng = ap_node.child("census").rng();
+            let mut agent = DeviceAgent::new(ap.device_id);
+
+            // 1. Neighbour census.
+            let census = sample_census(world, ap, epoch, &mut rng);
+            agent.submit(0, ReportPayload::Neighbors(census.records.clone()));
+
+            // 1b. §6.1's firmware bug: the neighbour table accumulates
+            // every BSSID ever heard with no eviction. Extreme sites
+            // (skyscrapers, roadside deployments) exhaust the heap and
+            // reboot; the crash report reaches the backend like any other
+            // telemetry once the device recovers.
+            let mut memory = match ap.model {
+                ApModel::Mr16 => DeviceMemory::mr16(),
+                ApModel::Mr18 => DeviceMemory::mr18(),
+            };
+            memory.set_clients(rng.gen_range(5..60));
+            let heard = u64::from(census.count_on_band(Band::Ghz2_4))
+                + u64::from(census.count_on_band(Band::Ghz5));
+            memory.grow_neighbor_table(heard);
+            let churn = ((heard as f64) * 0.05).ceil() as u64;
+            for cycle in 1..96u64 {
+                if !memory.grow_neighbor_table(churn) {
+                    agent.submit(
+                        cycle * 900,
+                        ReportPayload::Crash(vec![CrashRecord {
+                            firmware: firmware_for(window).to_string(),
+                            reason: RebootReason::OutOfMemory.code(),
+                            program_counter: 0x40_0000 + rng.gen_range(0u64..0x8_0000),
+                            uptime_s: cycle * 900,
+                            free_memory_bytes: memory.free_bytes(),
+                        }]),
+                    );
+                    break;
+                }
+            }
+
+            // 2. Serving-radio airtime over the week, accumulated in
+            //    six-hour reporting intervals with the diurnal cycle.
+            let mut airtime_records = Vec::new();
+            for (band, channel) in [(Band::Ghz2_4, ap.channel_2_4), (Band::Ghz5, ap.channel_5)] {
+                let mut elapsed = 0u64;
+                let mut busy = 0u64;
+                let mut wifi = 0u64;
+                for hour in 0..(WEEK_S / 3600) {
+                    let load = serving_load(ap, &census, band, epoch, diurnal(hour % 24), &mut rng);
+                    let step_us = 3_600_000_000u64;
+                    let u = load.utilization();
+                    let d = load.decodable_fraction();
+                    elapsed += step_us;
+                    busy += (u * step_us as f64) as u64;
+                    wifi += (d * u * step_us as f64) as u64;
+                }
+                airtime_records.push(AirtimeRecord {
+                    channel,
+                    elapsed_us: elapsed,
+                    busy_us: busy,
+                    wifi_us: wifi,
+                });
+            }
+            agent.submit(WEEK_S, ReportPayload::Airtime(airtime_records));
+
+            // 3. Probe links: delivery ratio time series over the week.
+            let mut link_rng = ap_node.child("links").rng();
+            let interval = self.config.link_report_interval_s.max(300);
+            let inbound: Vec<_> = world
+                .links_into(ap.device_id, Band::Ghz2_4)
+                .chain(world.links_into(ap.device_id, Band::Ghz5))
+                .collect();
+            if !inbound.is_empty() {
+                let mut faders: Vec<FadingProcess> = inbound
+                    .iter()
+                    .map(|_| FadingProcess::probe_interval_default())
+                    .collect();
+                let mut t = 0u64;
+                while t < WEEK_S {
+                    let hour = (t / 3600) % 24;
+                    let mut records = Vec::with_capacity(inbound.len());
+                    for (wl, fader) in inbound.iter().zip(faders.iter_mut()) {
+                        // Step the fading once per report interval (the
+                        // process parameters absorb the coarser step).
+                        let fade = fader.step(&mut link_rng);
+                        let band = wl.link.band;
+                        let model = match band {
+                            Band::Ghz2_4 => &model24,
+                            Band::Ghz5 => &model5,
+                        };
+                        let load = serving_load(ap, &census, band, epoch, diurnal(hour), &mut link_rng);
+                        let p = model.delivery_probability(&wl.link, load.utilization(), fade);
+                        // 300 s window of 15 s probes = 20 expected.
+                        let received = (0..20).filter(|_| link_rng.gen::<f64>() < p).count() as u32;
+                        records.push(LinkRecord {
+                            peer_device: wl.tx,
+                            band,
+                            probes_expected: 20,
+                            probes_received: received,
+                        });
+                    }
+                    agent.submit(t, ReportPayload::Links(records));
+                    t += interval;
+                }
+            }
+
+            self.drain_agent(&ap_node, &mut agent, window, backend, polls);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scan panel (MR18)
+    // ------------------------------------------------------------------
+
+    fn run_scan_window(
+        &self,
+        node: &SeedTree,
+        world: &World,
+        epoch: NeighborEpoch,
+        window: WindowId,
+        backend: &mut Backend,
+        polls: &mut PollStats,
+    ) {
+        for ap in world.aps.iter().filter(|a| a.model == ApModel::Mr18) {
+            let ap_node = node.indexed(ap.device_id);
+            let mut rng = ap_node.child("scan").rng();
+            let mut agent = DeviceAgent::new(ap.device_id + 500_000); // scan radio identity
+            let census = sample_census(world, ap, epoch, &mut rng);
+            // Two 3-minute aggregates per day: 10:00 and 22:00.
+            for day in 0..7u64 {
+                for hour in [DAY_SAMPLE_HOUR, NIGHT_SAMPLE_HOUR] {
+                    let timestamp = day * 86_400 + hour * 3_600;
+                    let mut records = Vec::new();
+                    for band in [Band::Ghz2_4, Band::Ghz5] {
+                        for channel in Channel::all_in(band) {
+                            let load =
+                                channel_load(ap, &census, channel, epoch, diurnal(hour), &mut rng);
+                            let networks = census.count_on(channel);
+                            records.push(ChannelScanRecord {
+                                channel,
+                                utilization_ppm: (load.utilization() * 1e6) as u32,
+                                decodable_ppm: (load.decodable_fraction() * 1e6) as u32,
+                                networks,
+                            });
+                        }
+                    }
+                    agent.submit(timestamp, ReportPayload::ChannelScan(records));
+                }
+            }
+            self.drain_agent(&ap_node, &mut agent, window, backend, polls);
+        }
+    }
+
+    /// Polls an agent through a fault-injected tunnel until drained.
+    fn drain_agent(
+        &self,
+        node: &SeedTree,
+        agent: &mut DeviceAgent,
+        window: WindowId,
+        backend: &mut Backend,
+        polls: &mut PollStats,
+    ) {
+        let mut tunnel = Tunnel::new(TunnelConfig {
+            drop_probability: self.config.poll_drop_probability,
+            poll_batch: 64,
+        });
+        let mut rng = node.child("tunnel").rng();
+        // Bounded retries; with default drop probability a handful of
+        // rounds drains everything.
+        for _ in 0..100_000 {
+            match tunnel.poll(agent, &mut rng) {
+                PollOutcome::Delivered(reports) => {
+                    for r in &reports {
+                        backend.ingest(window, r);
+                    }
+                    if agent.queued() == 0 {
+                        break;
+                    }
+                }
+                PollOutcome::Lost | PollOutcome::Disconnected => {}
+            }
+        }
+        polls.attempted += tunnel.polls_attempted();
+        polls.lost += tunnel.polls_lost();
+        assert_eq!(agent.queued(), 0, "agent failed to drain");
+    }
+}
+
+#[derive(Debug, Default)]
+struct PollStats {
+    attempted: u64,
+    lost: u64,
+}
+
+/// The diurnal activity multiplier for a local hour (0–23).
+///
+/// Business-network shape: low overnight, ramping to a midday plateau.
+/// Calibrated so the Figure 9 day/night utilization gap is a few percent.
+pub fn diurnal(hour: u64) -> f64 {
+    match hour {
+        0..=5 => 0.35,
+        6..=8 => 0.7,
+        9..=17 => 1.0,
+        18..=20 => 0.8,
+        _ => 0.5,
+    }
+}
+
+/// A sampled neighbour census for one AP.
+#[derive(Debug, Clone)]
+pub struct SampledCensus {
+    /// The wire records (per channel with nonzero count).
+    pub records: Vec<NeighborRecord>,
+    /// Fraction of neighbours beaconing as legacy 802.11b.
+    pub legacy_fraction: f64,
+}
+
+impl SampledCensus {
+    /// Networks heard on `channel`.
+    pub fn count_on(&self, channel: Channel) -> u32 {
+        self.records
+            .iter()
+            .filter(|r| r.channel == channel)
+            .map(|r| r.networks)
+            .sum()
+    }
+
+    /// Networks heard on a band.
+    pub fn count_on_band(&self, band: Band) -> u32 {
+        self.records
+            .iter()
+            .filter(|r| r.channel.band == band)
+            .map(|r| r.networks)
+            .sum()
+    }
+}
+
+/// Samples an AP's neighbour census for an epoch.
+pub fn sample_census<R: Rng + ?Sized>(
+    world: &World,
+    ap: &ApSite,
+    epoch: NeighborEpoch,
+    rng: &mut R,
+) -> SampledCensus {
+    let mut per_channel: std::collections::BTreeMap<(Band, u16), (u32, u32)> = Default::default();
+    for band in [Band::Ghz2_4, Band::Ghz5] {
+        let mean = epoch.mean_networks(band) * ap.density;
+        // Poisson-ish count via exponential inter-arrival thinning: for
+        // simulation purposes a rounded exponential-mixture is fine and
+        // keeps the long tail.
+        let count = sample_count(mean, rng);
+        let hotspot_p = epoch.hotspot_fraction(band);
+        for _ in 0..count {
+            let channel = world.placement.sample(band, rng);
+            let entry = per_channel.entry((band, channel.number)).or_default();
+            entry.0 += 1;
+            if rng.gen::<f64>() < hotspot_p {
+                entry.1 += 1;
+            }
+        }
+    }
+    let records = per_channel
+        .into_iter()
+        .map(|((band, number), (networks, hotspots))| NeighborRecord {
+            channel: Channel::new(band, number).expect("placement emits plan channels"),
+            networks,
+            hotspots,
+        })
+        .collect();
+    SampledCensus {
+        records,
+        legacy_fraction: 0.08,
+    }
+}
+
+/// Draws a non-negative integer with the given mean and a heavy-ish tail.
+fn sample_count<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Mixture: exponential around the mean (coefficient of variation 1),
+    // which matches the broad spread of real neighbour counts.
+    let x = Exponential::with_mean(mean).sample(rng);
+    x.round() as u32
+}
+
+/// The load on the AP's *serving* channel of `band` (what the MR16
+/// energy-detect counter integrates).
+pub fn serving_load<R: Rng + ?Sized>(
+    ap: &ApSite,
+    census: &SampledCensus,
+    band: Band,
+    epoch: NeighborEpoch,
+    diurnal_factor: f64,
+    rng: &mut R,
+) -> ChannelLoad {
+    let channel = match band {
+        Band::Ghz2_4 => ap.channel_2_4,
+        Band::Ghz5 => ap.channel_5,
+    };
+    channel_load_inner(ap, census, channel, epoch, diurnal_factor, true, rng)
+}
+
+/// The load on an arbitrary channel (what the MR18 scanner sees).
+pub fn channel_load<R: Rng + ?Sized>(
+    ap: &ApSite,
+    census: &SampledCensus,
+    channel: Channel,
+    epoch: NeighborEpoch,
+    diurnal_factor: f64,
+    rng: &mut R,
+) -> ChannelLoad {
+    let own = channel == ap.channel_2_4 || channel == ap.channel_5;
+    channel_load_inner(ap, census, channel, epoch, diurnal_factor, own, rng)
+}
+
+/// Maximum networks close enough to ever trigger energy detect, however
+/// many the scanning radio can decode.
+const ED_POOL_CAP: u64 = 8;
+/// Minimum visible (energy-detect triggering) fraction of the ED pool.
+const ED_VISIBLE_MIN: f64 = 0.10;
+/// Spread of the visible fraction across channel samples.
+const ED_VISIBLE_SPREAD: f64 = 0.55;
+/// Heavy-tail scale of one strong network's busy contribution.
+const FOREIGN_BUSY_XMIN: f64 = 0.006;
+/// Pareto tail index: < 1 makes the channel's foreign load dominated by
+/// its single busiest neighbour, not the neighbour *count* — the key to
+/// the paper's missing count-utilization correlation.
+const FOREIGN_BUSY_ALPHA: f64 = 0.95;
+
+fn channel_load_inner<R: Rng + ?Sized>(
+    ap: &ApSite,
+    census: &SampledCensus,
+    channel: Channel,
+    epoch: NeighborEpoch,
+    diurnal_factor: f64,
+    include_own: bool,
+    rng: &mut R,
+) -> ChannelLoad {
+    let co_channel = census.count_on(channel);
+    // Energy-detect visibility: the census decodes beacons down to the
+    // receive sensitivity (≈ -95 dBm) but the carrier-sense energy
+    // detector only triggers ~30 dB higher, so most *heard* networks
+    // contribute no busy time. This, plus the heavy-tailed activity of
+    // the few strong ones, is what destroys the count-vs-utilization
+    // correlation in Figures 7/8.
+    let visible_p = ED_VISIBLE_MIN + ED_VISIBLE_SPREAD * rng.gen::<f64>();
+    // The decode radius scales with the site's RF horizon (a skyscraper AP
+    // hears hundreds of networks), but the energy-detect radius is fixed:
+    // only networks within a small physical neighbourhood can trigger
+    // carrier sense. The candidate pool for "strong" is therefore capped,
+    // which — together with the heavy-tailed activity below — removes the
+    // count-utilization correlation (Figures 7/8).
+    let ed_pool = u64::from(co_channel).min(ED_POOL_CAP);
+    // Energy the census never attributes: clients of networks whose AP is
+    // out of decode range, and adjacent-channel bleed. Count-independent,
+    // and nearly absent at 5 GHz where the band is mostly empty.
+    let unattributed_mean = match channel.band {
+        Band::Ghz2_4 => 0.05,
+        Band::Ghz5 => 0.008,
+    };
+    let unattributed = Exponential::with_mean(unattributed_mean).sample(rng) * diurnal_factor;
+    let strong = (0..ed_pool)
+        .filter(|_| rng.gen::<f64>() < visible_p)
+        .count() as u32;
+    // Foreign data traffic: Pareto per strong network — most are idle,
+    // one busy neighbour dominates the channel.
+    let pareto = airstat_stats::dist::Pareto::new(FOREIGN_BUSY_XMIN, FOREIGN_BUSY_ALPHA);
+    let foreign_busy: f64 = (0..strong)
+        .map(|_| (pareto.sample(rng) - FOREIGN_BUSY_XMIN).min(0.8))
+        .sum::<f64>()
+        * diurnal_factor
+        + unattributed;
+    // Our own client load rides the serving channel only, split across
+    // the two radios by the site's client mix.
+    let band_share = match channel.band {
+        Band::Ghz2_4 => 1.0 - ap.share_5ghz,
+        Band::Ghz5 => ap.share_5ghz,
+    };
+    let own_load = if include_own {
+        ap.data_load_bps * band_share * diurnal_factor
+    } else {
+        0.0
+    };
+    // Non-WiFi duty from the AP's actual interferer population (§5.3):
+    // each emitter contributes its duty cycle on this channel (hoppers
+    // spread across the band, static emitters hit co-located channels),
+    // modulated by time of day since most of these devices follow people.
+    let non_wifi = match channel.band {
+        Band::Ghz2_4 => {
+            let ambient = airstat_rf::interference::aggregate_duty(
+                &ap.interferers,
+                channel.center_mhz(),
+            );
+            (ambient * diurnal_factor).min(0.25)
+                + Exponential::with_mean(0.003).sample(rng)
+        }
+        Band::Ghz5 => Exponential::with_mean(0.002).sample(rng),
+    };
+    // Foreign busy is energy from *other* networks: fold it into the data
+    // term by expressing it as extra offered load on our capacity model.
+    let mean_rate = match channel.band {
+        Band::Ghz2_4 => 24.0,
+        Band::Ghz5 => 54.0,
+    };
+    let capacity = airstat_rf::phy::effective_throughput_bps(mean_rate);
+    let foreign_load_bps = foreign_busy * capacity;
+    // Corrupt preambles: more hidden terminals in denser places.
+    let corrupt = (0.06 + 0.05 * (co_channel as f64 / 30.0)).min(0.35);
+    let epoch_legacy = match epoch {
+        // Legacy beacons were slightly more common six months earlier.
+        NeighborEpoch::Jul2014 => census.legacy_fraction * 1.25,
+        NeighborEpoch::Jan2015 => census.legacy_fraction,
+    };
+    ChannelLoad {
+        beaconing_bssids: strong + u32::from(include_own),
+        legacy_beacon_fraction: epoch_legacy,
+        data_load_bps: own_load + foreign_load_bps,
+        mean_data_rate_mbps: mean_rate,
+        non_wifi_duty: non_wifi,
+        corrupt_preamble_fraction: corrupt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_stats::Ecdf;
+
+    fn tiny_run() -> SimulationOutput {
+        FleetSimulation::new(FleetConfig::smoke()).run()
+    }
+
+    #[test]
+    fn smoke_run_populates_all_windows() {
+        let out = tiny_run();
+        let b = &out.backend;
+        use crate::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
+        assert!(b.client_count(WINDOW_JAN_2014) > 0);
+        assert!(b.client_count(WINDOW_JAN_2015) > 0);
+        assert!(b.client_count(WINDOW_JAN_2015) > b.client_count(WINDOW_JAN_2014));
+        assert!(!b.usage_by_app(WINDOW_JAN_2015).is_empty());
+        assert!(!b.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
+        assert!(!b.latest_delivery_ratios(WINDOW_JUL_2014, Band::Ghz2_4).is_empty());
+        assert!(!b.serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
+        assert!(!b.scan_observations(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
+        let (_, mean24, _) = b.nearby_summary(WINDOW_JAN_2015, Band::Ghz2_4);
+        assert!(mean24 > 10.0, "mean nearby {mean24}");
+        assert!(out.polls_attempted > 0);
+        // Roaming happened, and MAC aggregation kept client counts exact:
+        // a roamer shows up at two APs yet counts once in the client panel.
+        assert!(out.roamed_clients > 0, "some clients must roam");
+        assert!(
+            (out.roamed_clients as usize) < b.client_count(WINDOW_JAN_2015),
+            "roamers are a subset of clients"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        use crate::config::WINDOW_JAN_2015;
+        assert_eq!(
+            a.backend.usage_by_app(WINDOW_JAN_2015),
+            b.backend.usage_by_app(WINDOW_JAN_2015)
+        );
+        assert_eq!(
+            a.backend.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4),
+            b.backend.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
+        );
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        assert!(diurnal(3) < diurnal(12));
+        assert!(diurnal(22) < diurnal(12));
+        assert_eq!(diurnal(12), 1.0);
+        for h in 0..24 {
+            assert!(diurnal(h) > 0.0 && diurnal(h) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn census_means_track_epoch() {
+        let world = World::generate(&SeedTree::new(1), 400, 0);
+        let mut rng = SeedTree::new(2).rng();
+        let mut total24 = 0u32;
+        let mut total5 = 0u32;
+        for ap in &world.aps {
+            let c = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+            total24 += c.count_on_band(Band::Ghz2_4);
+            total5 += c.count_on_band(Band::Ghz5);
+        }
+        let mean24 = f64::from(total24) / world.aps.len() as f64;
+        let mean5 = f64::from(total5) / world.aps.len() as f64;
+        assert!((mean24 - 55.47).abs() < 12.0, "mean 2.4 {mean24}");
+        assert!((mean5 - 3.68).abs() < 1.5, "mean 5 {mean5}");
+    }
+
+    #[test]
+    fn serving_utilization_distribution_matches_fig6() {
+        // Generate a standalone panel and check the Figure 6 shape:
+        // 2.4 GHz median ≈ 25%, p90 ≈ 50%; 5 GHz median ≈ 5%, p90 ≈ 30%.
+        let world = World::generate(&SeedTree::new(3), 600, 0);
+        let mut rng = SeedTree::new(4).rng();
+        let mut utils24 = Vec::new();
+        let mut utils5 = Vec::new();
+        for ap in &world.aps {
+            let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+            let mut acc24 = 0.0;
+            let mut acc5 = 0.0;
+            for hour in 0..24 {
+                acc24 += serving_load(ap, &census, Band::Ghz2_4, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
+                    .utilization();
+                acc5 += serving_load(ap, &census, Band::Ghz5, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
+                    .utilization();
+            }
+            utils24.push(acc24 / 24.0);
+            utils5.push(acc5 / 24.0);
+        }
+        let e24 = Ecdf::new(utils24);
+        let e5 = Ecdf::new(utils5);
+        let med24 = e24.median().unwrap();
+        let p90_24 = e24.quantile(0.9).unwrap();
+        let med5 = e5.median().unwrap();
+        let p90_5 = e5.quantile(0.9).unwrap();
+        assert!((0.15..=0.35).contains(&med24), "2.4 median {med24}");
+        assert!((0.32..=0.68).contains(&p90_24), "2.4 p90 {p90_24}");
+        assert!((0.02..=0.12).contains(&med5), "5 median {med5}");
+        assert!((0.08..=0.40).contains(&p90_5), "5 p90 {p90_5}");
+        assert!(med24 > med5 * 2.0);
+    }
+
+    #[test]
+    fn july_2014_quieter_than_jan_2015() {
+        // Paired comparison: the same AP under the same random draws, only
+        // the epoch differs — isolates the §4 growth signal from the
+        // heavy-tailed sampling noise.
+        let world = World::generate(&SeedTree::new(5), 300, 0);
+        let seed = SeedTree::new(6);
+        let mean = |epoch: NeighborEpoch| {
+            let mut acc = 0.0;
+            for ap in &world.aps {
+                let mut rng = seed.indexed(ap.device_id).rng();
+                let census = sample_census(&world, ap, epoch, &mut rng);
+                acc += serving_load(ap, &census, Band::Ghz2_4, epoch, 1.0, &mut rng).utilization();
+            }
+            acc / world.aps.len() as f64
+        };
+        let jul = mean(NeighborEpoch::Jul2014);
+        let jan = mean(NeighborEpoch::Jan2015);
+        assert!(jan > jul, "interference grew: {jul} -> {jan}");
+    }
+
+    #[test]
+    fn off_channel_loads_are_lighter() {
+        // The §5.2 sampling-bias mechanism: the serving channel carries
+        // the AP's own load, other channels do not.
+        let world = World::generate(&SeedTree::new(7), 50, 0);
+        let ap = &world.aps[0];
+        let mut rng = SeedTree::new(8).rng();
+        let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+        let mut own = 0.0;
+        let mut other = 0.0;
+        let other_channel = Channel::new(Band::Ghz2_4, if ap.channel_2_4.number == 6 { 1 } else { 6 }).unwrap();
+        for _ in 0..50 {
+            own += channel_load(ap, &census, ap.channel_2_4, NeighborEpoch::Jan2015, 1.0, &mut rng)
+                .utilization();
+            other += channel_load(ap, &census, other_channel, NeighborEpoch::Jan2015, 1.0, &mut rng)
+                .utilization();
+        }
+        assert!(own > other, "serving channel busier: {own} vs {other}");
+    }
+
+    #[test]
+    fn decodable_fraction_mostly_high_at_2_4() {
+        // Figure 10: the majority of busy time contains decodable headers.
+        let world = World::generate(&SeedTree::new(9), 200, 0);
+        let mut rng = SeedTree::new(10).rng();
+        let mut decodables = Vec::new();
+        for ap in &world.aps {
+            let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+            let load = serving_load(ap, &census, Band::Ghz2_4, NeighborEpoch::Jan2015, 1.0, &mut rng);
+            if load.utilization() > 0.01 {
+                decodables.push(load.decodable_fraction());
+            }
+        }
+        let e = Ecdf::new(decodables);
+        assert!(e.median().unwrap() > 0.5, "median decodable {}", e.median().unwrap());
+    }
+}

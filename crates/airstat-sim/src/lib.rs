@@ -1,0 +1,42 @@
+//! # airstat-sim — the synthetic wireless fleet
+//!
+//! The paper's dataset is proprietary, so AirStat substitutes a generative
+//! fleet: ~20k customer networks across 19 industry verticals, ~10k MR16-
+//! and ~10k MR18-class access points, and millions of clients (scaled by a
+//! configurable factor so a laptop run finishes in seconds). The models
+//! are parameterized by the *marginal* statistics the paper publishes —
+//! client OS mix, capability evolution, per-app byte shares, neighbour
+//! densities — and the pipeline then re-derives the paper's tables from
+//! raw simulated telemetry, exercising the same classification,
+//! aggregation and analysis code paths the production system used.
+//!
+//! Module map:
+//!
+//! * [`config`] — scenario knobs and the paper-faithful presets;
+//! * [`industry`] — Table 2's industry verticals and the network mix;
+//! * [`population`] — client populations: OS mix per year (Table 3),
+//!   capability evolution (Table 4), per-OS usage volumes, classifier
+//!   evidence generation;
+//! * [`appmix`] — the application traffic profile behind Tables 5/6
+//!   (byte shares, client reach, download fractions, YoY growth);
+//! * [`traffic`] — turns a client into a week of classified flows;
+//! * [`world`] — topology: networks, APs, channels, neighbour densities,
+//!   probe links, interferers;
+//! * [`engine`] — the discrete-event loop that runs measurement windows
+//!   and pushes reports through the telemetry pipeline into a backend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appmix;
+pub mod config;
+pub mod engine;
+pub mod industry;
+pub mod population;
+pub mod surge;
+pub mod traffic;
+pub mod world;
+
+pub use config::{FleetConfig, MeasurementYear};
+pub use engine::{FleetSimulation, SimulationOutput};
+

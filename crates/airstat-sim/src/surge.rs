@@ -1,0 +1,209 @@
+//! Software-update surges and daily usage dynamics (§6.2).
+//!
+//! "Software updates from Apple and Microsoft would drive large downloads
+//! across large numbers of clients, sometimes causing sudden increases
+//! totaling tens or hundreds of gigabytes" — the reason §8 recommends
+//! traffic shaping at the AP. This module produces per-day fleet usage
+//! series with a weekday/weekend cycle and optional vendor update events,
+//! which `airstat-core`'s anomaly detector then has to find.
+
+use airstat_classify::device::OsFamily;
+use airstat_stats::dist::LogNormal;
+use rand::Rng;
+
+use crate::population::ClientTruth;
+
+/// A vendor update event: which platforms pull it, when, and how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateEvent {
+    /// Platforms that receive the update.
+    pub platforms: Vec<OsFamily>,
+    /// Day of the measurement week (0–6) the update ships.
+    pub day: usize,
+    /// Fraction of eligible clients that download on day one.
+    pub day_one_uptake: f64,
+    /// Update payload size in bytes (e.g. an iOS point release ≈ 1.5 GB
+    /// over the air in the 2014 era... actually ~250 MB delta; a major
+    /// release ≈ 1–2 GB full image).
+    pub payload_bytes: u64,
+}
+
+impl UpdateEvent {
+    /// A major iOS release pushed to the fleet (the classic §6.2 case).
+    pub fn ios_major(day: usize) -> Self {
+        UpdateEvent {
+            platforms: vec![OsFamily::AppleIos],
+            day,
+            day_one_uptake: 0.35,
+            payload_bytes: 1_200_000_000,
+        }
+    }
+
+    /// Patch Tuesday: Windows cumulative updates.
+    pub fn windows_patch_tuesday(day: usize) -> Self {
+        UpdateEvent {
+            platforms: vec![OsFamily::Windows],
+            day,
+            day_one_uptake: 0.45,
+            payload_bytes: 600_000_000,
+        }
+    }
+}
+
+/// Relative activity of each weekday in a business fleet (Mon..Sun).
+///
+/// Office networks idle hard on weekends; the shape matters because a
+/// surge detector must not fire on the ordinary Friday-to-Saturday cliff.
+pub const WEEKDAY_ACTIVITY: [f64; 7] = [1.0, 1.02, 1.0, 0.98, 0.92, 0.35, 0.30];
+
+/// A fleet's per-day usage decomposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DailySeries {
+    /// Total bytes per day (len 7).
+    pub total: Vec<f64>,
+    /// Update-event bytes per day (len 7), zero when no event fired.
+    pub update_bytes: Vec<f64>,
+}
+
+impl DailySeries {
+    /// The day with the highest total, if any.
+    pub fn peak_day(&self) -> Option<usize> {
+        self.total
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Spreads the clients' weekly budgets over the seven days and applies
+/// update events.
+///
+/// Per client: the weekly budget divides across days proportionally to
+/// [`WEEKDAY_ACTIVITY`] (always-on devices use a flat profile), with
+/// log-normal day-to-day jitter. Update bytes land *on top of* the normal
+/// budget — the §6.2 point is that these surges are additive and
+/// unplanned.
+pub fn generate_daily_series<R: Rng + ?Sized>(
+    clients: &[ClientTruth],
+    events: &[UpdateEvent],
+    rng: &mut R,
+) -> DailySeries {
+    let jitter = LogNormal::new(0.0, 0.25);
+    let mut total = vec![0.0f64; 7];
+    let mut update_bytes = vec![0.0f64; 7];
+    // Update decisions draw from their own stream so the *base* week is
+    // identical with and without events — surges are strictly additive.
+    let mut update_rng = airstat_stats::SeedTree::new(rng.gen::<u64>()).rng();
+    for client in clients {
+        // Base profile.
+        let weights: Vec<f64> = (0..7)
+            .map(|d| {
+                let shape = if client.always_on { 1.0 } else { WEEKDAY_ACTIVITY[d] };
+                shape * jitter.sample(rng)
+            })
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for (d, w) in weights.iter().enumerate() {
+            total[d] += client.weekly_bytes as f64 * w / wsum;
+        }
+        // Update events.
+        for event in events {
+            if !event.platforms.contains(&client.os) {
+                continue;
+            }
+            // Day-one uptake, then exponential tail across following days.
+            for (offset, share) in [(0usize, event.day_one_uptake), (1, event.day_one_uptake * 0.4), (2, event.day_one_uptake * 0.15)] {
+                let day = event.day + offset;
+                if day >= 7 {
+                    break;
+                }
+                if update_rng.gen::<f64>() < share {
+                    total[day] += event.payload_bytes as f64;
+                    update_bytes[day] += event.payload_bytes as f64;
+                    break; // each client downloads once
+                }
+            }
+        }
+    }
+    DailySeries { total, update_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MeasurementYear;
+    use crate::population::PopulationModel;
+    use airstat_stats::SeedTree;
+
+    fn clients(n: usize) -> Vec<ClientTruth> {
+        let model = PopulationModel::new(MeasurementYear::Y2015);
+        let mut rng = SeedTree::new(71).rng();
+        (0..n).map(|i| model.sample_client(i as u64, &mut rng)).collect()
+    }
+
+    #[test]
+    fn quiet_week_follows_weekday_shape() {
+        let cs = clients(5_000);
+        let mut rng = SeedTree::new(72).rng();
+        let series = generate_daily_series(&cs, &[], &mut rng);
+        assert_eq!(series.total.len(), 7);
+        // Weekdays busier than the weekend.
+        let weekday_mean: f64 = series.total[..5].iter().sum::<f64>() / 5.0;
+        let weekend_mean: f64 = series.total[5..].iter().sum::<f64>() / 2.0;
+        assert!(weekday_mean > 2.0 * weekend_mean);
+        assert!(series.update_bytes.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn weekly_budget_conserved() {
+        let cs = clients(2_000);
+        let mut rng = SeedTree::new(73).rng();
+        let series = generate_daily_series(&cs, &[], &mut rng);
+        let total: f64 = series.total.iter().sum();
+        let budget: u64 = cs.iter().map(|c| c.weekly_bytes).sum();
+        assert!((total / budget as f64 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ios_update_spikes_wednesday() {
+        let cs = clients(5_000);
+        let mut rng = SeedTree::new(74).rng();
+        let quiet = generate_daily_series(&cs, &[], &mut rng);
+        let mut rng = SeedTree::new(74).rng();
+        let surged = generate_daily_series(&cs, &[UpdateEvent::ios_major(2)], &mut rng);
+        assert_eq!(surged.peak_day(), Some(2), "update day dominates");
+        assert!(surged.total[2] > 1.5 * quiet.total[2], "visible surge");
+        assert!(surged.update_bytes[2] > 0.0);
+        // Tail on the following day.
+        assert!(surged.update_bytes[3] > 0.0);
+        assert!(surged.update_bytes[3] < surged.update_bytes[2]);
+        // Days before the event are untouched by update bytes.
+        assert_eq!(surged.update_bytes[0], 0.0);
+    }
+
+    #[test]
+    fn update_targets_platforms_only() {
+        let cs = clients(5_000);
+        let ios_count = cs.iter().filter(|c| c.os == OsFamily::AppleIos).count() as f64;
+        let mut rng = SeedTree::new(75).rng();
+        let event = UpdateEvent::ios_major(1);
+        let surged = generate_daily_series(&cs, std::slice::from_ref(&event), &mut rng);
+        let downloads: f64 = surged.update_bytes.iter().sum::<f64>() / event.payload_bytes as f64;
+        // Roughly uptake(1 + 0.4 + 0.15) of iOS clients download.
+        let expected = ios_count * 0.35 * 1.4;
+        assert!(
+            (downloads / expected - 1.0).abs() < 0.25,
+            "downloads {downloads} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn event_near_week_end_truncates_tail() {
+        let cs = clients(1_000);
+        let mut rng = SeedTree::new(76).rng();
+        let surged = generate_daily_series(&cs, &[UpdateEvent::windows_patch_tuesday(6)], &mut rng);
+        // Only day 6 can carry update bytes.
+        assert!(surged.update_bytes[..6].iter().all(|&b| b == 0.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most of the paper's figures are CDFs (link delivery, channel utilization,
+//! RSSI, decodable fraction, day/night comparisons). [`Ecdf`] stores the
+//! sorted sample and answers exact quantile and `P(X <= x)` queries, plus a
+//! fixed-resolution rendering used by the report printers and benches.
+
+/// An exact empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples. NaNs are dropped.
+    pub fn new<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of elements <= x.
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Exact quantile (nearest-rank with interpolation).
+    ///
+    /// Returns `None` when empty or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let n = self.sorted.len();
+        if n == 1 {
+            return Some(self.sorted[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median, if non-empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Fraction of samples exactly equal to `x` (within `eps`).
+    ///
+    /// Used for "over half of 5 GHz links deliver *all* broadcasts": the mass
+    /// at delivery ratio 1.0 is a headline number in the paper.
+    pub fn mass_at(&self, x: f64, eps: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let lo = self.sorted.partition_point(|&v| v < x - eps);
+        let hi = self.sorted.partition_point(|&v| v <= x + eps);
+        (hi - lo) as f64 / self.sorted.len() as f64
+    }
+
+    /// Renders the CDF as `points` evenly spaced `(x, F(x))` pairs spanning
+    /// the sample range. Returns an empty vec when the sample is empty.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = (self.sorted[0], *self.sorted.last().unwrap());
+        if points == 1 || lo == hi {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// Borrow the sorted sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_basics() {
+        let e = Ecdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(e.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Ecdf::new([0.0, 10.0]);
+        assert_eq!(e.quantile(0.0), Some(0.0));
+        assert_eq!(e.quantile(1.0), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        let e = Ecdf::new([5.0, 1.0, 9.0]);
+        assert_eq!(e.median(), Some(5.0));
+    }
+
+    #[test]
+    fn nan_dropped() {
+        let e = Ecdf::new([1.0, f64::NAN, 3.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let e = Ecdf::new(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.median(), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert!(e.curve(5).is_empty());
+    }
+
+    #[test]
+    fn mass_at_counts_ties() {
+        let e = Ecdf::new([1.0, 1.0, 1.0, 0.5]);
+        assert!((e.mass_at(1.0, 1e-9) - 0.75).abs() < 1e-12);
+        assert!((e.mass_at(0.5, 1e-9) - 0.25).abs() < 1e-12);
+        assert_eq!(e.mass_at(0.7, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new((0..100).map(|i| ((i * 37) % 100) as f64));
+        let curve = e.curve(33);
+        assert_eq!(curve.len(), 33);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_degenerate_single_value() {
+        let e = Ecdf::new([7.0, 7.0, 7.0]);
+        assert_eq!(e.curve(10), vec![(7.0, 1.0)]);
+    }
+}

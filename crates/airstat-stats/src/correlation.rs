@@ -1,0 +1,174 @@
+//! Correlation measures for paired observations.
+//!
+//! Section 5.1 of the paper makes a negative claim: the number of nearby
+//! access points does **not** predict channel utilization (Figures 7 and 8),
+//! so channel planning should use direct utilization measurements. Our
+//! reproduction quantifies that with Pearson's r and Spearman's rank
+//! correlation over the same scatter data.
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `None` when fewer than 2 pairs remain after NaN filtering or when
+/// either variable has zero variance.
+pub fn pearson(pairs: &[(f64, f64)]) -> Option<f64> {
+    let clean: Vec<(f64, f64)> = pairs
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let n = clean.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = clean.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = clean.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in clean {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Spearman rank correlation coefficient.
+///
+/// Robust to monotone-but-nonlinear relationships; ties receive average
+/// ranks (the standard "fractional ranking" treatment).
+pub fn spearman(pairs: &[(f64, f64)]) -> Option<f64> {
+    let clean: Vec<(f64, f64)> = pairs
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if clean.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = clean.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = clean.iter().map(|p| p.1).collect();
+    let rx = fractional_ranks(&xs);
+    let ry = fractional_ranks(&ys);
+    let ranked: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson(&ranked)
+}
+
+/// Assigns fractional (average-of-ties) ranks, 1-based.
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Simple least-squares linear regression `y = a + b x`.
+///
+/// Returns `(intercept, slope)`, or `None` under the same conditions as
+/// [`pearson`] for x-variance.
+pub fn linear_fit(pairs: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let clean: Vec<(f64, f64)> = pairs
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let n = clean.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = clean.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = clean.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    for (x, y) in clean {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+    }
+    if var_x == 0.0 {
+        return None;
+    }
+    let slope = cov / var_x;
+    Some((mean_y - slope * mean_x, slope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&pairs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -3.0 * i as f64)).collect();
+        assert!((pearson(&pairs).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_near_zero() {
+        // Deterministic "independent" pattern: x cycles, y cycles offset.
+        let pairs: Vec<(f64, f64)> = (0..1000)
+            .map(|i| (((i * 7) % 13) as f64, ((i * 11) % 17) as f64))
+            .collect();
+        let r = pearson(&pairs).unwrap();
+        assert!(r.abs() < 0.1, "r = {r}");
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[]), None);
+        assert_eq!(pearson(&[(1.0, 2.0)]), None);
+        assert_eq!(pearson(&[(1.0, 2.0), (1.0, 3.0)]), None); // zero x variance
+        assert_eq!(pearson(&[(f64::NAN, 2.0), (1.0, 3.0)]), None);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let pairs: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i as f64).exp())).collect();
+        assert!((spearman(&pairs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let pairs = [(1.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 3.0)];
+        let rho = spearman(&pairs).unwrap();
+        assert!(rho > 0.5 && rho <= 1.0, "rho = {rho}");
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pairs: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 4.0 + 0.5 * i as f64)).collect();
+        let (a, b) = linear_fit(&pairs).unwrap();
+        assert!((a - 4.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+    }
+}

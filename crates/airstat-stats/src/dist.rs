@@ -1,0 +1,413 @@
+//! Random-variate samplers used by the fleet and traffic models.
+//!
+//! Real-world wireless measurements are dominated by heavy-tailed
+//! distributions: per-client usage spans six orders of magnitude (a phone
+//! checking mail vs. a Dropcam uploading 2.8 GB/week), AP neighbour counts
+//! range from zero to "skyscraper in Manhattan decoding beacons from miles
+//! away" (paper §6.1), and shadowing in indoor propagation is classically
+//! log-normal. This module implements the samplers the rest of AirStat
+//! needs, on top of any [`rand::Rng`], with no external distribution crate.
+//!
+//! All samplers are plain structs with a `sample(&self, rng)` method so they
+//! can be stored inside model configuration and reused.
+
+use rand::Rng;
+
+/// Standard normal variate via the Marsaglia polar method.
+///
+/// Rejection-free alternatives exist but polar is simple, branch-light and
+/// more than fast enough for simulation workloads.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation; must be non-negative.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be >= 0");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+///
+/// `mu`/`sigma` are the parameters of the underlying normal (natural log
+/// scale). Use [`LogNormal::from_median_p90`] to parameterize from
+/// human-readable quantiles instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log scale).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (log scale).
+    pub sigma: f64,
+}
+
+/// z-score of the 90th percentile of the standard normal.
+const Z90: f64 = 1.281_551_565_544_8;
+
+impl LogNormal {
+    /// Creates a log-normal with the given log-scale parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Parameterizes from the distribution's median and 90th percentile.
+    ///
+    /// This is how AirStat's model configs are written: "median client uses
+    /// 30 MB/week, the p90 client uses 600 MB" maps directly onto the paper's
+    /// published per-client numbers.
+    ///
+    /// # Panics
+    /// Panics unless `0 < median <= p90`.
+    pub fn from_median_p90(median: f64, p90: f64) -> Self {
+        assert!(median > 0.0 && p90 >= median, "need 0 < median <= p90");
+        let mu = median.ln();
+        let sigma = (p90.ln() - mu) / Z90;
+        LogNormal::new(mu, sigma)
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution mean, `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Exponential distribution with the given rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; mean is `1 / lambda`.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0");
+        Exponential { lambda }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() is in [0, 1); flip to (0, 1] to avoid ln(0).
+        -(1.0 - rng.gen::<f64>()).ln() / self.lambda
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for flow sizes and the extreme tail of per-client usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale).
+    pub x_min: f64,
+    /// Tail index (shape); smaller means heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "x_min must be > 0");
+        assert!(alpha > 0.0, "alpha must be > 0");
+        Pareto { x_min, alpha }
+    }
+
+    /// Draws one sample (always `>= x_min`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Application popularity is classically Zipf-like: the paper's Table 5 has
+/// "Miscellaneous web" at 22% of all bytes and rank-40 at 0.23%. Sampling
+/// uses precomputed cumulative weights (O(log n) per draw), which is ideal
+/// for our sizes (tens to thousands of ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so that the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the distribution has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Draws a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of 0-based rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - lo
+    }
+}
+
+/// Weighted discrete choice over arbitrary weights.
+///
+/// Backbone of categorical sampling: industry verticals, OS mix, channel
+/// selection. Weights need not be normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Creates a weighted choice from an iterator of non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if there are no weights, any weight is negative/non-finite, or
+    /// all weights are zero.
+    pub fn new<I: IntoIterator<Item = f64>>(weights: I) -> Self {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(!cumulative.is_empty(), "need at least one weight");
+        assert!(total > 0.0, "weights must not all be zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        WeightedIndex { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedTree;
+
+    fn rng() -> rand::rngs::SmallRng {
+        SeedTree::new(0xD15F).child("dist-tests").rng()
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0);
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_p90_roundtrip() {
+        let d = LogNormal::from_median_p90(30.0, 600.0);
+        assert!((d.median() - 30.0).abs() < 1e-9);
+        let mut r = rng();
+        let n = 200_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[n / 2];
+        let p90 = samples[n * 9 / 10];
+        assert!((med / 30.0 - 1.0).abs() < 0.05, "median {med}");
+        assert!((p90 / 600.0 - 1.0).abs() < 0.08, "p90 {p90}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let d = LogNormal::new(0.0, 3.0);
+        let mut r = rng();
+        assert!((0..10_000).all(|_| d.sample(&mut r) > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::with_mean(15.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 15.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_min_respected() {
+        let d = Pareto::new(2.5, 1.2);
+        let mut r = rng();
+        assert!((0..50_000).all(|_| d.sample(&mut r) >= 2.5));
+    }
+
+    #[test]
+    fn pareto_tail_heavier_with_smaller_alpha() {
+        let mut r = rng();
+        let heavy = Pareto::new(1.0, 0.8);
+        let light = Pareto::new(1.0, 3.0);
+        let n = 100_000;
+        let max_heavy = (0..n).map(|_| heavy.sample(&mut r)).fold(0.0, f64::max);
+        let max_light = (0..n).map(|_| light.sample(&mut r)).fold(0.0, f64::max);
+        assert!(max_heavy > max_light * 10.0);
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(40, 1.0);
+        let mut counts = vec![0usize; 40];
+        let mut r = rng();
+        for _ in 0..200_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[39]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.3);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new([1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        let mut r = rng();
+        for _ in 0..100_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn weighted_index_rejects_all_zero() {
+        let _ = WeightedIndex::new([0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x_min must be > 0")]
+    fn pareto_rejects_bad_scale() {
+        let _ = Pareto::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Fixed-bin histograms with exact merge semantics.
+//!
+//! The AirStat backend stores channel-utilization and RSSI aggregates as
+//! histograms rather than raw samples (a 10,000-AP fleet producing 3-minute
+//! scan summaries is ~5M rows/day; the paper's backend does the same kind of
+//! aggregation). Bins are uniform over `[lo, hi)` with explicit underflow
+//! and overflow bins so no sample is ever silently dropped.
+
+/// A uniform-bin histogram over `[lo, hi)` with underflow/overflow bins.
+///
+/// ```
+/// use airstat_stats::Histogram;
+///
+/// let mut busy = Histogram::percent(20);
+/// for sample in [12.0, 25.0, 26.0, 48.0, 95.0] {
+///     busy.record(sample);
+/// }
+/// assert_eq!(busy.count(), 5);
+/// let median = busy.quantile(0.5).unwrap();
+/// assert!(median > 20.0 && median < 35.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, or `lo`/`hi` are not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// A convenience constructor for percentage-valued data (`[0, 100]`).
+    ///
+    /// Values exactly equal to 100 land in the top bin rather than overflow,
+    /// which is what every utilization figure in the paper wants.
+    pub fn percent(bins: usize) -> Self {
+        // Extend hi by a hair so 100.0 falls inside the last bin.
+        Histogram::new(0.0, 100.0 + f64::EPSILON * 100.0, bins)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against floating rounding right at the top edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Half-open range `[start, end)` covered by bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_range(i);
+        (a + b) / 2.0
+    }
+
+    /// Iterator over `(bin_midpoint, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_mid(i), self.bins[i]))
+    }
+
+    /// Approximate quantile by linear interpolation within the bin.
+    ///
+    /// Under/overflow samples are pinned to `lo`/`hi`. Returns `None` when
+    /// the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if target <= next && c > 0 {
+                let (a, b) = self.bin_range(i);
+                let frac = (target - seen) / c as f64;
+                return Some(a + (b - a) * frac);
+            }
+            seen = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merges a histogram with identical bin layout into this one.
+    ///
+    /// # Panics
+    /// Panics if the layouts differ: merging mismatched histograms would
+    /// silently misattribute counts, so it is a hard error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram layouts differ"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
+    /// Fraction of samples at or below `x` (empirical CDF evaluated on bins).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x < self.lo {
+            return 0.0;
+        }
+        let mut below = self.underflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (_, end) = self.bin_range(i);
+            if end <= x {
+                below += c;
+            } else {
+                // Interpolate partial bin.
+                let (start, end) = self.bin_range(i);
+                if x >= start {
+                    let frac = (x - start) / (end - start);
+                    below += (c as f64 * frac) as u64;
+                }
+                break;
+            }
+        }
+        if x >= self.hi {
+            below = self.count;
+        }
+        below as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_places_samples_in_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.9);
+        h.record(5.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.bin_count(5), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn percent_histogram_takes_100() {
+        let mut h = Histogram::percent(20);
+        h.record(100.0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.bin_count(19), 1);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() < 1.0, "median {med}");
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 99.0);
+    }
+
+    #[test]
+    fn quantile_empty_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h2 = Histogram::new(0.0, 1.0, 4);
+        h2.record(0.3);
+        assert_eq!(h2.quantile(1.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn cdf_monotone_endpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        assert_eq!(h.cdf_at(-1.0), 0.0);
+        assert_eq!(h.cdf_at(10.0), 1.0);
+        let mid = h.cdf_at(5.0);
+        assert!(mid > 0.4 && mid < 0.6, "cdf(5)={mid}");
+    }
+
+    #[test]
+    fn bin_ranges_tile_domain() {
+        let h = Histogram::new(-3.0, 7.0, 4);
+        let (a0, b0) = h.bin_range(0);
+        let (a3, b3) = h.bin_range(3);
+        assert_eq!(a0, -3.0);
+        assert!((b3 - 7.0).abs() < 1e-12);
+        assert!((b0 - (-0.5)).abs() < 1e-12);
+        assert!((a3 - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # airstat-stats — statistics substrate for the AirStat measurement suite
+//!
+//! This crate provides the numerical building blocks used by every other
+//! AirStat crate:
+//!
+//! * deterministic, hierarchical random-seed derivation ([`rng::SeedTree`]),
+//!   so that an entire 10,000-AP fleet simulation is reproducible from a
+//!   single `u64`;
+//! * heavy-tailed samplers ([`dist`]) for client usage, spatial layout and
+//!   interference models (log-normal, Zipf, Pareto, exponential, normal);
+//! * streaming accumulators ([`streaming`]) — Welford mean/variance,
+//!   min/max, counters — used by the per-device telemetry agents;
+//! * fixed-bin [`histogram::Histogram`]s with exact merge semantics, the
+//!   on-the-wire aggregate format used by the backend store;
+//! * empirical distributions ([`cdf::Ecdf`]) with quantile queries, used to
+//!   regenerate every CDF figure in the paper;
+//! * correlation measures ([`correlation`]) for the utilization-vs-AP-count
+//!   scatter analyses (Figures 7 and 8);
+//! * reservoir sampling ([`reservoir`]) for the client-RSSI snapshot
+//!   (Figure 1), which in the paper is a point-in-time sample of ~309,000
+//!   clients;
+//! * sliding-window ratio counters ([`window`]) matching the paper's
+//!   300-second probe-delivery window semantics.
+//!
+//! Everything in this crate is pure computation: no I/O, no global state,
+//! no wall-clock time. All randomness is injected through [`rand::Rng`]
+//! so callers control determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod correlation;
+pub mod dist;
+pub mod histogram;
+pub mod reservoir;
+pub mod rng;
+pub mod streaming;
+pub mod summary;
+pub mod window;
+
+pub use cdf::Ecdf;
+pub use histogram::Histogram;
+pub use reservoir::Reservoir;
+pub use rng::SeedTree;
+pub use streaming::{Counter, MeanVar, MinMax};
+pub use window::SlidingRatio;

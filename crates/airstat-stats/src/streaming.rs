@@ -1,0 +1,277 @@
+//! Streaming accumulators for per-device telemetry.
+//!
+//! Telemetry agents on access points cannot buffer raw samples — the paper's
+//! devices report at ~1 kbit/s total. These accumulators keep O(1) state and
+//! are exact (no sketching): Welford mean/variance, min/max, and saturating
+//! counters, each with merge support so the backend can combine reports from
+//! multiple polling rounds or multiple radios.
+
+/// Running mean and variance using Welford's algorithm.
+///
+/// Numerically stable for long streams; merging two accumulators uses the
+/// parallel variance formula (Chan et al.), so `merge` is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (Bessel-corrected); `None` when fewer than 2 points.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator into this one (exact).
+    pub fn merge(&mut self, other: &MeanVar) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Running minimum and maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinMax {
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl MinMax {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Smallest observation so far.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation so far.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MinMax) {
+        if let Some(m) = other.min {
+            self.push(m);
+        }
+        if let Some(m) = other.max {
+            self.push(m);
+        }
+    }
+}
+
+/// A saturating byte/event counter with up/down directions.
+///
+/// Mirrors the paper's per-client usage counters, which track upstream and
+/// downstream bytes separately (Table 3's "% download" column). Saturates at
+/// `u64::MAX` instead of wrapping: a wrapped counter would silently corrupt
+/// year-over-year deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    up: u64,
+    down: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds upstream (client → network) bytes.
+    pub fn add_up(&mut self, bytes: u64) {
+        self.up = self.up.saturating_add(bytes);
+    }
+
+    /// Adds downstream (network → client) bytes.
+    pub fn add_down(&mut self, bytes: u64) {
+        self.down = self.down.saturating_add(bytes);
+    }
+
+    /// Upstream byte total.
+    pub fn up(&self) -> u64 {
+        self.up
+    }
+
+    /// Downstream byte total.
+    pub fn down(&self) -> u64 {
+        self.down
+    }
+
+    /// Total bytes in both directions.
+    pub fn total(&self) -> u64 {
+        self.up.saturating_add(self.down)
+    }
+
+    /// Fraction of bytes that are downstream, in `[0, 1]`; `None` when zero.
+    pub fn download_fraction(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.down as f64 / total as f64)
+    }
+
+    /// Ratio down/up; `None` when `up == 0`.
+    pub fn down_up_ratio(&self) -> Option<f64> {
+        (self.up > 0).then(|| self.down as f64 / self.up as f64)
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.add_up(other.up);
+        self.add_down(other.down);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meanvar_basics() {
+        let mut mv = MeanVar::new();
+        assert_eq!(mv.mean(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            mv.push(x);
+        }
+        assert_eq!(mv.count(), 8);
+        assert!((mv.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((mv.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((mv.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meanvar_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let mut whole = MeanVar::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (MeanVar::new(), MeanVar::new());
+        for &x in &data[..33] {
+            a.push(x);
+        }
+        for &x in &data[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meanvar_merge_empty_is_identity() {
+        let mut a = MeanVar::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&MeanVar::new());
+        assert_eq!(a, before);
+        let mut empty = MeanVar::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut mm = MinMax::new();
+        assert_eq!(mm.min(), None);
+        mm.push(-40.0);
+        mm.push(-92.0);
+        mm.push(-55.0);
+        assert_eq!(mm.min(), Some(-92.0));
+        assert_eq!(mm.max(), Some(-40.0));
+    }
+
+    #[test]
+    fn minmax_ignores_nan() {
+        let mut mm = MinMax::new();
+        mm.push(f64::NAN);
+        assert_eq!(mm.min(), None);
+        mm.push(1.0);
+        mm.push(f64::INFINITY);
+        assert_eq!(mm.max(), Some(1.0));
+    }
+
+    #[test]
+    fn counter_directions() {
+        let mut c = Counter::new();
+        c.add_up(100);
+        c.add_down(900);
+        assert_eq!(c.total(), 1000);
+        assert!((c.download_fraction().unwrap() - 0.9).abs() < 1e-12);
+        assert!((c.down_up_ratio().unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add_up(u64::MAX - 1);
+        c.add_up(10);
+        assert_eq!(c.up(), u64::MAX);
+        assert_eq!(c.total(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_zero_has_no_fraction() {
+        let c = Counter::new();
+        assert_eq!(c.download_fraction(), None);
+        assert_eq!(c.down_up_ratio(), None);
+    }
+}

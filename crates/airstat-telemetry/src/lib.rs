@@ -1,0 +1,47 @@
+//! # airstat-telemetry — the measurement pipeline
+//!
+//! The paper's backend (§2) is a pull-based telemetry system: every device
+//! keeps persistent tunnels to two data centers, the backend *polls* for
+//! queued statistics (a pull regulates load during peaks), devices keep
+//! queuing while disconnected, and reports are encoded with Google Protocol
+//! Buffers to stay around 1 kbit/s per AP. Usage is aggregated **by MAC
+//! address** in the backend to handle clients roaming between APs.
+//!
+//! This crate rebuilds that pipeline end to end:
+//!
+//! * [`wire`] — a compact varint wire format (protobuf-like: tagged fields,
+//!   length-delimited records) with exact round-trip semantics;
+//! * [`report`] — the report schema: client usage, client info and
+//!   capabilities, link-probe statistics, airtime counters, neighbour
+//!   scans, and MR18 channel scans, each with hand-written codecs;
+//! * [`transport`] — the device agent (bounded queue, at-least-once
+//!   delivery, sequence numbers) and a faulty tunnel (drop probability,
+//!   disconnects) between agent and poller;
+//! * [`backend`] — the poller and the time-series store that the analytics
+//!   crate queries, including MAC-level usage aggregation for roaming and
+//!   sequence-number deduplication so retransmits never double-count;
+//! * [`failover`] — the second data-center tunnel of §2, with failover
+//!   and fail-back;
+//! * [`crash`] — §6.1's crash telemetry: reports, the bounded-heap device
+//!   model behind the Manhattan OOM bug, and fleet-wide signature
+//!   aggregation;
+//! * [`anonymize`] — keyed MAC pseudonymization and k-anonymity row
+//!   suppression for publishing datasets like the paper's;
+//! * [`timeseries`] — RRD-style multi-resolution rollups for the
+//!   six-month comparison windows the backend keeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod backend;
+pub mod crash;
+pub mod failover;
+pub mod report;
+pub mod timeseries;
+pub mod transport;
+pub mod wire;
+
+pub use backend::{Backend, WindowId};
+pub use report::{Report, ReportPayload};
+pub use transport::{DeviceAgent, Tunnel, TunnelConfig};

@@ -1,0 +1,348 @@
+//! Multi-resolution time-series storage (RRD-style rollups).
+//!
+//! The paper's comparisons span six months ("six months ago and today",
+//! Table 7 / Figure 3) and the backend has run since 2006 — raw samples
+//! cannot be kept forever. [`RollupSeries`] stores a bounded window at
+//! each of several resolutions: fresh data at full detail, older data
+//! aggregated into coarser buckets carrying count/sum/min/max, so means
+//! and extremes survive downsampling exactly.
+
+use std::collections::VecDeque;
+
+/// One aggregated bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Bucket start time (s), aligned to the resolution step.
+    pub start_s: u64,
+    /// Samples aggregated.
+    pub count: u64,
+    /// Sum of samples (for exact means across any rollup depth).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Bucket {
+    fn new(start_s: u64, value: f64) -> Self {
+        Bucket {
+            start_s,
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn absorb_value(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn absorb_bucket(&mut self, other: &Bucket) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the bucket's samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// End of the bucket's span given its resolution step.
+    pub fn end_s(&self, step_s: u64) -> u64 {
+        self.start_s + step_s
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    step_s: u64,
+    capacity: usize,
+    buckets: VecDeque<Bucket>,
+}
+
+impl Level {
+    /// Inserts a value; returns any bucket that rolled out of retention.
+    fn insert_value(&mut self, t: u64, value: f64) -> Option<Bucket> {
+        let start = t - t % self.step_s;
+        if let Some(last) = self.buckets.back_mut() {
+            if last.start_s == start {
+                last.absorb_value(value);
+                return None;
+            }
+        }
+        self.buckets.push_back(Bucket::new(start, value));
+        if self.buckets.len() > self.capacity {
+            self.buckets.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Merges an expired finer bucket; returns any bucket rolled out here.
+    fn insert_bucket(&mut self, bucket: Bucket) -> Option<Bucket> {
+        let start = bucket.start_s - bucket.start_s % self.step_s;
+        if let Some(last) = self.buckets.back_mut() {
+            if last.start_s == start {
+                last.absorb_bucket(&bucket);
+                return None;
+            }
+        }
+        let mut promoted = bucket;
+        promoted.start_s = start;
+        self.buckets.push_back(promoted);
+        if self.buckets.len() > self.capacity {
+            self.buckets.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+/// The multi-resolution series.
+///
+/// ```
+/// use airstat_telemetry::timeseries::RollupSeries;
+///
+/// let mut series = RollupSeries::backend_default(); // 3 min -> 1 h -> 1 d
+/// for i in 0..100u64 {
+///     series.insert(i * 180, 0.25); // a day's worth of 3-minute scans
+/// }
+/// let (step_s, buckets) = series.range(0, 100 * 180);
+/// assert_eq!(step_s, 180); // fresh data stays fine-grained
+/// assert!(buckets.iter().all(|b| (b.mean() - 0.25).abs() < 1e-12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollupSeries {
+    levels: Vec<Level>,
+    dropped: u64,
+    last_t: Option<u64>,
+}
+
+impl RollupSeries {
+    /// Creates a series from `(step_s, capacity)` pairs, finest first.
+    ///
+    /// # Panics
+    /// Panics when no levels are given, steps are not strictly increasing
+    /// multiples of the previous level, or a capacity is zero.
+    pub fn new(levels: &[(u64, usize)]) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        let mut prev_step = 0;
+        for &(step, capacity) in levels {
+            assert!(capacity > 0, "capacity must be > 0");
+            assert!(step > prev_step, "steps must increase");
+            if prev_step > 0 {
+                assert!(step % prev_step == 0, "steps must nest");
+            }
+            prev_step = step;
+        }
+        RollupSeries {
+            levels: levels
+                .iter()
+                .map(|&(step_s, capacity)| Level {
+                    step_s,
+                    capacity,
+                    buckets: VecDeque::new(),
+                })
+                .collect(),
+            dropped: 0,
+            last_t: None,
+        }
+    }
+
+    /// The paper-scale default: 3-minute scans for a day, hourly for two
+    /// weeks, daily for a year.
+    pub fn backend_default() -> Self {
+        RollupSeries::new(&[(180, 480), (3_600, 336), (86_400, 366)])
+    }
+
+    /// Inserts one timestamped sample.
+    ///
+    /// # Panics
+    /// Panics when time runs backwards — collectors feed each series from
+    /// one device's monotone clock.
+    pub fn insert(&mut self, t: u64, value: f64) {
+        if let Some(last) = self.last_t {
+            assert!(t >= last, "samples must be time-ordered");
+        }
+        self.last_t = Some(t);
+        let mut carry = self.levels[0].insert_value(t, value);
+        for level in self.levels.iter_mut().skip(1) {
+            let Some(bucket) = carry else { return };
+            carry = level.insert_bucket(bucket);
+        }
+        if carry.is_some() {
+            self.dropped += 1;
+        }
+    }
+
+    /// Buckets fully or partially covering `[from_s, to_s)`, served from
+    /// the finest level that still retains the range's start.
+    ///
+    /// Returns the resolution step along with the buckets.
+    pub fn range(&self, from_s: u64, to_s: u64) -> (u64, Vec<Bucket>) {
+        for level in &self.levels {
+            let covers = level
+                .buckets
+                .front()
+                .is_some_and(|b| b.start_s <= from_s);
+            if covers || level.step_s == self.levels.last().expect("nonempty").step_s {
+                let buckets = level
+                    .buckets
+                    .iter()
+                    .filter(|b| b.end_s(level.step_s) > from_s && b.start_s < to_s)
+                    .copied()
+                    .collect();
+                return (level.step_s, buckets);
+            }
+        }
+        unreachable!("loop always returns at the coarsest level");
+    }
+
+    /// Exact mean over everything still retained at the coarsest level
+    /// and finer (i.e. all data not yet dropped).
+    pub fn retained_mean(&self) -> Option<f64> {
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        // Count each sample once: coarse levels only hold buckets that
+        // rolled out of finer ones, so all levels are disjoint.
+        for level in &self.levels {
+            for b in &level.buckets {
+                count += b.count;
+                sum += b.sum;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Buckets dropped past the coarsest retention.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RollupSeries {
+        // 10 s × 6, 60 s × 5, 300 s × 4.
+        RollupSeries::new(&[(10, 6), (60, 5), (300, 4)])
+    }
+
+    #[test]
+    fn fine_level_bucketing() {
+        let mut s = tiny();
+        s.insert(0, 1.0);
+        s.insert(5, 3.0); // same 10 s bucket
+        s.insert(12, 10.0); // next bucket
+        let (step, buckets) = s.range(0, 20);
+        assert_eq!(step, 10);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[0].mean(), 2.0);
+        assert_eq!(buckets[0].min, 1.0);
+        assert_eq!(buckets[0].max, 3.0);
+    }
+
+    #[test]
+    fn rollup_preserves_count_sum_extremes() {
+        let mut s = tiny();
+        // 100 samples at 10 s spacing → 100 fine buckets; only 6 retained
+        // finely, the rest roll into 60 s and 300 s buckets.
+        for i in 0..100u64 {
+            s.insert(i * 10, i as f64);
+        }
+        let total_mean = s.retained_mean().unwrap();
+        // Nothing dropped yet? 100 fine buckets → 94 promoted into 60s
+        // buckets (~16) → 11 promoted into 300s (~4 kept).
+        // Either way the retained mean must be a mean of *real* samples.
+        assert!((0.0..=99.0).contains(&total_mean));
+        // The coarse view of early data keeps min/max of its span.
+        let (step, buckets) = s.range(0, 400);
+        assert!(step >= 60, "early range must come from a rollup level");
+        assert!(!buckets.is_empty());
+        for b in &buckets {
+            assert!(b.min <= b.mean() && b.mean() <= b.max);
+            assert!(b.count >= 1);
+        }
+    }
+
+    #[test]
+    fn recent_range_served_at_fine_resolution() {
+        let mut s = tiny();
+        for i in 0..100u64 {
+            s.insert(i * 10, 1.0);
+        }
+        let (step, buckets) = s.range(940, 1000);
+        assert_eq!(step, 10, "fresh data stays fine-grained");
+        assert_eq!(buckets.len(), 6);
+    }
+
+    #[test]
+    fn mean_exact_across_rollups() {
+        // Constant series: every level's mean is exactly the constant.
+        let mut s = tiny();
+        for i in 0..500u64 {
+            s.insert(i * 10, 7.5);
+        }
+        assert_eq!(s.retained_mean(), Some(7.5));
+        let (_, buckets) = s.range(0, 5_000);
+        for b in buckets {
+            assert_eq!(b.mean(), 7.5);
+            assert_eq!(b.min, 7.5);
+            assert_eq!(b.max, 7.5);
+        }
+    }
+
+    #[test]
+    fn retention_eventually_drops() {
+        let mut s = tiny();
+        // Far beyond 4 × 300 s of coarse retention.
+        for i in 0..2_000u64 {
+            s.insert(i * 10, 1.0);
+        }
+        assert!(s.dropped() > 0, "old data must age out");
+    }
+
+    #[test]
+    fn backend_default_levels() {
+        let mut s = RollupSeries::backend_default();
+        // A day of 3-minute scans stays at 180 s resolution.
+        for i in 0..480u64 {
+            s.insert(i * 180, 0.25);
+        }
+        let (step, _) = s.range(0, 180 * 480);
+        assert_eq!(step, 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be time-ordered")]
+    fn rejects_time_travel() {
+        let mut s = tiny();
+        s.insert(100, 1.0);
+        s.insert(50, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps must nest")]
+    fn rejects_non_nesting_steps() {
+        let _ = RollupSeries::new(&[(10, 4), (25, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps must increase")]
+    fn rejects_non_increasing_steps() {
+        let _ = RollupSeries::new(&[(60, 4), (60, 4)]);
+    }
+}

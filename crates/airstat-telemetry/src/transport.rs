@@ -1,0 +1,360 @@
+//! Device agents and the faulty tunnel between device and backend.
+//!
+//! §2 of the paper, distilled:
+//!
+//! * devices maintain persistent tunnels and are **polled** by the backend
+//!   (pull, not push — "which helps regulate the flow of updates to the
+//!   database during times of peak load");
+//! * "in the event a device is unable to reach the Meraki backend, normal
+//!   client routing and accounting continues. The backend polls for queued
+//!   information when the connection is reestablished";
+//! * reports are retained until acknowledged, so a dropped poll response
+//!   is retransmitted later (at-least-once; the backend deduplicates by
+//!   sequence number).
+//!
+//! [`DeviceAgent`] is the on-device side: a bounded queue of encoded
+//! reports with monotone sequence numbers. [`Tunnel`] injects faults
+//! (drop probability, forced disconnects) between the agent and the
+//! backend's poller, in the spirit of smoltcp's fault-injecting examples.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use crate::report::{Report, ReportPayload};
+
+/// The on-device telemetry agent: queues reports until the backend polls.
+#[derive(Debug, Clone)]
+pub struct DeviceAgent {
+    device_id: u64,
+    next_seq: u64,
+    queue: VecDeque<Report>,
+    capacity: usize,
+    dropped_overflow: u64,
+}
+
+impl DeviceAgent {
+    /// Default queue capacity, sized for hours of disconnection.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates an agent for a device with the default queue capacity.
+    pub fn new(device_id: u64) -> Self {
+        Self::with_capacity(device_id, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an agent with an explicit queue capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(device_id: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be > 0");
+        DeviceAgent {
+            device_id,
+            next_seq: 0,
+            queue: VecDeque::new(),
+            capacity,
+            dropped_overflow: 0,
+        }
+    }
+
+    /// The device id this agent reports for.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+
+    /// Queues a new report payload stamped with the device clock.
+    ///
+    /// When the queue is full the **oldest** report is discarded (newest
+    /// data is most valuable for monitoring) and counted in
+    /// [`DeviceAgent::dropped_overflow`].
+    pub fn submit(&mut self, timestamp_s: u64, payload: ReportPayload) {
+        let report = Report {
+            device: self.device_id,
+            seq: self.next_seq,
+            timestamp_s,
+            payload,
+        };
+        self.next_seq += 1;
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped_overflow += 1;
+        }
+        self.queue.push_back(report);
+    }
+
+    /// Number of reports waiting for a poll.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reports discarded because the queue overflowed while disconnected.
+    pub fn dropped_overflow(&self) -> u64 {
+        self.dropped_overflow
+    }
+
+    /// Returns up to `max` queued reports **without** removing them
+    /// (at-least-once: removal happens on [`DeviceAgent::ack`]).
+    pub fn peek(&self, max: usize) -> Vec<Report> {
+        self.queue.iter().take(max).cloned().collect()
+    }
+
+    /// Acknowledges all reports with `seq <= upto`, releasing queue space.
+    pub fn ack(&mut self, upto: u64) {
+        while let Some(front) = self.queue.front() {
+            if front.seq <= upto {
+                self.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Fault-injection configuration for a tunnel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunnelConfig {
+    /// Probability that any single poll round-trip is lost.
+    pub drop_probability: f64,
+    /// Maximum reports transferred per poll.
+    pub poll_batch: usize,
+}
+
+impl Default for TunnelConfig {
+    fn default() -> Self {
+        TunnelConfig {
+            drop_probability: 0.0,
+            poll_batch: 64,
+        }
+    }
+}
+
+/// The (possibly faulty) path between one device agent and the backend.
+///
+/// The tunnel serializes reports to wire bytes and back — polls exercise
+/// the full encode/decode path exactly like the production system.
+#[derive(Debug, Clone)]
+pub struct Tunnel {
+    config: TunnelConfig,
+    connected: bool,
+    polls_attempted: u64,
+    polls_lost: u64,
+}
+
+/// The outcome of one poll over a tunnel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PollOutcome {
+    /// The device was unreachable (tunnel down).
+    Disconnected,
+    /// The round-trip was lost to a transient fault; the device keeps its
+    /// queue and a later poll will retransmit.
+    Lost,
+    /// Reports delivered and acknowledged.
+    Delivered(Vec<Report>),
+}
+
+impl Tunnel {
+    /// Creates a connected tunnel with the given fault configuration.
+    pub fn new(config: TunnelConfig) -> Self {
+        Tunnel {
+            config,
+            connected: true,
+            polls_attempted: 0,
+            polls_lost: 0,
+        }
+    }
+
+    /// A perfect tunnel (no faults).
+    pub fn perfect() -> Self {
+        Tunnel::new(TunnelConfig::default())
+    }
+
+    /// Whether the tunnel is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Simulates a WAN outage: subsequent polls fail until reconnect.
+    pub fn disconnect(&mut self) {
+        self.connected = false;
+    }
+
+    /// Restores connectivity.
+    pub fn reconnect(&mut self) {
+        self.connected = true;
+    }
+
+    /// Total polls attempted through this tunnel.
+    pub fn polls_attempted(&self) -> u64 {
+        self.polls_attempted
+    }
+
+    /// Polls lost to injected faults.
+    pub fn polls_lost(&self) -> u64 {
+        self.polls_lost
+    }
+
+    /// Performs one backend-initiated poll of `agent`.
+    ///
+    /// On success the transferred reports are acknowledged on the agent and
+    /// returned as decoded values (after a wire round-trip). On loss the
+    /// agent queue is untouched, so the next poll retransmits.
+    pub fn poll<R: Rng + ?Sized>(&mut self, agent: &mut DeviceAgent, rng: &mut R) -> PollOutcome {
+        self.polls_attempted += 1;
+        if !self.connected {
+            return PollOutcome::Disconnected;
+        }
+        if self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability {
+            self.polls_lost += 1;
+            return PollOutcome::Lost;
+        }
+        let batch = agent.peek(self.config.poll_batch);
+        // Full wire round-trip: encode on the device, decode at the backend.
+        let mut delivered = Vec::with_capacity(batch.len());
+        let mut max_seq = None;
+        for report in &batch {
+            let bytes = report.encode();
+            let decoded = Report::decode(&bytes).expect("self-encoded report must decode");
+            max_seq = Some(decoded.seq);
+            delivered.push(decoded);
+        }
+        if let Some(seq) = max_seq {
+            agent.ack(seq);
+        }
+        PollOutcome::Delivered(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_stats::SeedTree;
+
+    fn payload() -> ReportPayload {
+        ReportPayload::Usage(vec![])
+    }
+
+    #[test]
+    fn agent_sequences_monotone() {
+        let mut agent = DeviceAgent::new(9);
+        for t in 0..5 {
+            agent.submit(t, payload());
+        }
+        let batch = agent.peek(10);
+        let seqs: Vec<u64> = batch.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_drain() {
+        let mut agent = DeviceAgent::new(1);
+        agent.submit(0, payload());
+        assert_eq!(agent.peek(10).len(), 1);
+        assert_eq!(agent.queued(), 1);
+        agent.ack(0);
+        assert_eq!(agent.queued(), 0);
+    }
+
+    #[test]
+    fn ack_is_cumulative_and_partial() {
+        let mut agent = DeviceAgent::new(1);
+        for t in 0..6 {
+            agent.submit(t, payload());
+        }
+        agent.ack(2);
+        assert_eq!(agent.queued(), 3);
+        assert_eq!(agent.peek(1)[0].seq, 3);
+        // Acking an already-acked seq is a no-op.
+        agent.ack(1);
+        assert_eq!(agent.queued(), 3);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut agent = DeviceAgent::with_capacity(1, 3);
+        for t in 0..5 {
+            agent.submit(t, payload());
+        }
+        assert_eq!(agent.queued(), 3);
+        assert_eq!(agent.dropped_overflow(), 2);
+        let seqs: Vec<u64> = agent.peek(10).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest reports were discarded");
+    }
+
+    #[test]
+    fn perfect_tunnel_delivers_and_acks() {
+        let mut agent = DeviceAgent::new(2);
+        agent.submit(10, payload());
+        agent.submit(20, payload());
+        let mut tunnel = Tunnel::perfect();
+        let mut rng = SeedTree::new(1).rng();
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => {
+                assert_eq!(reports.len(), 2);
+                assert_eq!(reports[0].timestamp_s, 10);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(agent.queued(), 0);
+    }
+
+    #[test]
+    fn disconnected_tunnel_queues() {
+        let mut agent = DeviceAgent::new(3);
+        let mut tunnel = Tunnel::perfect();
+        tunnel.disconnect();
+        let mut rng = SeedTree::new(2).rng();
+        agent.submit(0, payload());
+        assert_eq!(tunnel.poll(&mut agent, &mut rng), PollOutcome::Disconnected);
+        assert_eq!(agent.queued(), 1, "nothing lost while down");
+        // Reconnect: the queued report arrives (§2's catch-up poll).
+        tunnel.reconnect();
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => assert_eq!(reports.len(), 1),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_polls_retransmit() {
+        let mut agent = DeviceAgent::new(4);
+        agent.submit(0, payload());
+        let mut tunnel = Tunnel::new(TunnelConfig {
+            drop_probability: 1.0,
+            poll_batch: 16,
+        });
+        let mut rng = SeedTree::new(3).rng();
+        assert_eq!(tunnel.poll(&mut agent, &mut rng), PollOutcome::Lost);
+        assert_eq!(agent.queued(), 1);
+        assert_eq!(tunnel.polls_lost(), 1);
+        // Heal the tunnel; data arrives eventually (at-least-once).
+        tunnel.config.drop_probability = 0.0;
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => assert_eq!(reports[0].seq, 0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_batch_limits_transfer() {
+        let mut agent = DeviceAgent::new(5);
+        for t in 0..10 {
+            agent.submit(t, payload());
+        }
+        let mut tunnel = Tunnel::new(TunnelConfig {
+            drop_probability: 0.0,
+            poll_batch: 4,
+        });
+        let mut rng = SeedTree::new(4).rng();
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => assert_eq!(reports.len(), 4),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(agent.queued(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        let _ = DeviceAgent::with_capacity(1, 0);
+    }
+}

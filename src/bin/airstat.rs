@@ -1,0 +1,273 @@
+//! `airstat` — the command-line front end.
+//!
+//! ```text
+//! airstat report  [--scale 0.01] [--seed N]    # every table and figure
+//! airstat table   <2|3|4|5|6|7>  [--scale ...] # one table
+//! airstat figure  <1..11>        [--scale ...] # one figure
+//! airstat release <dir>          [--scale ...] # the anonymized dataset
+//! airstat info                                 # panel sizes at a scale
+//! ```
+
+use airstat::core::export::build_release;
+use airstat::core::PaperReport;
+use airstat::sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
+use airstat::sim::{FleetConfig, FleetSimulation, MeasurementYear};
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Report,
+    Table(u8),
+    Figure(u8),
+    Release(String),
+    Info,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: Command,
+    scale: f64,
+    seed: Option<u64>,
+}
+
+fn usage() -> &'static str {
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N]\n\
+     \n\
+     report        print every table and figure of the paper\n\
+     table N       print table N (2-7)\n\
+     figure N      print figure N (1-11)\n\
+     release DIR   write the anonymized dataset CSVs into DIR\n\
+     info          print panel sizes at the chosen scale\n\
+     --scale S     fleet scale in (0, 1], default 0.01\n\
+     --seed N      root random seed (u64, decimal or 0x-hex)"
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("not a u64: {s}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut scale = 0.01f64;
+    let mut seed = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let value = args.get(i).ok_or("--scale needs a value")?;
+                scale = value.parse().map_err(|_| format!("bad scale: {value}"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(format!("scale must be in (0, 1], got {scale}"));
+                }
+            }
+            "--seed" => {
+                i += 1;
+                let value = args.get(i).ok_or("--seed needs a value")?;
+                seed = Some(parse_u64(value)?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let command = match positional.first().map(String::as_str) {
+        Some("report") => Command::Report,
+        Some("table") => {
+            let n: u8 = positional
+                .get(1)
+                .ok_or("table needs a number (2-7)")?
+                .parse()
+                .map_err(|_| "table number must be 2-7".to_string())?;
+            if !(2..=7).contains(&n) {
+                return Err("table number must be 2-7".into());
+            }
+            Command::Table(n)
+        }
+        Some("figure") => {
+            let n: u8 = positional
+                .get(1)
+                .ok_or("figure needs a number (1-11)")?
+                .parse()
+                .map_err(|_| "figure number must be 1-11".to_string())?;
+            if !(1..=11).contains(&n) {
+                return Err("figure number must be 1-11".into());
+            }
+            Command::Figure(n)
+        }
+        Some("release") => Command::Release(
+            positional
+                .get(1)
+                .ok_or("release needs an output directory")?
+                .clone(),
+        ),
+        Some("info") => Command::Info,
+        Some(other) => return Err(format!("unknown command {other}")),
+        None => return Err(String::new()),
+    };
+    Ok(Options { command, scale, seed })
+}
+
+fn run(options: Options) -> Result<(), String> {
+    let mut config = FleetConfig::paper(options.scale);
+    if let Some(seed) = options.seed {
+        config.seed = seed;
+    }
+    if options.command == Command::Info {
+        println!(
+            "scale {:.4}: {} usage networks, {} MR16 APs, {} MR18 APs, {} clients (2015) / {} (2014), seed {:#x}",
+            options.scale,
+            config.usage_networks(),
+            config.mr16_aps(),
+            config.mr18_aps(),
+            config.clients(MeasurementYear::Y2015),
+            config.clients(MeasurementYear::Y2014),
+            config.seed,
+        );
+        return Ok(());
+    }
+
+    eprintln!("running campaign at {:.2}% scale...", options.scale * 100.0);
+    let output = FleetSimulation::new(config.clone()).run();
+
+    match options.command {
+        Command::Report => {
+            let report = PaperReport::from_simulation(&output, &config);
+            println!("{report}");
+        }
+        Command::Table(n) => {
+            let report = PaperReport::from_simulation(&output, &config);
+            match n {
+                2 => println!("{}", report.table2),
+                3 => println!("{}", report.table3),
+                4 => println!("{}", report.table4),
+                5 => println!("{}", report.table5),
+                6 => println!("{}", report.table6),
+                7 => println!("{}", report.table7),
+                _ => unreachable!("validated"),
+            }
+        }
+        Command::Figure(n) => {
+            let report = PaperReport::from_simulation(&output, &config);
+            match n {
+                1 => println!("{}", report.figure1),
+                2 => println!("{}", report.figure2),
+                3 => println!("{}", report.figure3),
+                4 => println!("{}", report.figure4),
+                5 => println!("{}", report.figure5),
+                6 => println!("{}", report.figure6),
+                7 => println!("{}", report.figure7),
+                8 => println!("{}", report.figure8),
+                9 => {
+                    println!("{}", report.figure9_2_4);
+                    println!("{}", report.figure9_5);
+                }
+                10 => println!("{}", report.figure10),
+                11 => println!("{}", report.figure11),
+                _ => unreachable!("validated"),
+            }
+        }
+        Command::Release(dir) => {
+            let release = build_release(
+                &output.backend,
+                &[(WINDOW_JUL_2014, "2014-07"), (WINDOW_JAN_2015, "2015-01")],
+                config.seed ^ 0x5EC2E7,
+            );
+            std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+            for (name, contents) in [
+                ("links.csv", &release.links_csv),
+                ("nearby.csv", &release.nearby_csv),
+                ("utilization.csv", &release.utilization_csv),
+            ] {
+                let path = format!("{dir}/{name}");
+                std::fs::write(&path, contents).map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+        }
+        Command::Info => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(options) => match run(options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse(&["report"]).unwrap().command, Command::Report);
+        assert_eq!(parse(&["table", "3"]).unwrap().command, Command::Table(3));
+        assert_eq!(parse(&["figure", "11"]).unwrap().command, Command::Figure(11));
+        assert_eq!(
+            parse(&["release", "/tmp/x"]).unwrap().command,
+            Command::Release("/tmp/x".into())
+        );
+        assert_eq!(parse(&["info"]).unwrap().command, Command::Info);
+    }
+
+    #[test]
+    fn parses_flags_anywhere() {
+        let o = parse(&["--scale", "0.5", "table", "4", "--seed", "0xBEEF"]).unwrap();
+        assert_eq!(o.command, Command::Table(4));
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, Some(0xBEEF));
+    }
+
+    #[test]
+    fn default_scale() {
+        assert_eq!(parse(&["report"]).unwrap().scale, 0.01);
+        assert_eq!(parse(&["report"]).unwrap().seed, None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["table", "8"]).is_err());
+        assert!(parse(&["table", "1"]).is_err());
+        assert!(parse(&["figure", "12"]).is_err());
+        assert!(parse(&["figure"]).is_err());
+        assert!(parse(&["release"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["report", "--scale", "2.0"]).is_err());
+        assert!(parse(&["report", "--scale", "0"]).is_err());
+        assert!(parse(&["report", "--bogus"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_hex_and_decimal_seeds() {
+        assert_eq!(parse_u64("123").unwrap(), 123);
+        assert_eq!(parse_u64("0xff").unwrap(), 255);
+        assert!(parse_u64("zzz").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Integration tests for the operational systems around the paper's
+//! §6 ("Real-world experiences") and §8 (practical implications):
+//! crash telemetry, update-surge detection, channel planning, traffic
+//! shaping, transport failover, and the dataset release.
+
+use airstat::classify::device::OsFamily;
+use airstat::core::anomaly::{attribute_spike, detect_spikes};
+use airstat::core::export::build_release;
+use airstat::core::planner::{evaluate, plan, ChannelMeasurement, PlannerStrategy};
+use airstat::rf::band::{Band, Channel};
+use airstat::rf::qos::FairShaper;
+use airstat::sim::config::{MeasurementYear, WINDOW_JAN_2015, WINDOW_JUL_2014};
+use airstat::sim::engine::{channel_load, diurnal, sample_census};
+use airstat::sim::population::PopulationModel;
+use airstat::sim::surge::{generate_daily_series, UpdateEvent, WEEKDAY_ACTIVITY};
+use airstat::sim::world::{NeighborEpoch, World};
+use airstat::sim::{FleetConfig, FleetSimulation};
+use airstat::stats::SeedTree;
+use airstat::telemetry::crash::{CrashSignature, RebootReason};
+
+#[test]
+fn fleet_run_surfaces_the_manhattan_bug() {
+    // A normal campaign at modest scale: a handful of extreme-density APs
+    // must OOM, and the backend's triage view must fingerprint the bug as
+    // heap exhaustion (one reason, scattered program counters).
+    let config = FleetConfig::paper(0.02);
+    let output = FleetSimulation::new(config).run();
+    let crashes = output
+        .backend
+        .crashes(WINDOW_JAN_2015)
+        .expect("some APs must crash");
+    let signature = CrashSignature {
+        firmware: airstat::sim::engine::FIRMWARE_VERSION.to_string(),
+        reason: RebootReason::OutOfMemory,
+    };
+    let affected = crashes.affected_devices(&signature);
+    let fleet = (output.world.aps.len() as f64) as usize;
+    assert!(affected > 0, "the bug must reproduce");
+    assert!(
+        affected * 5 < fleet,
+        "\"a small number of access points\": {affected}/{fleet}"
+    );
+    assert!(
+        crashes.looks_like_heap_exhaustion(&signature, 3),
+        "scattered PCs identify heap exhaustion"
+    );
+    // Crashing devices live in unusually dense RF environments.
+    let mean_density: f64 =
+        output.world.aps.iter().map(|a| a.density).sum::<f64>() / fleet as f64;
+    // affected_devices has no device list API; recompute via world: the
+    // crashers were the census-extreme APs, which correlates with density.
+    // Weak check: the fleet has outliers at all.
+    let max_density = output.world.aps.iter().map(|a| a.density).fold(0.0, f64::max);
+    assert!(max_density > 3.0 * mean_density, "skyscraper-grade outliers exist");
+}
+
+#[test]
+fn update_surge_detected_and_attributed() {
+    let seed = SeedTree::new(0x0b5);
+    let model = PopulationModel::new(MeasurementYear::Y2015);
+    let mut rng = seed.child("clients").rng();
+    let clients: Vec<_> = (0..20_000).map(|i| model.sample_client(i, &mut rng)).collect();
+    let events = [UpdateEvent::ios_major(2)];
+    let mut rng = seed.child("week").rng();
+    let series = generate_daily_series(&clients, &events, &mut rng);
+    let spikes = detect_spikes(&series.total, &WEEKDAY_ACTIVITY, 4.0);
+    // The Wednesday release dominates; its Thursday download tail may
+    // also cross the threshold, nothing else can.
+    assert!(!spikes.is_empty() && spikes.len() <= 2, "spikes: {spikes:?}");
+    assert_eq!(spikes[0].index, 2, "the release day ranks first");
+    if let Some(tail) = spikes.get(1) {
+        assert_eq!(tail.index, 3, "only the tail may co-trigger");
+    }
+    // Attribution to the right platform.
+    let mut per_os = Vec::new();
+    for os in [OsFamily::AppleIos, OsFamily::Windows, OsFamily::Android] {
+        let subset: Vec<_> = clients.iter().filter(|c| c.os == os).cloned().collect();
+        let mut rng = seed.child("week").rng();
+        let s = generate_daily_series(&subset, &events, &mut rng);
+        per_os.push((os, s.total));
+    }
+    let (who, excess) = attribute_spike(&spikes[0], &per_os, &WEEKDAY_ACTIVITY).unwrap();
+    assert_eq!(who, OsFamily::AppleIos);
+    assert!(excess > 0.0);
+}
+
+#[test]
+fn utilization_planner_beats_count_planner_at_fleet_scale() {
+    let world = World::generate(&SeedTree::new(0x0b6), 200, 0);
+    let mut measurements = std::collections::HashMap::new();
+    let mut rng = SeedTree::new(0x0b7).rng();
+    for ap in &world.aps {
+        let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+        for n in [1u16, 6, 11] {
+            let channel = Channel::new(Band::Ghz2_4, n).unwrap();
+            let mut util = 0.0;
+            for hour in [9u64, 11, 14, 16, 10, 13] {
+                util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
+                    .utilization();
+            }
+            measurements.insert(
+                (ap.device_id, n),
+                ChannelMeasurement {
+                    networks: census.count_on(channel),
+                    utilization: util / 6.0,
+                },
+            );
+        }
+    }
+    let measure =
+        |d: u64, ch: Channel| measurements.get(&(d, ch.number)).copied().unwrap_or_default();
+    let truth = |d: u64, ch: Channel| measure(d, ch).utilization;
+    let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
+    let by_util = plan(&world, &measure, PlannerStrategy::LowestUtilization);
+    let cost_count = evaluate(&world, &by_count, &truth);
+    let cost_util = evaluate(&world, &by_util, &truth);
+    assert!(
+        cost_util < cost_count,
+        "utilization planning ({cost_util:.3}) must beat counting ({cost_count:.3})"
+    );
+}
+
+#[test]
+fn shaping_protects_interactive_clients_during_a_surge() {
+    // §8 recommendation (1) applied to the §6.2 scenario: during an OS
+    // update surge, fair shaping keeps light clients' queues short.
+    let mut shaper = FairShaper::new(1500);
+    for updater in 0..8u64 {
+        for _ in 0..50 {
+            shaper.enqueue(updater, 1500);
+        }
+    }
+    for interactive in 100..140u64 {
+        shaper.enqueue(interactive, 400);
+    }
+    // One drain slot big enough for every client's quantum.
+    let sent = shaper.drain(60_000);
+    for interactive in 100..140u64 {
+        assert_eq!(
+            shaper.backlog(interactive),
+            0,
+            "interactive client {interactive} cleared in the first slot"
+        );
+    }
+    // Updaters are still backlogged — they absorb the delay, not others.
+    let updater_backlog: u64 = (0..8).map(|c| shaper.backlog(c)).sum();
+    assert!(updater_backlog > 0);
+    assert!(!sent.is_empty());
+}
+
+#[test]
+fn failover_during_campaign_poll() {
+    use airstat::telemetry::failover::{DataCenter, DualTunnel};
+    use airstat::telemetry::transport::{DeviceAgent, TunnelConfig};
+    use airstat::telemetry::ReportPayload;
+    let mut agent = DeviceAgent::new(1);
+    for t in 0..500 {
+        agent.submit(t, ReportPayload::Usage(vec![]));
+    }
+    let mut dual = DualTunnel::new(
+        TunnelConfig {
+            drop_probability: 0.05,
+            poll_batch: 32,
+        },
+        3,
+    );
+    dual.outage(DataCenter::Primary);
+    let mut rng = SeedTree::new(0x0b8).rng();
+    let (reports, _) = dual.drain(&mut agent, &mut rng);
+    assert_eq!(reports.len(), 500, "outage loses nothing");
+    assert!(dual.served_by(DataCenter::Secondary) > 0);
+}
+
+#[test]
+fn dataset_release_covers_both_windows() {
+    let config = FleetConfig::smoke();
+    let output = FleetSimulation::new(config.clone()).run();
+    let release = build_release(
+        &output.backend,
+        &[(WINDOW_JUL_2014, "2014-07"), (WINDOW_JAN_2015, "2015-01")],
+        1,
+    );
+    let (links, nearby, util) = release.row_counts();
+    assert!(links > 0 && nearby > 0 && util > 0);
+    assert!(release.links_csv.contains("2014-07"));
+    assert!(release.links_csv.contains("2015-01"));
+    // No raw device ids below the pseudonym space leak into the CSV.
+    for line in release.links_csv.lines().skip(1).take(50) {
+        let rx = line.split(',').nth(2).unwrap();
+        assert_eq!(rx.len(), 16, "16-hex-digit pseudonyms only: {rx}");
+    }
+}
