@@ -13,17 +13,17 @@
 //! * **Serving radio vs scanning radio** (§5.2): measures the sampling
 //!   bias between MR16-style and MR18-style utilization measurement.
 
+use airstat_bench::harness::{criterion_group, criterion_main, Criterion};
 use airstat_classify::apps::RuleSet;
+use airstat_classify::Application;
 use airstat_rf::airtime::ChannelLoad;
 use airstat_rf::band::{Band, Channel};
 use airstat_rf::scanner::{ScanningRadio, ServingRadio};
 use airstat_sim::traffic::metadata_for;
-use airstat_classify::Application;
 use airstat_stats::{SeedTree, SlidingRatio};
 use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel, TunnelConfig};
 use airstat_telemetry::wire::put_field_str;
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::Rng;
 use std::hint::black_box;
 
@@ -52,14 +52,17 @@ fn probe_window_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_probe_window");
     for window_s in [60u64, 300, 900] {
         group.bench_function(format!("window_{window_s}s"), |b| {
-            b.iter_with_setup(|| SeedTree::new(1), |seed| {
-                let mut rng = seed.rng();
-                let mut w = SlidingRatio::new(window_s);
-                for t in (0..3_600u64).step_by(15) {
-                    w.record(t, rng.gen::<f64>() < 0.7);
-                }
-                black_box(w.ratio())
-            })
+            b.iter_with_setup(
+                || SeedTree::new(1),
+                |seed| {
+                    let mut rng = seed.rng();
+                    let mut w = SlidingRatio::new(window_s);
+                    for t in (0..3_600u64).step_by(15) {
+                        w.record(t, rng.gen::<f64>() < 0.7);
+                    }
+                    black_box(w.ratio())
+                },
+            )
         });
     }
     group.finish();
@@ -221,17 +224,30 @@ fn planner_strategies(c: &mut Criterion) {
             let channel = Channel::new(Band::Ghz2_4, n).unwrap();
             let mut util = 0.0;
             for hour in [9u64, 11, 14, 16, 10] {
-                util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
-                    .utilization();
+                util += channel_load(
+                    ap,
+                    &census,
+                    channel,
+                    NeighborEpoch::Jan2015,
+                    diurnal(hour),
+                    &mut rng,
+                )
+                .utilization();
             }
             measurements.insert(
                 (ap.device_id, n),
-                ChannelMeasurement { networks: census.count_on(channel), utilization: util / 5.0 },
+                ChannelMeasurement {
+                    networks: census.count_on(channel),
+                    utilization: util / 5.0,
+                },
             );
         }
     }
     let measure = |d: u64, ch: Channel| {
-        measurements.get(&(d, ch.number)).copied().unwrap_or_default()
+        measurements
+            .get(&(d, ch.number))
+            .copied()
+            .unwrap_or_default()
     };
     let truth = |d: u64, ch: Channel| measure(d, ch).utilization;
     let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
@@ -249,7 +265,13 @@ fn planner_strategies(c: &mut Criterion) {
         b.iter(|| plan(black_box(&world), &measure, PlannerStrategy::FewestNetworks))
     });
     group.bench_function("plan_by_utilization", |b| {
-        b.iter(|| plan(black_box(&world), &measure, PlannerStrategy::LowestUtilization))
+        b.iter(|| {
+            plan(
+                black_box(&world),
+                &measure,
+                PlannerStrategy::LowestUtilization,
+            )
+        })
     });
     group.finish();
 }

@@ -4,6 +4,7 @@
 //! once and then times the query.
 
 use airstat_bench::fixture;
+use airstat_bench::harness::{criterion_group, criterion_main, Criterion};
 use airstat_core::figures::{
     ChannelCensusFigure, DayNightFigure, DecodableFigure, DeliveryFigure, LinkTimeseriesFigure,
     RssiFigure, SpectrumFigure, UtilVsApsFigure, UtilizationFigure,
@@ -12,7 +13,6 @@ use airstat_rf::band::Band;
 use airstat_sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
 use airstat_sim::engine::{DAY_SAMPLE_HOUR, NIGHT_SAMPLE_HOUR};
 use airstat_stats::SeedTree;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn fig1_rssi(c: &mut Criterion) {
@@ -38,7 +38,9 @@ fn fig3_delivery(c: &mut Criterion) {
     let fig = DeliveryFigure::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
     println!("\n[figure3]:\n{fig}");
     c.bench_function("fig3_delivery", |b| {
-        b.iter(|| DeliveryFigure::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015))
+        b.iter(|| {
+            DeliveryFigure::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015)
+        })
     });
 }
 
@@ -48,7 +50,12 @@ fn fig4_link24(c: &mut Criterion) {
     println!("\n[figure4]:\n{fig}");
     c.bench_function("fig4_link24", |b| {
         b.iter(|| {
-            LinkTimeseriesFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4, 2)
+            LinkTimeseriesFigure::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2015,
+                Band::Ghz2_4,
+                2,
+            )
         })
     });
 }
@@ -59,7 +66,12 @@ fn fig5_link5(c: &mut Criterion) {
     println!("\n[figure5]:\n{fig}");
     c.bench_function("fig5_link5", |b| {
         b.iter(|| {
-            LinkTimeseriesFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz5, 2)
+            LinkTimeseriesFigure::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2015,
+                Band::Ghz5,
+                2,
+            )
         })
     });
 }
@@ -78,7 +90,9 @@ fn fig7_scatter24(c: &mut Criterion) {
     let fig = UtilVsApsFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz2_4);
     println!("\n[figure7]:\n{fig}");
     c.bench_function("fig7_scatter24", |b| {
-        b.iter(|| UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4))
+        b.iter(|| {
+            UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4)
+        })
     });
 }
 

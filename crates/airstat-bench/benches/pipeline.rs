@@ -7,15 +7,17 @@
 //! * backend ingest throughput;
 //! * end-to-end fleet simulation rate (clients simulated per second).
 
+use airstat_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use airstat_classify::apps::{FlowMetadata, RuleSet};
-use airstat_classify::device::{ClassifierVersion, DeviceClassifier, DeviceEvidence, DhcpFingerprint};
+use airstat_classify::device::{
+    ClassifierVersion, DeviceClassifier, DeviceEvidence, DhcpFingerprint,
+};
 use airstat_classify::mac::MacAddress;
 use airstat_classify::Application;
 use airstat_sim::{FleetConfig, FleetSimulation};
 use airstat_stats::SeedTree;
 use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn sample_report(records: usize) -> Report {
@@ -46,7 +48,9 @@ fn wire_roundtrip(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("wire");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode_64_records", |b| b.iter(|| black_box(&report).encode()));
+    group.bench_function("encode_64_records", |b| {
+        b.iter(|| black_box(&report).encode())
+    });
     group.bench_function("decode_64_records", |b| {
         b.iter(|| Report::decode(black_box(&encoded)).unwrap())
     });
@@ -103,17 +107,31 @@ fn backend_ingest(c: &mut Criterion) {
 fn fleet_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
-    let config = FleetConfig {
+    let base = FleetConfig {
         seed: 1,
         poll_drop_probability: 0.0,
+        threads: 1,
         ..FleetConfig::paper(0.001)
     };
-    let clients = config.clients(airstat_sim::MeasurementYear::Y2015)
-        + config.clients(airstat_sim::MeasurementYear::Y2014);
+    let clients = base.clients(airstat_sim::MeasurementYear::Y2015)
+        + base.clients(airstat_sim::MeasurementYear::Y2014);
     group.throughput(Throughput::Elements(clients));
-    group.bench_function("full_campaign_0.1pct", |b| {
-        b.iter(|| FleetSimulation::new(black_box(config.clone())).run())
-    });
+    // Same campaign at both ends of the thread knob: the strictly serial
+    // path and the full fan-out. Output is byte-identical either way, so
+    // any delta between the two cases is pure engine overhead/speedup.
+    let max_threads = airstat_sim::config::default_threads();
+    for threads in [1, max_threads] {
+        let config = FleetConfig {
+            threads,
+            ..base.clone()
+        };
+        group.bench_function(format!("full_campaign_0.1pct_t{threads}"), |b| {
+            b.iter(|| FleetSimulation::new(black_box(config.clone())).run())
+        });
+        if max_threads == 1 {
+            break; // single-core host: the two cases are the same run
+        }
+    }
     group.finish();
     let _ = SeedTree::new(0);
 }

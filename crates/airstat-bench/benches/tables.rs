@@ -4,13 +4,13 @@
 //! doubles as the reproduction record) and then times the analytics query
 //! against the shared fleet fixture.
 
+use airstat_bench::harness::{criterion_group, criterion_main, Criterion};
 use airstat_bench::{fixture, BENCH_SCALE};
 use airstat_core::tables::{
     CapabilitiesTable, CategoriesTable, IndustryTable, NearbyTable, OsUsageTable, TopAppsTable,
 };
 use airstat_sim::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
 use airstat_stats::SeedTree;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn table2_industry(c: &mut Criterion) {
@@ -29,11 +29,7 @@ fn table3_os_usage(c: &mut Criterion) {
     println!("\n[table3]:\n{table}");
     c.bench_function("table3_os_usage", |b| {
         b.iter(|| {
-            OsUsageTable::compute(
-                black_box(&output.backend),
-                WINDOW_JAN_2015,
-                WINDOW_JAN_2014,
-            )
+            OsUsageTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014)
         })
     });
 }
@@ -44,11 +40,7 @@ fn table4_capabilities(c: &mut Criterion) {
     println!("\n[table4]:\n{table}");
     c.bench_function("table4_capabilities", |b| {
         b.iter(|| {
-            CapabilitiesTable::compute(
-                black_box(&output.backend),
-                WINDOW_JAN_2014,
-                WINDOW_JAN_2015,
-            )
+            CapabilitiesTable::compute(black_box(&output.backend), WINDOW_JAN_2014, WINDOW_JAN_2015)
         })
     });
 }
@@ -59,7 +51,12 @@ fn table5_top_apps(c: &mut Criterion) {
     println!("\n[table5] top 40:\n{table}");
     c.bench_function("table5_top_apps", |b| {
         b.iter(|| {
-            TopAppsTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014, 40)
+            TopAppsTable::compute(
+                black_box(&output.backend),
+                WINDOW_JAN_2015,
+                WINDOW_JAN_2014,
+                40,
+            )
         })
     });
 }
@@ -80,7 +77,9 @@ fn table7_nearby(c: &mut Criterion) {
     let table = NearbyTable::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
     println!("\n[table7]:\n{table}");
     c.bench_function("table7_nearby", |b| {
-        b.iter(|| NearbyTable::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015))
+        b.iter(|| {
+            NearbyTable::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015)
+        })
     });
 }
 

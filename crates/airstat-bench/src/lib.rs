@@ -34,3 +34,258 @@ pub fn fixture_report() -> &'static PaperReport {
         PaperReport::from_simulation(output, config)
     })
 }
+
+pub mod harness {
+    //! Criterion-compatible micro-benchmark shim.
+    //!
+    //! The offline build environment cannot fetch criterion, so this module
+    //! implements the small API slice the `benches/` files use — `Criterion`,
+    //! `benchmark_group`, `Bencher::iter` / `iter_with_setup`, `Throughput`,
+    //! and the `criterion_group!` / `criterion_main!` macros. Timing is a
+    //! plain warm-up-then-sample loop; results print to stdout and accumulate
+    //! in [`Criterion::results`] so test harnesses (see
+    //! `tests/bench_pipeline.rs`) can persist them as JSON.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    pub use crate::{criterion_group, criterion_main};
+
+    /// Per-bench throughput annotation, used to derive a rate from the
+    /// measured per-iteration time.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Throughput {
+        Bytes(u64),
+        Elements(u64),
+    }
+
+    /// One measured benchmark, exposed for JSON export.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        pub group: String,
+        pub name: String,
+        pub iterations: usize,
+        pub mean_ns: f64,
+        pub min_ns: f64,
+        pub throughput: Option<Throughput>,
+    }
+
+    impl BenchResult {
+        /// Human-readable rate derived from the throughput annotation.
+        pub fn rate(&self) -> Option<String> {
+            match self.throughput? {
+                Throughput::Bytes(n) => {
+                    let mib_s = n as f64 / (1 << 20) as f64 / (self.mean_ns * 1e-9);
+                    Some(format!("{mib_s:.1} MiB/s"))
+                }
+                Throughput::Elements(n) => {
+                    let elem_s = n as f64 / (self.mean_ns * 1e-9);
+                    Some(format!("{elem_s:.0} elem/s"))
+                }
+            }
+        }
+    }
+
+    fn format_ns(ns: f64) -> String {
+        if ns < 1e3 {
+            format!("{ns:.0} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.2} s", ns / 1e9)
+        }
+    }
+
+    /// Entry point mirroring `criterion::Criterion`.
+    pub struct Criterion {
+        sample_size: usize,
+        /// Soft wall-clock budget per bench function; sampling stops early
+        /// once it is exceeded (minimum 3 samples are always taken).
+        max_sample_time: Duration,
+        pub results: Vec<BenchResult>,
+    }
+
+    impl Default for Criterion {
+        fn default() -> Self {
+            Criterion {
+                sample_size: 30,
+                max_sample_time: Duration::from_secs(2),
+                results: Vec::new(),
+            }
+        }
+    }
+
+    impl Criterion {
+        pub fn sample_size(mut self, n: usize) -> Self {
+            self.sample_size = n.max(1);
+            self
+        }
+
+        pub fn measurement_time(mut self, budget: Duration) -> Self {
+            self.max_sample_time = budget;
+            self
+        }
+
+        pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+            let name = name.into();
+            println!("[bench group] {name}");
+            BenchmarkGroup {
+                criterion: self,
+                name,
+                sample_size: None,
+                throughput: None,
+            }
+        }
+
+        /// Ungrouped bench, mirroring `criterion::Criterion::bench_function`:
+        /// the bench id doubles as the group name.
+        pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            let name = name.into();
+            self.benchmark_group(name.clone()).bench_function(name, f);
+            self
+        }
+    }
+
+    pub struct BenchmarkGroup<'c> {
+        criterion: &'c mut Criterion,
+        name: String,
+        sample_size: Option<usize>,
+        throughput: Option<Throughput>,
+    }
+
+    impl BenchmarkGroup<'_> {
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = Some(n.max(1));
+            self
+        }
+
+        pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+            self.throughput = Some(throughput);
+            self
+        }
+
+        pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+        where
+            F: FnMut(&mut Bencher),
+        {
+            let name = name.into();
+            let mut bencher = Bencher {
+                sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+                max_sample_time: self.criterion.max_sample_time,
+                times: Vec::new(),
+            };
+            f(&mut bencher);
+            let times = bencher.times;
+            assert!(
+                !times.is_empty(),
+                "bench {}::{} recorded no samples (missing b.iter call?)",
+                self.name,
+                name
+            );
+            let mean_ns =
+                times.iter().map(Duration::as_nanos).sum::<u128>() as f64 / times.len() as f64;
+            let min_ns = times.iter().map(Duration::as_nanos).min().unwrap() as f64;
+            let result = BenchResult {
+                group: self.name.clone(),
+                name,
+                iterations: times.len(),
+                mean_ns,
+                min_ns,
+                throughput: self.throughput,
+            };
+            let rate = result
+                .rate()
+                .map(|r| format!("  thrpt: {r}"))
+                .unwrap_or_default();
+            println!(
+                "  {:<40} time: {:>10} (min {:>10}, n={}){}",
+                result.name,
+                format_ns(result.mean_ns),
+                format_ns(result.min_ns),
+                result.iterations,
+                rate
+            );
+            self.criterion.results.push(result);
+            self
+        }
+
+        pub fn finish(&mut self) {}
+    }
+
+    /// Passed to each bench closure; records one timing per iteration.
+    pub struct Bencher {
+        sample_size: usize,
+        max_sample_time: Duration,
+        times: Vec<Duration>,
+    }
+
+    impl Bencher {
+        pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+            black_box(routine());
+            let started = Instant::now();
+            for done in 0..self.sample_size {
+                let t0 = Instant::now();
+                black_box(routine());
+                self.times.push(t0.elapsed());
+                if done >= 2 && started.elapsed() > self.max_sample_time {
+                    break;
+                }
+            }
+        }
+
+        pub fn iter_with_setup<S, R, Setup, Routine>(
+            &mut self,
+            mut setup: Setup,
+            mut routine: Routine,
+        ) where
+            Setup: FnMut() -> S,
+            Routine: FnMut(S) -> R,
+        {
+            black_box(routine(setup()));
+            let started = Instant::now();
+            for done in 0..self.sample_size {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                self.times.push(t0.elapsed());
+                if done >= 2 && started.elapsed() > self.max_sample_time {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running every target
+/// against the configured [`harness::Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench entry point (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,82 @@
+//! `#[test]`-gated wall-clock harness for the fleet pipeline.
+//!
+//! The criterion-style benches in `benches/pipeline.rs` need `cargo bench`;
+//! this harness runs under plain `cargo test` and records the thread-scaling
+//! numbers for the full campaign into `BENCH_pipeline.json` at the repo root,
+//! so the perf trajectory is versioned alongside the code.
+//!
+//! Speedup caveat: the JSON records whatever the host actually delivers.
+//! On a single-core machine the parallel case degenerates to the serial
+//! path plus channel overhead, so `speedup_vs_1_thread` will sit near 1.0;
+//! the `host_cores` field is there to make that legible.
+
+use airstat_sim::{FleetConfig, FleetSimulation, MeasurementYear};
+use std::time::Instant;
+
+const SCALE: f64 = 0.001;
+const WARMUP_ITERS: usize = 1;
+const TIMED_ITERS: usize = 3;
+
+fn campaign_config(threads: usize) -> FleetConfig {
+    FleetConfig {
+        seed: 1,
+        poll_drop_probability: 0.0,
+        threads,
+        ..FleetConfig::paper(SCALE)
+    }
+}
+
+/// Mean wall-clock nanoseconds for one full campaign at `threads`.
+fn time_campaign(threads: usize) -> u64 {
+    let config = campaign_config(threads);
+    for _ in 0..WARMUP_ITERS {
+        let output = FleetSimulation::new(config.clone()).run();
+        assert!(output.reports_ingested() > 0, "warmup campaign ran");
+    }
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        std::hint::black_box(FleetSimulation::new(config.clone()).run());
+    }
+    (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64
+}
+
+#[test]
+fn record_pipeline_bench() {
+    let host_cores = airstat_sim::config::default_threads();
+    // Always measure the 4-thread fan-out even on smaller hosts: on a
+    // 1-core machine it records the pool's overhead rather than a gain,
+    // which is exactly what the JSON should say about that hardware.
+    let mut cases: Vec<usize> = vec![1, 4, host_cores];
+    cases.sort_unstable();
+    cases.dedup();
+
+    let config = campaign_config(1);
+    let clients = config.clients(MeasurementYear::Y2015) + config.clients(MeasurementYear::Y2014);
+
+    let mut rows = Vec::new();
+    let mut t1_ns = None;
+    for &threads in &cases {
+        let mean_ns = time_campaign(threads);
+        if threads == 1 {
+            t1_ns = Some(mean_ns);
+        }
+        let speedup = t1_ns
+            .map(|base| base as f64 / mean_ns as f64)
+            .unwrap_or(1.0);
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"mean_ns\": {mean_ns}, \"iters\": {TIMED_ITERS}, \
+             \"clients_per_s\": {:.1}, \"speedup_vs_1_thread\": {:.3} }}",
+            clients as f64 / (mean_ns as f64 / 1e9),
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_full_campaign\",\n  \"scale\": {SCALE},\n  \"clients\": {clients},\n  \"host_cores\": {host_cores},\n  \"note\": \"output is byte-identical across thread counts; speedup is bounded by host_cores (1-core hosts cannot show parallel gain)\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    assert!(t1_ns.is_some(), "serial baseline measured");
+}

@@ -602,7 +602,11 @@ mod tests {
             ("e1234.akamaihd.net", Application::Cdns),
         ];
         for (host, expected) in cases {
-            assert_eq!(rs().classify(&FlowMetadata::https(host)), expected, "{host}");
+            assert_eq!(
+                rs().classify(&FlowMetadata::https(host)),
+                expected,
+                "{host}"
+            );
         }
     }
 
@@ -648,12 +652,27 @@ mod tests {
 
     #[test]
     fn port_rules() {
-        assert_eq!(rs().classify(&FlowMetadata::tcp(445)), Application::WindowsFileSharing);
-        assert_eq!(rs().classify(&FlowMetadata::tcp(548)), Application::AppleFileSharing);
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(445)),
+            Application::WindowsFileSharing
+        );
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(548)),
+            Application::AppleFileSharing
+        );
         assert_eq!(rs().classify(&FlowMetadata::tcp(1935)), Application::Rtmp);
-        assert_eq!(rs().classify(&FlowMetadata::tcp(3389)), Application::RemoteDesktop);
-        assert_eq!(rs().classify(&FlowMetadata::udp(3074)), Application::XboxLive);
-        assert_eq!(rs().classify(&FlowMetadata::tcp(6881)), Application::BitTorrent);
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(3389)),
+            Application::RemoteDesktop
+        );
+        assert_eq!(
+            rs().classify(&FlowMetadata::udp(3074)),
+            Application::XboxLive
+        );
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(6881)),
+            Application::BitTorrent
+        );
     }
 
     #[test]
@@ -676,14 +695,26 @@ mod tests {
 
     #[test]
     fn fallback_buckets() {
-        assert_eq!(rs().classify(&FlowMetadata::http("unknown-host.example")), Application::MiscWeb);
+        assert_eq!(
+            rs().classify(&FlowMetadata::http("unknown-host.example")),
+            Application::MiscWeb
+        );
         assert_eq!(
             rs().classify(&FlowMetadata::https("unknown-host.example")),
             Application::MiscSecureWeb
         );
-        assert_eq!(rs().classify(&FlowMetadata::tcp(443)), Application::EncryptedTcp);
-        assert_eq!(rs().classify(&FlowMetadata::tcp(9000)), Application::NonWebTcp);
-        assert_eq!(rs().classify(&FlowMetadata::udp(5353)), Application::UdpOther);
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(443)),
+            Application::EncryptedTcp
+        );
+        assert_eq!(
+            rs().classify(&FlowMetadata::tcp(9000)),
+            Application::NonWebTcp
+        );
+        assert_eq!(
+            rs().classify(&FlowMetadata::udp(5353)),
+            Application::UdpOther
+        );
     }
 
     #[test]
@@ -717,7 +748,10 @@ mod tests {
         // the paper files Google Drive and Tumblr under "Other".
         assert_eq!(Application::GoogleDrive.category(), AppCategory::Other);
         assert_eq!(Application::Tumblr.category(), AppCategory::Other);
-        assert_eq!(Application::Dropcam.category(), AppCategory::VoipVideoConferencing);
+        assert_eq!(
+            Application::Dropcam.category(),
+            AppCategory::VoipVideoConferencing
+        );
         assert_eq!(Application::MiscVideo.category(), AppCategory::VideoMusic);
     }
 
@@ -725,7 +759,10 @@ mod tests {
     fn category_labels_match_table6() {
         assert_eq!(AppCategory::VideoMusic.name(), "Video & music");
         assert_eq!(AppCategory::P2p.name(), "Peer-to-peer (P2P)");
-        assert_eq!(AppCategory::SoftwareUpdates.name(), "Software & anti-virus updates");
+        assert_eq!(
+            AppCategory::SoftwareUpdates.name(),
+            "Software & anti-virus updates"
+        );
         assert_eq!(AppCategory::ALL.len(), 14);
     }
 

@@ -361,9 +361,7 @@ mod tests {
         let ev = DeviceEvidence {
             mac: None,
             dhcp: vec![],
-            user_agents: vec![
-                "Mozilla/5.0 (iPhone; CPU iPhone OS 8_1 like Mac OS X)".into(),
-            ],
+            user_agents: vec!["Mozilla/5.0 (iPhone; CPU iPhone OS 8_1 like Mac OS X)".into()],
         };
         assert_eq!(c2015().classify(&ev), OsFamily::AppleIos);
     }
@@ -467,7 +465,10 @@ mod tests {
 
     #[test]
     fn empty_evidence_is_unknown() {
-        assert_eq!(c2015().classify(&DeviceEvidence::default()), OsFamily::Unknown);
+        assert_eq!(
+            c2015().classify(&DeviceEvidence::default()),
+            OsFamily::Unknown
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! real constraint on 64 MB devices.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::apps::{Application, FlowMetadata, RuleSet};
 use crate::mac::MacAddress;
@@ -66,7 +67,7 @@ pub struct AppUsage {
 /// The bounded flow-accounting table.
 #[derive(Debug)]
 pub struct FlowTable {
-    ruleset: RuleSet,
+    ruleset: Arc<RuleSet>,
     capacity: usize,
     idle_timeout_s: u64,
     flows: HashMap<FlowKey, FlowEntry>,
@@ -81,9 +82,12 @@ impl FlowTable {
     /// `capacity` concurrent flows, retiring idle flows after
     /// `idle_timeout_s` seconds.
     ///
+    /// The ruleset is shared: many tables (one per simulated AP, say) can
+    /// classify against one `Arc` without copying the rule data.
+    ///
     /// # Panics
     /// Panics if `capacity == 0`.
-    pub fn new(ruleset: RuleSet, capacity: usize, idle_timeout_s: u64) -> Self {
+    pub fn new(ruleset: Arc<RuleSet>, capacity: usize, idle_timeout_s: u64) -> Self {
         assert!(capacity > 0, "flow table capacity must be > 0");
         FlowTable {
             ruleset,
@@ -206,6 +210,19 @@ impl FlowTable {
         }
     }
 
+    /// Returns the table to its freshly-created state (device reboot /
+    /// reuse for the next client) while keeping the map allocations warm.
+    ///
+    /// Unlike [`FlowTable::flush`] this *discards* any unretired flow
+    /// bytes and zeroes every counter.
+    pub fn reset(&mut self) {
+        self.flows.clear();
+        self.usage.clear();
+        self.slow_path_packets = 0;
+        self.fast_path_packets = 0;
+        self.evictions = 0;
+    }
+
     /// Live flow count.
     pub fn live_flows(&self) -> usize {
         self.flows.len()
@@ -244,7 +261,7 @@ mod tests {
     }
 
     fn table(capacity: usize) -> FlowTable {
-        FlowTable::new(RuleSet::standard_2015(), capacity, 300)
+        FlowTable::new(Arc::new(RuleSet::standard_2015()), capacity, 300)
     }
 
     #[test]
@@ -352,6 +369,30 @@ mod tests {
             .find(|((m, a), _)| *m == mac(1) && *a == Application::Netflix)
             .unwrap();
         assert_eq!(netflix_row.1.down_bytes, 300);
+    }
+
+    #[test]
+    fn reset_clears_rollups_and_counters() {
+        let mut t = table(16);
+        let m = FlowMetadata::https("movies.netflix.com");
+        t.open(key(1, 1), &m, 0);
+        t.packet(key(1, 1), Direction::Down, 1500, &m, 1);
+        t.finish(key(1, 1), 2);
+        t.open(key(2, 7), &m, 3); // still live at reset time
+        assert!(t.live_flows() > 0);
+        assert!(t.slow_path_packets() > 0);
+        t.reset();
+        assert_eq!(t.live_flows(), 0);
+        assert_eq!(t.slow_path_packets(), 0);
+        assert_eq!(t.fast_path_packets(), 0);
+        assert_eq!(t.evictions(), 0);
+        assert!(t.flush().is_empty(), "reset discards retired usage too");
+        // The table is fully usable afterwards.
+        let app = t.open(key(3, 1), &m, 10);
+        assert_eq!(app, Application::Netflix);
+        t.packet(key(3, 1), Direction::Up, 200, &m, 11);
+        t.finish(key(3, 1), 12);
+        assert_eq!(t.flush().len(), 1);
     }
 
     #[test]

@@ -29,8 +29,8 @@
 #![warn(missing_docs)]
 
 pub mod apps;
-pub mod flows;
 pub mod device;
+pub mod flows;
 pub mod mac;
 
 pub use apps::{AppCategory, Application, FlowMetadata, RuleSet};

@@ -147,7 +147,10 @@ impl Vendor {
     /// True for vendors that primarily ship personal mobile hotspots —
     /// §4.1's hotspot detection works exactly this way.
     pub fn is_hotspot_vendor(self) -> bool {
-        matches!(self, Vendor::Novatel | Vendor::Pantech | Vendor::SierraWireless)
+        matches!(
+            self,
+            Vendor::Novatel | Vendor::Pantech | Vendor::SierraWireless
+        )
     }
 }
 

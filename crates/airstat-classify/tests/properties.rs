@@ -40,7 +40,10 @@ fn any_flow() -> impl Strategy<Value = FlowMetadata> {
         any_transport(),
         any::<bool>(),
         any::<bool>(),
-        prop::option::of(prop_oneof![Just(ContentHint::Video), Just(ContentHint::Audio)]),
+        prop::option::of(prop_oneof![
+            Just(ContentHint::Video),
+            Just(ContentHint::Audio)
+        ]),
     )
         .prop_map(
             |(dns, http, sni, port, transport, bt, opaque, hint)| FlowMetadata {

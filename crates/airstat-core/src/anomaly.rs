@@ -176,7 +176,10 @@ mod tests {
         let spikes = detect_spikes(&total, &shape, 6.0);
         let per_os = vec![
             ("ios", vec![100.0, 100.0, 420.0, 100.0, 100.0, 100.0, 100.0]),
-            ("windows", vec![100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0]),
+            (
+                "windows",
+                vec![100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0],
+            ),
         ];
         let (who, excess) = attribute_spike(&spikes[0], &per_os, &shape).unwrap();
         assert_eq!(who, "ios");

@@ -242,8 +242,7 @@ mod tests {
 
     #[test]
     fn vlan_symptoms_merge() {
-        let report =
-            TriageReport::from_symptoms([Symptom::DhcpNoOffer, Symptom::VlanBlackhole]);
+        let report = TriageReport::from_symptoms([Symptom::DhcpNoOffer, Symptom::VlanBlackhole]);
         assert_eq!(report.count(RootCause::VlanConfig), 2);
     }
 

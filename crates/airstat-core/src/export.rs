@@ -44,7 +44,8 @@ fn band_label(band: Band) -> &'static str {
 /// `windows` pairs a window with the label it carries in the CSVs
 /// (e.g. `(WINDOW_JAN_2015, "2015-01")`).
 pub fn build_release(backend: &Backend, windows: &[(WindowId, &str)], salt: u64) -> DatasetRelease {
-    let mut links_csv = String::from("window,band,rx_device,tx_device,observation_ts_s,delivery_ratio\n");
+    let mut links_csv =
+        String::from("window,band,rx_device,tx_device,observation_ts_s,delivery_ratio\n");
     let mut nearby_csv = String::from("window,band,device,channel,networks,hotspots\n");
     let mut utilization_csv =
         String::from("window,band,device,channel,ts_s,utilization_ppm,decodable_ppm,networks\n");
@@ -197,7 +198,9 @@ mod tests {
         let release = build_release(&backend(), &[(W, "2015-01")], 7);
         assert!(release.links_csv.starts_with("window,band,rx_device"));
         assert!(release.nearby_csv.starts_with("window,band,device,channel"));
-        assert!(release.utilization_csv.starts_with("window,band,device,channel,ts_s"));
+        assert!(release
+            .utilization_csv
+            .starts_with("window,band,device,channel,ts_s"));
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl ChannelCensusFigure {
         let dfs: u64 = self
             .counts_5
             .iter()
-            .filter(|&&(c, _)| {
-                Channel::new(Band::Ghz5, c).is_some_and(|ch| ch.requires_dfs())
-            })
+            .filter(|&&(c, _)| Channel::new(Band::Ghz5, c).is_some_and(|ch| ch.requires_dfs()))
             .map(|&(_, n)| n)
             .sum();
         dfs as f64 / total as f64

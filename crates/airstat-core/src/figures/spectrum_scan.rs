@@ -62,8 +62,8 @@ impl SpectrumFigure {
                 let hi = ((c + 1) * bins / cols).max(lo + 1);
                 let peak = frame[lo..hi].iter().cloned().fold(f64::MIN, f64::max);
                 let rel = (peak - BIN_NOISE_FLOOR_DBM) / 50.0;
-                let idx = ((rel * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx =
+                    ((rel * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 out.push(SHADES[idx]);
             }
             out.push('|');

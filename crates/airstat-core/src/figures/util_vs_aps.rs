@@ -62,13 +62,10 @@ impl fmt::Display for UtilVsApsFigure {
             self.band,
             self.points.len(),
             self.pearson_r.map_or("n/a".into(), |r| format!("{r:.3}")),
-            self.spearman_rho.map_or("n/a".into(), |r| format!("{r:.3}")),
+            self.spearman_rho
+                .map_or("n/a".into(), |r| format!("{r:.3}")),
         )?;
-        let x_hi = self
-            .points
-            .iter()
-            .map(|p| p.0)
-            .fold(1.0f64, f64::max);
+        let x_hi = self.points.iter().map(|p| p.0).fold(1.0f64, f64::max);
         f.write_str(&render_scatter(&self.points, 60, 14, x_hi, 1.0))
     }
 }

@@ -143,8 +143,15 @@ mod tests {
                 // Average several scan windows like the backend does.
                 let mut util = 0.0;
                 for hour in [9u64, 11, 14, 16, 10] {
-                    util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
-                        .utilization();
+                    util += channel_load(
+                        ap,
+                        &census,
+                        channel,
+                        NeighborEpoch::Jan2015,
+                        diurnal(hour),
+                        &mut rng,
+                    )
+                    .utilization();
                 }
                 util /= 5.0;
                 measurements.insert(
@@ -164,7 +171,12 @@ mod tests {
     fn utilization_strategy_beats_count_strategy() {
         let world = World::generate(&SeedTree::new(0x71B), 120, 0);
         let (measurements, truth) = tables(&world);
-        let measure = |d: u64, c: Channel| measurements.get(&(d, c.number)).copied().unwrap_or_default();
+        let measure = |d: u64, c: Channel| {
+            measurements
+                .get(&(d, c.number))
+                .copied()
+                .unwrap_or_default()
+        };
         let truth_fn = |d: u64, c: Channel| truth.get(&(d, c.number)).copied().unwrap_or(0.0);
         let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
         let by_util = plan(&world, &measure, PlannerStrategy::LowestUtilization);
@@ -179,7 +191,11 @@ mod tests {
     #[test]
     fn every_ap_gets_a_primary_channel() {
         let world = World::generate(&SeedTree::new(0x71C), 40, 0);
-        let p = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        let p = plan(
+            &world,
+            &|_, _| ChannelMeasurement::default(),
+            PlannerStrategy::LowestUtilization,
+        );
         assert_eq!(p.assignments.len(), world.aps.len());
         for channel in p.assignments.values() {
             assert!(NON_OVERLAPPING_2_4.contains(&channel.number));
@@ -191,7 +207,11 @@ mod tests {
         // With identical measurements everywhere, the sibling penalty must
         // spread a 3-AP network across all three primaries.
         let world = World::generate(&SeedTree::new(0x71D), 60, 0);
-        let p = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        let p = plan(
+            &world,
+            &|_, _| ChannelMeasurement::default(),
+            PlannerStrategy::LowestUtilization,
+        );
         for network in world.networks.iter().filter(|n| n.aps.len() == 3) {
             let channels: std::collections::HashSet<u16> = network
                 .aps
@@ -207,8 +227,14 @@ mod tests {
         let world = World::generate(&SeedTree::new(0x71E), 2, 0);
         // Channel 6 quiet, 1 and 11 busy, counts say the opposite.
         let measure = |_: u64, c: Channel| match c.number {
-            6 => ChannelMeasurement { networks: 30, utilization: 0.05 },
-            _ => ChannelMeasurement { networks: 2, utilization: 0.60 },
+            6 => ChannelMeasurement {
+                networks: 30,
+                utilization: 0.05,
+            },
+            _ => ChannelMeasurement {
+                networks: 2,
+                utilization: 0.60,
+            },
         };
         let util_plan = plan(&world, &measure, PlannerStrategy::LowestUtilization);
         let count_plan = plan(&world, &measure, PlannerStrategy::FewestNetworks);
@@ -230,7 +256,11 @@ mod tests {
             assignments,
             strategy: PlannerStrategy::FewestNetworks,
         };
-        let spread = plan(&world, &|_, _| ChannelMeasurement::default(), PlannerStrategy::LowestUtilization);
+        let spread = plan(
+            &world,
+            &|_, _| ChannelMeasurement::default(),
+            PlannerStrategy::LowestUtilization,
+        );
         let truth_fn = |_: u64, _: Channel| 0.10;
         assert!(
             evaluate(&world, &stacked, &truth_fn) > evaluate(&world, &spread, &truth_fn),

@@ -106,7 +106,10 @@ pub fn render_cdfs(
     width: usize,
     height: usize,
 ) -> String {
-    assert!(x_hi > x_lo && width >= 10 && height >= 4, "degenerate chart");
+    assert!(
+        x_hi > x_lo && width >= 10 && height >= 4,
+        "degenerate chart"
+    );
     const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, ecdf)) in series.iter().enumerate() {
@@ -133,7 +136,13 @@ pub fn render_cdfs(
         out.push('\n');
     }
     let _ = writeln!(out, "     +{}", "-".repeat(width));
-    let _ = writeln!(out, "      {:<.3}{}{:>.3}", x_lo, " ".repeat(width.saturating_sub(12)), x_hi);
+    let _ = writeln!(
+        out,
+        "      {:<.3}{}{:>.3}",
+        x_lo,
+        " ".repeat(width.saturating_sub(12)),
+        x_hi
+    );
     for (si, (label, _)) in series.iter().enumerate() {
         let _ = writeln!(out, "      {} {}", MARKS[si % MARKS.len()], label);
     }
@@ -152,7 +161,13 @@ pub fn render_bars<L: std::fmt::Display>(bars: &[(L, u64)], width: usize) -> Str
 }
 
 /// Renders a sparse y-vs-x scatter as an ASCII plot.
-pub fn render_scatter(points: &[(f64, f64)], width: usize, height: usize, x_hi: f64, y_hi: f64) -> String {
+pub fn render_scatter(
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    x_hi: f64,
+    y_hi: f64,
+) -> String {
     let mut grid = vec![vec![' '; width]; height];
     for &(x, y) in points {
         if !(x.is_finite() && y.is_finite()) {

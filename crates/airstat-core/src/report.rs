@@ -115,9 +115,7 @@ impl PaperReport {
 
 impl fmt::Display for PaperReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let section = |f: &mut fmt::Formatter<'_>, title: &str| {
-            writeln!(f, "\n=== {title} ===")
-        };
+        let section = |f: &mut fmt::Formatter<'_>, title: &str| writeln!(f, "\n=== {title} ===");
         section(f, "Table 2: Network deployment types")?;
         write!(f, "{}", self.table2)?;
         section(f, "Table 3: Usage by operating system")?;
@@ -179,9 +177,23 @@ mod tests {
         // The rendered report mentions every section.
         let s = report.to_string();
         for needle in [
-            "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Figure 1",
-            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
-            "Figure 9", "Figure 10", "Figure 11",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
         ] {
             assert!(s.contains(needle), "missing section {needle}");
         }

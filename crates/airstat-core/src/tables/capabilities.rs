@@ -95,11 +95,27 @@ impl CapabilitiesTable {
             ("802.11g", self.before.g, self.after.g),
             ("802.11n", self.before.n, self.after.n),
             ("5 GHz", self.before.dual_band, self.after.dual_band),
-            ("40 MHz channels", self.before.forty_mhz, self.after.forty_mhz),
+            (
+                "40 MHz channels",
+                self.before.forty_mhz,
+                self.after.forty_mhz,
+            ),
             ("802.11ac", self.before.ac, self.after.ac),
-            ("Two streams", self.before.two_streams, self.after.two_streams),
-            ("Three streams", self.before.three_streams, self.after.three_streams),
-            ("Four streams", self.before.four_streams, self.after.four_streams),
+            (
+                "Two streams",
+                self.before.two_streams,
+                self.after.two_streams,
+            ),
+            (
+                "Three streams",
+                self.before.three_streams,
+                self.after.three_streams,
+            ),
+            (
+                "Four streams",
+                self.before.four_streams,
+                self.after.four_streams,
+            ),
         ]
     }
 }

@@ -111,8 +111,16 @@ mod tests {
                     seq: u64::from(window.0),
                     timestamp_s: 0,
                     payload: ReportPayload::Neighbors(vec![
-                        NeighborRecord { channel: ch1, networks: n24, hotspots: hs },
-                        NeighborRecord { channel: ch36, networks: n5, hotspots: 0 },
+                        NeighborRecord {
+                            channel: ch1,
+                            networks: n24,
+                            hotspots: hs,
+                        },
+                        NeighborRecord {
+                            channel: ch36,
+                            networks: n5,
+                            hotspots: 0,
+                        },
                     ]),
                 },
             );

@@ -83,8 +83,9 @@ impl OsUsageTable {
                     os,
                     totals,
                     clients,
-                    bytes_increase: old
-                        .and_then(|&(_, t, _)| percent_increase(t.total() as f64, totals.total() as f64)),
+                    bytes_increase: old.and_then(|&(_, t, _)| {
+                        percent_increase(t.total() as f64, totals.total() as f64)
+                    }),
                     clients_increase: old
                         .and_then(|&(_, _, c)| percent_increase(c as f64, clients as f64)),
                     per_client_increase: per_client_old
@@ -95,12 +96,13 @@ impl OsUsageTable {
         rows.sort_by_key(|r| std::cmp::Reverse(r.totals.total()));
 
         let sum = |rows: &[(OsFamily, UsageTotals, u64)]| {
-            rows.iter().fold((UsageTotals::default(), 0u64), |mut acc, &(_, t, c)| {
-                acc.0.up_bytes += t.up_bytes;
-                acc.0.down_bytes += t.down_bytes;
-                acc.1 += c;
-                acc
-            })
+            rows.iter()
+                .fold((UsageTotals::default(), 0u64), |mut acc, &(_, t, c)| {
+                    acc.0.up_bytes += t.up_bytes;
+                    acc.0.down_bytes += t.down_bytes;
+                    acc.1 += c;
+                    acc
+                })
         };
         let (now_tot, now_clients) = sum(&now);
         let (old_tot, old_clients) = sum(&before);

@@ -114,7 +114,8 @@ impl fmt::Display for TopAppsTable {
             "MB / client",
         ]);
         for row in &self.rows {
-            let share = percent_of(row.totals.total() as f64, self.grand_total as f64).unwrap_or(0.0);
+            let share =
+                percent_of(row.totals.total() as f64, self.grand_total as f64).unwrap_or(0.0);
             t.row([
                 row.app.name().to_string(),
                 row.app.category().name().to_string(),

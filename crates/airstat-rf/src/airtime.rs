@@ -127,8 +127,8 @@ impl ChannelLoad {
     /// Beacon airtime fraction contributed by all co-channel BSSIDs.
     pub fn beacon_fraction(&self) -> f64 {
         let legacy = self.legacy_beacon_fraction.clamp(0.0, 1.0);
-        let per_beacon_us = phy::beacon_airtime_us(true) * legacy
-            + phy::beacon_airtime_us(false) * (1.0 - legacy);
+        let per_beacon_us =
+            phy::beacon_airtime_us(true) * legacy + phy::beacon_airtime_us(false) * (1.0 - legacy);
         let per_bssid = per_beacon_us / phy::timing::BEACON_INTERVAL_US;
         (f64::from(self.beaconing_bssids) * per_bssid).min(1.0)
     }

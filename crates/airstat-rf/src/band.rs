@@ -193,7 +193,10 @@ impl Channel {
             (Band::Ghz5, ChannelWidth::Mhz20) => CHANNELS_5
                 .iter()
                 .filter(|&&n| {
-                    let ch = Channel { number: n, band: Band::Ghz5 };
+                    let ch = Channel {
+                        number: n,
+                        band: Band::Ghz5,
+                    };
                     (allow_dfs || !ch.requires_dfs()) && !TDWR_EXCLUDED.contains(&n)
                 })
                 .count(),
@@ -245,9 +248,13 @@ fn allocation_usable(lo: u16, hi: u16, allow_dfs: bool) -> bool {
         .filter(|&n| n >= lo && n <= hi)
         .collect();
     let dfs_ok = allow_dfs
-        || members
-            .iter()
-            .all(|&n| !Channel { number: n, band: Band::Ghz5 }.requires_dfs());
+        || members.iter().all(|&n| {
+            !Channel {
+                number: n,
+                band: Band::Ghz5,
+            }
+            .requires_dfs()
+        });
     // An allocation is TDWR-blocked only if its *primary* (lowest) channel
     // is blocked, or every member is blocked, mirroring period practice.
     let tdwr_blocked =
@@ -318,7 +325,7 @@ mod tests {
         assert!(adj > 0.7 && adj < 0.8, "adjacent overlap {adj}");
         assert!(ch(1).overlap(&ch(4)) > 0.0);
         assert_eq!(ch(1).overlap(&ch(5)), 0.0); // exactly 20 MHz apart
-        // symmetric
+                                                // symmetric
         assert_eq!(ch(3).overlap(&ch(1)), ch(1).overlap(&ch(3)));
     }
 

@@ -102,7 +102,10 @@ impl DfsMonitor {
         if !channel.requires_dfs() {
             return;
         }
-        let entry = self.states.entry(channel.number).or_insert(DfsState::Unchecked);
+        let entry = self
+            .states
+            .entry(channel.number)
+            .or_insert(DfsState::Unchecked);
         if *entry == DfsState::Unchecked {
             *entry = DfsState::CheckingUntil(now + CAC_SECONDS);
         }
@@ -110,7 +113,13 @@ impl DfsMonitor {
 
     /// Advances one channel by `dt` seconds of monitoring, possibly
     /// detecting radar.
-    pub fn tick<R: Rng + ?Sized>(&mut self, channel: Channel, now: u64, dt: u64, rng: &mut R) -> DfsEvent {
+    pub fn tick<R: Rng + ?Sized>(
+        &mut self,
+        channel: Channel,
+        now: u64,
+        dt: u64,
+        rng: &mut R,
+    ) -> DfsEvent {
         if !channel.requires_dfs() {
             return DfsEvent::None;
         }
@@ -120,8 +129,10 @@ impl DfsMonitor {
             DfsState::CheckingUntil(t) => {
                 // Radar during CAC restarts the clock into non-occupancy.
                 if self.radar_hits(dt, rng) {
-                    self.states
-                        .insert(channel.number, DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS));
+                    self.states.insert(
+                        channel.number,
+                        DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS),
+                    );
                     DfsEvent::RadarDetected(channel)
                 } else if now + dt >= t {
                     self.states.insert(channel.number, DfsState::Available);
@@ -132,8 +143,10 @@ impl DfsMonitor {
             }
             DfsState::Available => {
                 if self.radar_hits(dt, rng) {
-                    self.states
-                        .insert(channel.number, DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS));
+                    self.states.insert(
+                        channel.number,
+                        DfsState::NonOccupancyUntil(now + NON_OCCUPANCY_SECONDS),
+                    );
                     DfsEvent::RadarDetected(channel)
                 } else {
                     DfsEvent::None

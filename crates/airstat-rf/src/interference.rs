@@ -42,7 +42,10 @@ impl InterfererKind {
 
     /// Whether the emitter hops in frequency between transmissions.
     pub fn hops(self) -> bool {
-        matches!(self, InterfererKind::Bluetooth | InterfererKind::CordlessPhone)
+        matches!(
+            self,
+            InterfererKind::Bluetooth | InterfererKind::CordlessPhone
+        )
     }
 
     /// Typical on-air duty cycle when active.

@@ -47,8 +47,8 @@
 #![warn(missing_docs)]
 
 pub mod airtime;
-pub mod dfs;
 pub mod band;
+pub mod dfs;
 pub mod interference;
 pub mod link;
 pub mod neighbors;

@@ -170,7 +170,11 @@ pub fn hotspot_probability(band: Band) -> f64 {
 }
 
 /// Samples the neighbour kind for a new network.
-pub fn sample_kind<R: Rng + ?Sized>(band: Band, same_fleet_fraction: f64, rng: &mut R) -> NeighborKind {
+pub fn sample_kind<R: Rng + ?Sized>(
+    band: Band,
+    same_fleet_fraction: f64,
+    rng: &mut R,
+) -> NeighborKind {
     let u: f64 = rng.gen();
     if u < same_fleet_fraction {
         NeighborKind::SameFleet
@@ -236,10 +240,30 @@ mod tests {
         let ch36 = Channel::new(Band::Ghz5, 36).unwrap();
         let census = NeighborCensus {
             networks: vec![
-                NearbyNetwork { channel: ch6, rssi_dbm: -70.0, kind: NeighborKind::Infrastructure, legacy_11b: false },
-                NearbyNetwork { channel: ch6, rssi_dbm: -80.0, kind: NeighborKind::MobileHotspot, legacy_11b: false },
-                NearbyNetwork { channel: ch6, rssi_dbm: -60.0, kind: NeighborKind::SameFleet, legacy_11b: false },
-                NearbyNetwork { channel: ch36, rssi_dbm: -75.0, kind: NeighborKind::Infrastructure, legacy_11b: false },
+                NearbyNetwork {
+                    channel: ch6,
+                    rssi_dbm: -70.0,
+                    kind: NeighborKind::Infrastructure,
+                    legacy_11b: false,
+                },
+                NearbyNetwork {
+                    channel: ch6,
+                    rssi_dbm: -80.0,
+                    kind: NeighborKind::MobileHotspot,
+                    legacy_11b: false,
+                },
+                NearbyNetwork {
+                    channel: ch6,
+                    rssi_dbm: -60.0,
+                    kind: NeighborKind::SameFleet,
+                    legacy_11b: false,
+                },
+                NearbyNetwork {
+                    channel: ch36,
+                    rssi_dbm: -75.0,
+                    kind: NeighborKind::Infrastructure,
+                    legacy_11b: false,
+                },
             ],
         };
         assert_eq!(census.interfering_count(Band::Ghz2_4), 2);

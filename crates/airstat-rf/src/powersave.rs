@@ -236,7 +236,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(modest.peak_buffered_bytes(), 0, "awake fleet buffers nothing");
+        assert_eq!(
+            modest.peak_buffered_bytes(),
+            0,
+            "awake fleet buffers nothing"
+        );
         assert!(
             aggressive.peak_buffered_bytes() > 1_000_000,
             "aggressive doze pins >1 MB of AP memory: {}",

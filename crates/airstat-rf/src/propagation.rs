@@ -209,7 +209,10 @@ mod tests {
         let pl = PathLoss::new(Environment::DenseIndoor);
         let mut rng = SeedTree::new(11).rng();
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| pl.sample_shadowing_db(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| pl.sample_shadowing_db(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
     }
 

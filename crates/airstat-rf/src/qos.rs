@@ -134,7 +134,10 @@ impl FairShaper {
 
     /// Total queued bytes.
     pub fn total_backlog(&self) -> u64 {
-        self.queues.iter().map(|q| q.packets.iter().sum::<u64>()).sum()
+        self.queues
+            .iter()
+            .map(|q| q.packets.iter().sum::<u64>())
+            .sum()
     }
 
     /// Emits packets worth up to `budget_bytes`, returning
@@ -217,7 +220,10 @@ mod tests {
             }
         }
         // Sustained: ~100 B/s × 10 s + burst 100 ≈ 1100.
-        assert!((admitted as f64 - 1100.0).abs() <= 100.0, "admitted {admitted}");
+        assert!(
+            (admitted as f64 - 1100.0).abs() <= 100.0,
+            "admitted {admitted}"
+        );
     }
 
     #[test]
@@ -319,7 +325,10 @@ mod tests {
                 .filter(|(c, _)| *c == interactive)
                 .map(|(_, b)| b)
                 .sum();
-            assert_eq!(got, 1000, "interactive client {interactive} served in round one");
+            assert_eq!(
+                got, 1000,
+                "interactive client {interactive} served in round one"
+            );
         }
     }
 

@@ -31,15 +31,15 @@ impl Mcs {
     fn base_rate_20mhz(self) -> Option<f64> {
         // 52 data subcarriers, 4 µs symbol (long GI).
         let (bits, code) = match self.0 {
-            0 => (1.0, 0.5),    // BPSK 1/2
-            1 => (2.0, 0.5),    // QPSK 1/2
-            2 => (2.0, 0.75),   // QPSK 3/4
-            3 => (4.0, 0.5),    // 16-QAM 1/2
-            4 => (4.0, 0.75),   // 16-QAM 3/4
+            0 => (1.0, 0.5),       // BPSK 1/2
+            1 => (2.0, 0.5),       // QPSK 1/2
+            2 => (2.0, 0.75),      // QPSK 3/4
+            3 => (4.0, 0.5),       // 16-QAM 1/2
+            4 => (4.0, 0.75),      // 16-QAM 3/4
             5 => (6.0, 2.0 / 3.0), // 64-QAM 2/3
-            6 => (6.0, 0.75),   // 64-QAM 3/4
+            6 => (6.0, 0.75),      // 64-QAM 3/4
             7 => (6.0, 5.0 / 6.0), // 64-QAM 5/6
-            8 => (8.0, 0.75),   // 256-QAM 3/4 (VHT only)
+            8 => (8.0, 0.75),      // 256-QAM 3/4 (VHT only)
             9 => (8.0, 5.0 / 6.0), // 256-QAM 5/6 (VHT only)
             _ => return None,
         };
@@ -209,9 +209,18 @@ mod tests {
     fn capability_ceilings() {
         assert_eq!(max_mcs(&caps(Generation::Ac, true, 2)), Mcs::MAX_VHT);
         assert_eq!(max_mcs(&caps(Generation::N, true, 2)), Mcs::MAX_HT);
-        assert_eq!(max_width(&caps(Generation::Ac, true, 1)), ChannelWidth::Mhz80);
-        assert_eq!(max_width(&caps(Generation::N, true, 1)), ChannelWidth::Mhz40);
-        assert_eq!(max_width(&caps(Generation::N, false, 1)), ChannelWidth::Mhz20);
+        assert_eq!(
+            max_width(&caps(Generation::Ac, true, 1)),
+            ChannelWidth::Mhz80
+        );
+        assert_eq!(
+            max_width(&caps(Generation::N, true, 1)),
+            ChannelWidth::Mhz40
+        );
+        assert_eq!(
+            max_width(&caps(Generation::N, false, 1)),
+            ChannelWidth::Mhz20
+        );
     }
 
     #[test]

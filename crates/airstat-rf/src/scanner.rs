@@ -131,10 +131,7 @@ impl ScanningRadio {
     pub fn dwell(&mut self, loads: &dyn Fn(Channel) -> ChannelLoad) {
         let ch = self.schedule[self.position];
         let load = loads(ch);
-        let ledger = self
-            .ledgers
-            .entry((ch.band, ch.number))
-            .or_default();
+        let ledger = self.ledgers.entry((ch.band, ch.number)).or_default();
         load.observe_into(ledger, SCAN_DWELL_US);
         self.position = (self.position + 1) % self.schedule.len();
     }

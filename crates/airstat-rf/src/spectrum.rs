@@ -254,8 +254,7 @@ impl SpectrumScan {
             let edge = (f - lo).min(hi - f);
             let rolloff_db = if edge < 0.5 { (0.5 - edge) * 30.0 } else { 0.0 };
             // Static multipath ripple across frequency.
-            let ripple_db =
-                ripple / 2.0 * (std::f64::consts::TAU * f / period + phase).sin();
+            let ripple_db = ripple / 2.0 * (std::f64::consts::TAU * f / period + phase).sin();
             let p = power - rolloff_db + ripple_db;
             *bin += dbm_to_mw(p);
         }
@@ -315,8 +314,8 @@ impl Waterfall {
         let bins = self.num_bins();
         let span_lo = self.center_mhz - self.span_mhz / 2.0;
         let to_bin = |f: f64| -> usize {
-            (((f - span_lo) / self.span_mhz * bins as f64) as isize)
-                .clamp(0, bins as isize - 1) as usize
+            (((f - span_lo) / self.span_mhz * bins as f64) as isize).clamp(0, bins as isize - 1)
+                as usize
         };
         let (b0, b1) = (to_bin(lo_mhz), to_bin(hi_mhz));
         let hits = self
@@ -455,6 +454,10 @@ mod tests {
                     .0
             })
             .collect();
-        assert!(hot_bins.len() > 20, "hopper visited {} bins", hot_bins.len());
+        assert!(
+            hot_bins.len() > 20,
+            "hopper visited {} bins",
+            hot_bins.len()
+        );
     }
 }

@@ -6,12 +6,12 @@
 //! is monotone in distance, and scanner bookkeeping never loses dwells.
 
 use airstat_rf::airtime::{AirtimeLedger, ChannelLoad};
-use airstat_rf::band::{Band, Channel, CHANNELS_2_4, CHANNELS_5};
-use airstat_rf::link::{LinkModel, ProbeLink};
-use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_rf::band::ChannelWidth;
+use airstat_rf::band::{Band, Channel, CHANNELS_2_4, CHANNELS_5};
 use airstat_rf::dfs::{DfsMonitor, DfsState};
+use airstat_rf::link::{LinkModel, ProbeLink};
 use airstat_rf::phy::{Capabilities, Generation};
+use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_rf::qos::{FairShaper, TokenBucket};
 use airstat_rf::rates::{phy_rate_mbps, select_rate, Mcs};
 use airstat_rf::scanner::{ScanningRadio, SCAN_DWELL_US};
@@ -155,7 +155,6 @@ proptest! {
         }
     }
 }
-
 
 fn any_caps() -> impl Strategy<Value = Capabilities> {
     (

@@ -45,64 +45,400 @@ pub struct AppProfile {
 /// category totals.
 pub const PROFILES: &[AppProfile] = &[
     // Miscellaneous buckets.
-    AppProfile { app: Application::MiscWeb, byte_share: 0.205, growth: 0.55, reach: 0.829, down_frac: 0.77 },
-    AppProfile { app: Application::MiscSecureWeb, byte_share: 0.077, growth: 0.94, reach: 0.80, down_frac: 0.70 },
-    AppProfile { app: Application::MiscVideo, byte_share: 0.051, growth: 0.61, reach: 0.248, down_frac: 0.91 },
-    AppProfile { app: Application::MiscAudio, byte_share: 0.0066, growth: 0.54, reach: 0.0825, down_frac: 0.97 },
-    AppProfile { app: Application::NonWebTcp, byte_share: 0.082, growth: 0.76, reach: 0.917, down_frac: 0.60 },
-    AppProfile { app: Application::UdpOther, byte_share: 0.032, growth: 0.60, reach: 0.664, down_frac: 0.61 },
+    AppProfile {
+        app: Application::MiscWeb,
+        byte_share: 0.205,
+        growth: 0.55,
+        reach: 0.829,
+        down_frac: 0.77,
+    },
+    AppProfile {
+        app: Application::MiscSecureWeb,
+        byte_share: 0.077,
+        growth: 0.94,
+        reach: 0.80,
+        down_frac: 0.70,
+    },
+    AppProfile {
+        app: Application::MiscVideo,
+        byte_share: 0.051,
+        growth: 0.61,
+        reach: 0.248,
+        down_frac: 0.91,
+    },
+    AppProfile {
+        app: Application::MiscAudio,
+        byte_share: 0.0066,
+        growth: 0.54,
+        reach: 0.0825,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::NonWebTcp,
+        byte_share: 0.082,
+        growth: 0.76,
+        reach: 0.917,
+        down_frac: 0.60,
+    },
+    AppProfile {
+        app: Application::UdpOther,
+        byte_share: 0.032,
+        growth: 0.60,
+        reach: 0.664,
+        down_frac: 0.61,
+    },
     // Named top-40 applications.
-    AppProfile { app: Application::Netflix, byte_share: 0.098, growth: 0.76, reach: 0.0289, down_frac: 0.98 },
-    AppProfile { app: Application::Youtube, byte_share: 0.100, growth: 0.70, reach: 0.40, down_frac: 0.98 },
-    AppProfile { app: Application::Itunes, byte_share: 0.054, growth: 0.66, reach: 0.40, down_frac: 0.98 },
-    AppProfile { app: Application::WindowsFileSharing, byte_share: 0.045, growth: 0.48, reach: 0.1328, down_frac: 0.66 },
-    AppProfile { app: Application::Cdns, byte_share: 0.039, growth: 0.81, reach: 0.566, down_frac: 0.72 },
-    AppProfile { app: Application::Facebook, byte_share: 0.032, growth: 0.61, reach: 0.642, down_frac: 0.90 },
-    AppProfile { app: Application::GoogleHttps, byte_share: 0.026, growth: 0.67, reach: 0.709, down_frac: 0.85 },
-    AppProfile { app: Application::AppleFileSharing, byte_share: 0.022, growth: 0.18, reach: 0.0039, down_frac: 0.44 },
-    AppProfile { app: Application::AppleCom, byte_share: 0.019, growth: 0.79, reach: 0.495, down_frac: 0.94 },
-    AppProfile { app: Application::Google, byte_share: 0.018, growth: 0.19, reach: 0.682, down_frac: 0.85 },
-    AppProfile { app: Application::GoogleDrive, byte_share: 0.012, growth: 3.74, reach: 0.238, down_frac: 0.79 },
-    AppProfile { app: Application::Dropbox, byte_share: 0.012, growth: -0.015, reach: 0.066, down_frac: 0.60 },
-    AppProfile { app: Application::SoftwareUpdates, byte_share: 0.0094, growth: 0.36, reach: 0.124, down_frac: 0.98 },
-    AppProfile { app: Application::Instagram, byte_share: 0.0091, growth: 0.45, reach: 0.149, down_frac: 0.96 },
-    AppProfile { app: Application::BitTorrent, byte_share: 0.0069, growth: -0.085, reach: 0.0069, down_frac: 0.58 },
-    AppProfile { app: Application::Skype, byte_share: 0.0069, growth: 0.48, reach: 0.0704, down_frac: 0.49 },
-    AppProfile { app: Application::Pandora, byte_share: 0.0064, growth: 0.25, reach: 0.0328, down_frac: 0.97 },
-    AppProfile { app: Application::Rtmp, byte_share: 0.0062, growth: 0.10, reach: 0.0253, down_frac: 0.96 },
-    AppProfile { app: Application::Gmail, byte_share: 0.0062, growth: 0.26, reach: 0.240, down_frac: 0.74 },
-    AppProfile { app: Application::MicrosoftCom, byte_share: 0.0059, growth: 0.15, reach: 0.154, down_frac: 0.94 },
-    AppProfile { app: Application::Tumblr, byte_share: 0.0057, growth: 0.31, reach: 0.0485, down_frac: 0.97 },
-    AppProfile { app: Application::Spotify, byte_share: 0.0056, growth: 1.42, reach: 0.0375, down_frac: 0.98 },
-    AppProfile { app: Application::WindowsLiveMail, byte_share: 0.0047, growth: 2.16, reach: 0.0657, down_frac: 0.64 },
-    AppProfile { app: Application::Dropcam, byte_share: 0.0042, growth: 0.72, reach: 0.000527, down_frac: 0.05 },
-    AppProfile { app: Application::Hulu, byte_share: 0.0036, growth: 1.02, reach: 0.00926, down_frac: 0.98 },
-    AppProfile { app: Application::Steam, byte_share: 0.0035, growth: 0.47, reach: 0.00377, down_frac: 0.98 },
-    AppProfile { app: Application::Twitter, byte_share: 0.0033, growth: 0.67, reach: 0.345, down_frac: 0.91 },
-    AppProfile { app: Application::EncryptedP2p, byte_share: 0.0033, growth: 0.17, reach: 0.0146, down_frac: 0.97 },
-    AppProfile { app: Application::EncryptedTcp, byte_share: 0.0031, growth: 0.50, reach: 0.258, down_frac: 0.65 },
-    AppProfile { app: Application::RemoteDesktop, byte_share: 0.0029, growth: 0.66, reach: 0.0168, down_frac: 0.88 },
-    AppProfile { app: Application::Espn, byte_share: 0.0027, growth: 1.22, reach: 0.0364, down_frac: 0.98 },
-    AppProfile { app: Application::XfinityTv, byte_share: 0.0026, growth: 0.87, reach: 0.0023, down_frac: 0.98 },
-    AppProfile { app: Application::OtherWebmail, byte_share: 0.0025, growth: -0.064, reach: 0.0498, down_frac: 0.49 },
-    AppProfile { app: Application::Skydrive, byte_share: 0.0023, growth: -0.10, reach: 0.0483, down_frac: 0.25 },
+    AppProfile {
+        app: Application::Netflix,
+        byte_share: 0.098,
+        growth: 0.76,
+        reach: 0.0289,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Youtube,
+        byte_share: 0.100,
+        growth: 0.70,
+        reach: 0.40,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Itunes,
+        byte_share: 0.054,
+        growth: 0.66,
+        reach: 0.40,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::WindowsFileSharing,
+        byte_share: 0.045,
+        growth: 0.48,
+        reach: 0.1328,
+        down_frac: 0.66,
+    },
+    AppProfile {
+        app: Application::Cdns,
+        byte_share: 0.039,
+        growth: 0.81,
+        reach: 0.566,
+        down_frac: 0.72,
+    },
+    AppProfile {
+        app: Application::Facebook,
+        byte_share: 0.032,
+        growth: 0.61,
+        reach: 0.642,
+        down_frac: 0.90,
+    },
+    AppProfile {
+        app: Application::GoogleHttps,
+        byte_share: 0.026,
+        growth: 0.67,
+        reach: 0.709,
+        down_frac: 0.85,
+    },
+    AppProfile {
+        app: Application::AppleFileSharing,
+        byte_share: 0.022,
+        growth: 0.18,
+        reach: 0.0039,
+        down_frac: 0.44,
+    },
+    AppProfile {
+        app: Application::AppleCom,
+        byte_share: 0.019,
+        growth: 0.79,
+        reach: 0.495,
+        down_frac: 0.94,
+    },
+    AppProfile {
+        app: Application::Google,
+        byte_share: 0.018,
+        growth: 0.19,
+        reach: 0.682,
+        down_frac: 0.85,
+    },
+    AppProfile {
+        app: Application::GoogleDrive,
+        byte_share: 0.012,
+        growth: 3.74,
+        reach: 0.238,
+        down_frac: 0.79,
+    },
+    AppProfile {
+        app: Application::Dropbox,
+        byte_share: 0.012,
+        growth: -0.015,
+        reach: 0.066,
+        down_frac: 0.60,
+    },
+    AppProfile {
+        app: Application::SoftwareUpdates,
+        byte_share: 0.0094,
+        growth: 0.36,
+        reach: 0.124,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Instagram,
+        byte_share: 0.0091,
+        growth: 0.45,
+        reach: 0.149,
+        down_frac: 0.96,
+    },
+    AppProfile {
+        app: Application::BitTorrent,
+        byte_share: 0.0069,
+        growth: -0.085,
+        reach: 0.0069,
+        down_frac: 0.58,
+    },
+    AppProfile {
+        app: Application::Skype,
+        byte_share: 0.0069,
+        growth: 0.48,
+        reach: 0.0704,
+        down_frac: 0.49,
+    },
+    AppProfile {
+        app: Application::Pandora,
+        byte_share: 0.0064,
+        growth: 0.25,
+        reach: 0.0328,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Rtmp,
+        byte_share: 0.0062,
+        growth: 0.10,
+        reach: 0.0253,
+        down_frac: 0.96,
+    },
+    AppProfile {
+        app: Application::Gmail,
+        byte_share: 0.0062,
+        growth: 0.26,
+        reach: 0.240,
+        down_frac: 0.74,
+    },
+    AppProfile {
+        app: Application::MicrosoftCom,
+        byte_share: 0.0059,
+        growth: 0.15,
+        reach: 0.154,
+        down_frac: 0.94,
+    },
+    AppProfile {
+        app: Application::Tumblr,
+        byte_share: 0.0057,
+        growth: 0.31,
+        reach: 0.0485,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Spotify,
+        byte_share: 0.0056,
+        growth: 1.42,
+        reach: 0.0375,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::WindowsLiveMail,
+        byte_share: 0.0047,
+        growth: 2.16,
+        reach: 0.0657,
+        down_frac: 0.64,
+    },
+    AppProfile {
+        app: Application::Dropcam,
+        byte_share: 0.0042,
+        growth: 0.72,
+        reach: 0.000527,
+        down_frac: 0.05,
+    },
+    AppProfile {
+        app: Application::Hulu,
+        byte_share: 0.0036,
+        growth: 1.02,
+        reach: 0.00926,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Steam,
+        byte_share: 0.0035,
+        growth: 0.47,
+        reach: 0.00377,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Twitter,
+        byte_share: 0.0033,
+        growth: 0.67,
+        reach: 0.345,
+        down_frac: 0.91,
+    },
+    AppProfile {
+        app: Application::EncryptedP2p,
+        byte_share: 0.0033,
+        growth: 0.17,
+        reach: 0.0146,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::EncryptedTcp,
+        byte_share: 0.0031,
+        growth: 0.50,
+        reach: 0.258,
+        down_frac: 0.65,
+    },
+    AppProfile {
+        app: Application::RemoteDesktop,
+        byte_share: 0.0029,
+        growth: 0.66,
+        reach: 0.0168,
+        down_frac: 0.88,
+    },
+    AppProfile {
+        app: Application::Espn,
+        byte_share: 0.0027,
+        growth: 1.22,
+        reach: 0.0364,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::XfinityTv,
+        byte_share: 0.0026,
+        growth: 0.87,
+        reach: 0.0023,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::OtherWebmail,
+        byte_share: 0.0025,
+        growth: -0.064,
+        reach: 0.0498,
+        down_frac: 0.49,
+    },
+    AppProfile {
+        app: Application::Skydrive,
+        byte_share: 0.0023,
+        growth: -0.10,
+        reach: 0.0483,
+        down_frac: 0.25,
+    },
     // Category completions (below the top-40 cut but present in Table 6).
-    AppProfile { app: Application::XboxLive, byte_share: 0.0020, growth: 0.50, reach: 0.020, down_frac: 0.95 },
-    AppProfile { app: Application::Crashplan, byte_share: 0.0008, growth: 0.10, reach: 0.0007, down_frac: 0.042 },
-    AppProfile { app: Application::Backblaze, byte_share: 0.0007, growth: 0.10, reach: 0.0006, down_frac: 0.042 },
-    AppProfile { app: Application::Wordpress, byte_share: 0.0002, growth: -0.34, reach: 0.050, down_frac: 0.97 },
-    AppProfile { app: Application::Blogger, byte_share: 0.00018, growth: -0.34, reach: 0.037, down_frac: 0.97 },
-    AppProfile { app: Application::Mediafire, byte_share: 0.0001, growth: -0.27, reach: 0.0012, down_frac: 0.98 },
-    AppProfile { app: Application::Hotfile, byte_share: 0.00006, growth: -0.27, reach: 0.0007, down_frac: 0.98 },
-    AppProfile { app: Application::Cnn, byte_share: 0.0011, growth: 0.76, reach: 0.080, down_frac: 0.95 },
-    AppProfile { app: Application::NyTimes, byte_share: 0.0010, growth: 0.76, reach: 0.073, down_frac: 0.95 },
-    AppProfile { app: Application::Vimeo, byte_share: 0.0015, growth: 0.70, reach: 0.020, down_frac: 0.97 },
-    AppProfile { app: Application::Twitch, byte_share: 0.0015, growth: 1.00, reach: 0.010, down_frac: 0.97 },
-    AppProfile { app: Application::Snapchat, byte_share: 0.0010, growth: 1.50, reach: 0.060, down_frac: 0.85 },
-    AppProfile { app: Application::Pinterest, byte_share: 0.0008, growth: 0.80, reach: 0.070, down_frac: 0.95 },
-    AppProfile { app: Application::YahooMail, byte_share: 0.0008, growth: -0.05, reach: 0.040, down_frac: 0.55 },
-    AppProfile { app: Application::Webex, byte_share: 0.0012, growth: 0.40, reach: 0.012, down_frac: 0.45 },
-    AppProfile { app: Application::Facetime, byte_share: 0.0010, growth: 0.60, reach: 0.015, down_frac: 0.50 },
+    AppProfile {
+        app: Application::XboxLive,
+        byte_share: 0.0020,
+        growth: 0.50,
+        reach: 0.020,
+        down_frac: 0.95,
+    },
+    AppProfile {
+        app: Application::Crashplan,
+        byte_share: 0.0008,
+        growth: 0.10,
+        reach: 0.0007,
+        down_frac: 0.042,
+    },
+    AppProfile {
+        app: Application::Backblaze,
+        byte_share: 0.0007,
+        growth: 0.10,
+        reach: 0.0006,
+        down_frac: 0.042,
+    },
+    AppProfile {
+        app: Application::Wordpress,
+        byte_share: 0.0002,
+        growth: -0.34,
+        reach: 0.050,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Blogger,
+        byte_share: 0.00018,
+        growth: -0.34,
+        reach: 0.037,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Mediafire,
+        byte_share: 0.0001,
+        growth: -0.27,
+        reach: 0.0012,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Hotfile,
+        byte_share: 0.00006,
+        growth: -0.27,
+        reach: 0.0007,
+        down_frac: 0.98,
+    },
+    AppProfile {
+        app: Application::Cnn,
+        byte_share: 0.0011,
+        growth: 0.76,
+        reach: 0.080,
+        down_frac: 0.95,
+    },
+    AppProfile {
+        app: Application::NyTimes,
+        byte_share: 0.0010,
+        growth: 0.76,
+        reach: 0.073,
+        down_frac: 0.95,
+    },
+    AppProfile {
+        app: Application::Vimeo,
+        byte_share: 0.0015,
+        growth: 0.70,
+        reach: 0.020,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Twitch,
+        byte_share: 0.0015,
+        growth: 1.00,
+        reach: 0.010,
+        down_frac: 0.97,
+    },
+    AppProfile {
+        app: Application::Snapchat,
+        byte_share: 0.0010,
+        growth: 1.50,
+        reach: 0.060,
+        down_frac: 0.85,
+    },
+    AppProfile {
+        app: Application::Pinterest,
+        byte_share: 0.0008,
+        growth: 0.80,
+        reach: 0.070,
+        down_frac: 0.95,
+    },
+    AppProfile {
+        app: Application::YahooMail,
+        byte_share: 0.0008,
+        growth: -0.05,
+        reach: 0.040,
+        down_frac: 0.55,
+    },
+    AppProfile {
+        app: Application::Webex,
+        byte_share: 0.0012,
+        growth: 0.40,
+        reach: 0.012,
+        down_frac: 0.45,
+    },
+    AppProfile {
+        app: Application::Facetime,
+        byte_share: 0.0010,
+        growth: 0.60,
+        reach: 0.015,
+        down_frac: 0.50,
+    },
 ];
 
 /// Returns the profile for an app, if it has one.
@@ -231,7 +567,11 @@ mod tests {
         let total: f64 = by_cat.values().sum();
         let share = |c: AppCategory| by_cat.get(&c).copied().unwrap_or(0.0) / total;
         // Table 6: Other 47%, Video & music 34%, File sharing 8.4%.
-        assert!((share(AppCategory::Other) - 0.47).abs() < 0.05, "other {}", share(AppCategory::Other));
+        assert!(
+            (share(AppCategory::Other) - 0.47).abs() < 0.05,
+            "other {}",
+            share(AppCategory::Other)
+        );
         assert!((share(AppCategory::VideoMusic) - 0.34).abs() < 0.05);
         assert!((share(AppCategory::FileSharing) - 0.084).abs() < 0.03);
         assert!(share(AppCategory::SocialWebPhoto) > 0.02);
@@ -255,7 +595,8 @@ mod tests {
         // Implied MB/client = share / reach is the highest in the table.
         let intensity = p.byte_share / p.reach;
         for q in PROFILES {
-            if q.app != Application::Dropcam && q.app != Application::Crashplan
+            if q.app != Application::Dropcam
+                && q.app != Application::Crashplan
                 && q.app != Application::Backblaze
             {
                 assert!(
@@ -283,10 +624,16 @@ mod tests {
 
     #[test]
     fn affinities_respect_platform_rules() {
-        assert_eq!(os_affinity(OsFamily::AppleIos, Application::WindowsFileSharing), 0.0);
+        assert_eq!(
+            os_affinity(OsFamily::AppleIos, Application::WindowsFileSharing),
+            0.0
+        );
         assert_eq!(os_affinity(OsFamily::Android, Application::Itunes), 0.0);
         assert!(os_affinity(OsFamily::PlaystationOs, Application::Steam) > 1.0);
-        assert_eq!(os_affinity(OsFamily::PlaystationOs, Application::Gmail), 0.0);
+        assert_eq!(
+            os_affinity(OsFamily::PlaystationOs, Application::Gmail),
+            0.0
+        );
         assert!(os_affinity(OsFamily::ChromeOs, Application::GoogleDrive) > 1.0);
         assert!(os_affinity(OsFamily::Unknown, Application::Dropcam) > 10.0);
         // Everything has non-negative affinity everywhere.

@@ -63,6 +63,12 @@ pub struct FleetConfig {
     pub scan_window_s: u64,
     /// Probability a poll round-trip is lost (transport fault injection).
     pub poll_drop_probability: f64,
+    /// Worker threads for the engine's parallel panels. `1` selects the
+    /// strictly serial path; larger values fan independent work units out
+    /// across a thread pool. Output is byte-identical for every value —
+    /// the engine merges unit results in deterministic order. Defaults to
+    /// [`default_threads`].
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -88,6 +94,7 @@ impl FleetConfig {
             link_report_interval_s: 3600,
             scan_window_s: 180,
             poll_drop_probability: 0.01,
+            threads: default_threads(),
         }
     }
 
@@ -114,6 +121,11 @@ impl FleetConfig {
         scale_count(self.mr18_aps_full, self.scale)
     }
 
+    /// Worker threads the engine will actually use (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
     /// Target client count for a measurement year at this scale.
     ///
     /// 2014 is 2015 divided by the paper's 37% total growth.
@@ -129,6 +141,14 @@ impl FleetConfig {
 
 fn scale_count(full: u32, scale: f64) -> u32 {
     ((f64::from(full) * scale).round() as u32).max(1)
+}
+
+/// The host's available parallelism, with a serial fallback when the
+/// runtime cannot determine it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -168,6 +188,18 @@ mod tests {
     #[should_panic(expected = "scale must be in (0, 1]")]
     fn zero_scale_rejected() {
         let _ = FleetConfig::paper(0.0);
+    }
+
+    #[test]
+    fn thread_knob_defaults_sane() {
+        let cfg = FleetConfig::paper(0.01);
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.effective_threads(), cfg.threads);
+        let serial = FleetConfig {
+            threads: 0,
+            ..FleetConfig::smoke()
+        };
+        assert_eq!(serial.effective_threads(), 1);
     }
 
     #[test]

@@ -19,10 +19,21 @@
 //!
 //! Determinism: all randomness descends from `FleetConfig::seed` through
 //! labelled [`SeedTree`] children, so any table regenerates bit-identically.
+//!
+//! Parallelism: every panel decomposes into independent work units — a
+//! usage-panel client batch, one AP's radio week, one AP's scan week —
+//! each seeded from its own `SeedTree` node and drained through its own
+//! faulty tunnel. [`crate::exec::run_ordered`] fans the units across
+//! `FleetConfig::threads` workers and merges the resulting report batches
+//! into the [`Backend`] in ascending unit order, so any thread count
+//! reproduces the serial output byte for byte.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use airstat_classify::apps::{Application, RuleSet};
-use airstat_classify::flows::{Direction, FlowKey, FlowTable};
 use airstat_classify::device::{ClassifierVersion, DeviceClassifier};
+use airstat_classify::flows::{Direction, FlowKey, FlowTable};
 use airstat_rf::airtime::ChannelLoad;
 use airstat_rf::band::{Band, Channel};
 use airstat_rf::link::{FadingProcess, LinkModel};
@@ -33,14 +44,13 @@ use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
 use airstat_telemetry::report::{
     AirtimeRecord, ChannelScanRecord, ClientInfoRecord, CrashRecord, LinkRecord, NeighborRecord,
-    ReportPayload, UsageRecord,
+    Report, ReportPayload, UsageRecord,
 };
 use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel, TunnelConfig};
 use rand::Rng;
 
-use crate::config::{
-    FleetConfig, MeasurementYear, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014,
-};
+use crate::config::{FleetConfig, MeasurementYear, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014};
+use crate::exec::run_ordered;
 use crate::population::PopulationModel;
 use crate::traffic::generate_weekly;
 use crate::world::{ApModel, ApSite, NeighborEpoch, World};
@@ -59,6 +69,78 @@ pub struct SimulationOutput {
     /// Clients (2015 window) whose usage arrived through more than one AP;
     /// the backend's MAC-level aggregation (§2.3) merges them.
     pub roamed_clients: u64,
+    /// Per-panel wall-clock and volume statistics, in execution order.
+    pub panels: Vec<PanelStats>,
+    /// Wire bytes encoded across every tunnel (all panels).
+    pub bytes_encoded: u64,
+    /// Worker threads the run actually used.
+    pub threads: usize,
+}
+
+impl SimulationOutput {
+    /// Reports accepted by the backend across all panels.
+    pub fn reports_ingested(&self) -> u64 {
+        self.panels.iter().map(|p| p.reports).sum()
+    }
+
+    /// A human-readable per-panel throughput table (wall time, report and
+    /// wire-byte volume) for CLI/example status output.
+    pub fn throughput_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let plural = if self.threads == 1 { "" } else { "s" };
+        let _ = writeln!(
+            out,
+            "engine throughput ({} worker thread{plural}):",
+            self.threads
+        );
+        for p in &self.panels {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8.3} s  {:>9} reports  {:>12} wire bytes  ({:.2} MiB/s)",
+                p.label,
+                p.wall_s,
+                p.reports,
+                p.bytes,
+                p.wire_rate_mib_s(),
+            );
+        }
+        let total_wall: f64 = self.panels.iter().map(|p| p.wall_s).sum();
+        let _ = write!(
+            out,
+            "  {:<12} {:>8.3} s  {:>9} reports  {:>12} wire bytes",
+            "total",
+            total_wall,
+            self.reports_ingested(),
+            self.bytes_encoded,
+        );
+        out
+    }
+}
+
+/// Wall-clock and volume statistics for one engine panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelStats {
+    /// Panel label (matches the panel's seed-tree child label).
+    pub label: &'static str,
+    /// Wall-clock seconds the panel took, drains included.
+    pub wall_s: f64,
+    /// Reports the backend accepted from this panel.
+    pub reports: u64,
+    /// Wire bytes encoded while draining this panel's agents.
+    pub bytes: u64,
+}
+
+impl PanelStats {
+    /// Encoded wire throughput in MiB/s (0 when the panel took no
+    /// measurable time).
+    pub fn wire_rate_mib_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.bytes as f64 / self.wall_s / (1024.0 * 1024.0)
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The simulation driver.
@@ -107,48 +189,64 @@ impl FleetSimulation {
         let world = World::generate(&seed, self.config.mr16_aps(), self.config.mr18_aps());
         let mut backend = Backend::new();
         let mut polls = PollStats::default();
+        let threads = self.config.effective_threads();
+        let mut panels = Vec::new();
 
         // Usage panels.
         let mut roamed_clients = 0;
         for year in [MeasurementYear::Y2014, MeasurementYear::Y2015] {
-            let roamed = self.run_usage_window(&seed, year, &mut backend, &mut polls);
+            let label = match year {
+                MeasurementYear::Y2014 => "usage-2014",
+                MeasurementYear::Y2015 => "usage-2015",
+            };
+            let started = Instant::now();
+            let (roamed, tally) =
+                self.run_usage_window(&seed, year, threads, &mut backend, &mut polls);
+            panels.push(tally.into_stats(label, started));
             if year == MeasurementYear::Y2015 {
                 roamed_clients = roamed;
             }
         }
         // Radio panels (MR16): July 2014 and January 2015.
-        self.run_radio_window(
-            &seed.child("radio-jul14"),
-            &world,
-            NeighborEpoch::Jul2014,
-            WINDOW_JUL_2014,
-            &mut backend,
-            &mut polls,
-        );
-        self.run_radio_window(
-            &seed.child("radio-jan15"),
-            &world,
-            NeighborEpoch::Jan2015,
-            WINDOW_JAN_2015,
-            &mut backend,
-            &mut polls,
-        );
+        for (label, epoch, window) in [
+            ("radio-jul14", NeighborEpoch::Jul2014, WINDOW_JUL_2014),
+            ("radio-jan15", NeighborEpoch::Jan2015, WINDOW_JAN_2015),
+        ] {
+            let started = Instant::now();
+            let tally = self.run_radio_window(
+                &seed.child(label),
+                &world,
+                epoch,
+                window,
+                threads,
+                &mut backend,
+                &mut polls,
+            );
+            panels.push(tally.into_stats(label, started));
+        }
         // Scan panel (MR18): January 2015.
-        self.run_scan_window(
+        let started = Instant::now();
+        let tally = self.run_scan_window(
             &seed.child("scan-jan15"),
             &world,
             NeighborEpoch::Jan2015,
             WINDOW_JAN_2015,
+            threads,
             &mut backend,
             &mut polls,
         );
+        panels.push(tally.into_stats("scan-jan15", started));
 
+        let bytes_encoded = panels.iter().map(|p| p.bytes).sum();
         SimulationOutput {
             backend,
             world,
             polls_attempted: polls.attempted,
             polls_lost: polls.lost,
             roamed_clients,
+            panels,
+            bytes_encoded,
+            threads,
         }
     }
 
@@ -160,16 +258,17 @@ impl FleetSimulation {
         &self,
         seed: &SeedTree,
         year: MeasurementYear,
+        threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
-    ) -> u64 {
+    ) -> (u64, PanelTally) {
         let window = year.window();
         let year_label = match year {
             MeasurementYear::Y2014 => "usage-2014",
             MeasurementYear::Y2015 => "usage-2015",
         };
         let node = seed.child(year_label);
-        let mut rng = node.child("clients").rng();
+        let clients_node = node.child("clients");
         let population = PopulationModel::new(year);
         let (classifier, ruleset) = match year {
             MeasurementYear::Y2014 => (
@@ -181,28 +280,33 @@ impl FleetSimulation {
                 RuleSet::standard_2015(),
             ),
         };
+        // The ruleset is immutable during the window: share one copy
+        // across every work unit instead of cloning it per client.
+        let ruleset = Arc::new(ruleset);
         let n_clients = self.config.clients(year);
         // Clients are grouped under virtual usage-panel APs; each AP is a
-        // device agent polled through a faulty tunnel.
+        // device agent polled through a faulty tunnel. One AP's batch is
+        // one work unit, seeded from its own `clients/<batch>` node.
         const CLIENTS_PER_AP: u64 = 250;
         let pl = PathLoss::new(Environment::DenseIndoor);
         let distance = LogNormal::from_median_p90(20.0, 55.0);
-        // Usage-panel device ids live far above the radio panel's.
-        let mut device_id = 1_000_000u64;
-        let mut client_id = 0u64;
-        let mut roamed_clients = 0u64;
-        // Usage records a roaming client produced at its *next* AP (§2.3:
-        // the backend re-aggregates these by MAC).
-        let mut roaming_spill: Vec<UsageRecord> = Vec::new();
-        while client_id < n_clients {
-            device_id += 1;
-            let mut agent = DeviceAgent::new(device_id);
-            let batch_end = (client_id + CLIENTS_PER_AP).min(n_clients);
-            let mut usage_records = std::mem::take(&mut roaming_spill);
-            let mut info_records = Vec::new();
-            while client_id < batch_end {
+        let n_batches = n_clients.div_ceil(CLIENTS_PER_AP) as usize;
+
+        let unit = |index: usize| -> UnitOutput {
+            let batch = index as u64;
+            let mut out = UnitOutput::default();
+            let mut rng = clients_node.indexed(batch).rng();
+            // Usage-panel device ids live far above the radio panel's.
+            let device_id = 1_000_001 + batch;
+            let batch_end = ((batch + 1) * CLIENTS_PER_AP).min(n_clients);
+            let mut usage_records = Chunked::new(POLL_CHUNK);
+            let mut info_records = Chunked::new(POLL_CHUNK);
+            // Usage records a roaming client produced at a *different* AP
+            // (§2.3: the backend re-aggregates these by MAC).
+            let mut roaming_spill = Chunked::new(POLL_CHUNK);
+            let mut flow_table = FlowTable::new(Arc::clone(&ruleset), 256, 300);
+            for client_id in batch * CLIENTS_PER_AP..batch_end {
                 let client = population.sample_client(client_id, &mut rng);
-                client_id += 1;
                 // RSSI on both bands from one geometry draw.
                 let d = distance.sample(&mut rng);
                 let shadow = pl.sample_shadowing_db(&mut rng);
@@ -236,8 +340,9 @@ impl FleetSimulation {
                 // (§2.1): the first packet of each flow takes the slow
                 // path where the ruleset runs once; data rides the fast
                 // path; FIN retires the entry into per-client counters.
+                // The table is reused across clients (reset, not rebuilt).
                 let week = generate_weekly(&client, year, &mut rng);
-                let mut flow_table = FlowTable::new(ruleset.clone(), 256, 300);
+                flow_table.reset();
                 for (i, flow) in week.flows.iter().enumerate() {
                     let key = FlowKey {
                         client: client.mac,
@@ -265,49 +370,56 @@ impl FleetSimulation {
                 // roamer's later flows show up at a different AP and the
                 // backend must merge them by MAC.
                 let roam_p = if os.is_mobile() { 0.45 } else { 0.10 };
-                let roams = rng.gen::<f64>() < roam_p && client_id < n_clients;
+                let roams = rng.gen::<f64>() < roam_p;
                 if roams {
-                    roamed_clients += 1;
+                    out.roamed += 1;
                 }
                 for (app, (up, down)) in per_app {
+                    let record = UsageRecord {
+                        mac: client.mac,
+                        app,
+                        up_bytes: up,
+                        down_bytes: down,
+                    };
                     if roams && rng.gen::<f64>() < 0.4 {
-                        // This app's bytes were used at the next AP.
-                        roaming_spill.push(UsageRecord {
-                            mac: client.mac,
-                            app,
-                            up_bytes: up,
-                            down_bytes: down,
-                        });
+                        // This app's bytes were used at the roamed-to AP.
+                        roaming_spill.push(record);
                     } else {
-                        usage_records.push(UsageRecord {
-                            mac: client.mac,
-                            app,
-                            up_bytes: up,
-                            down_bytes: down,
-                        });
+                        usage_records.push(record);
                     }
                 }
             }
             // Split into multiple reports (daily polls in production).
-            for (i, chunk) in info_records.chunks(512).enumerate() {
-                agent.submit(i as u64 * 86_400, ReportPayload::ClientInfo(chunk.to_vec()));
-            }
-            for (i, chunk) in usage_records.chunks(512).enumerate() {
-                agent.submit(
-                    i as u64 * 3_600,
-                    ReportPayload::Usage(chunk.to_vec()),
-                );
-            }
-            self.drain_agent(&node.indexed(device_id), &mut agent, window, backend, polls);
-        }
-        // Any spill from the final batch lands on one more roaming AP.
-        if !roaming_spill.is_empty() {
-            device_id += 1;
             let mut agent = DeviceAgent::new(device_id);
-            agent.submit(0, ReportPayload::Usage(roaming_spill));
-            self.drain_agent(&node.indexed(device_id), &mut agent, window, backend, polls);
-        }
-        roamed_clients
+            for (i, chunk) in info_records.into_chunks().into_iter().enumerate() {
+                agent.submit(i as u64 * 86_400, ReportPayload::ClientInfo(chunk));
+            }
+            for (i, chunk) in usage_records.into_chunks().into_iter().enumerate() {
+                agent.submit(i as u64 * 3_600, ReportPayload::Usage(chunk));
+            }
+            self.drain_agent_collect(&node.indexed(device_id), &mut agent, &mut out);
+            // The batch's roamers surface at a dedicated roamed-to AP so
+            // the unit stays self-contained; the backend's MAC-level
+            // aggregation merges the split usage regardless of which AP
+            // reported it.
+            if !roaming_spill.is_empty() {
+                let roam_device = ROAM_DEVICE_BASE + batch;
+                let mut roam_agent = DeviceAgent::new(roam_device);
+                for (i, chunk) in roaming_spill.into_chunks().into_iter().enumerate() {
+                    roam_agent.submit(i as u64 * 3_600, ReportPayload::Usage(chunk));
+                }
+                self.drain_agent_collect(&node.indexed(roam_device), &mut roam_agent, &mut out);
+            }
+            out
+        };
+
+        let mut tally = PanelTally::default();
+        let mut roamed_clients = 0u64;
+        run_ordered(threads, n_batches, unit, |_, out: UnitOutput| {
+            roamed_clients += out.roamed;
+            tally.merge(&out, backend, window, polls);
+        });
+        (roamed_clients, tally)
     }
 
     // ------------------------------------------------------------------
@@ -320,19 +432,26 @@ impl FleetSimulation {
         world: &World,
         epoch: NeighborEpoch,
         window: WindowId,
+        threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
-    ) {
+    ) -> PanelTally {
         let model24 = LinkModel::for_band(Band::Ghz2_4);
         let model5 = LinkModel::for_band(Band::Ghz5);
-        for ap in &world.aps {
+        let diurnal_table = diurnal_table();
+        // One AP's whole radio week is one work unit: its randomness
+        // descends from the per-AP node alone.
+        let unit = |index: usize| -> UnitOutput {
+            let ap = &world.aps[index];
+            let mut out = UnitOutput::default();
             let ap_node = node.indexed(ap.device_id);
             let mut rng = ap_node.child("census").rng();
             let mut agent = DeviceAgent::new(ap.device_id);
 
-            // 1. Neighbour census.
-            let census = sample_census(world, ap, epoch, &mut rng);
-            agent.submit(0, ReportPayload::Neighbors(census.records.clone()));
+            // 1. Neighbour census. The wire records move straight into
+            //    the payload; the census keeps precomputed counts.
+            let mut census = sample_census(world, ap, epoch, &mut rng);
+            agent.submit(0, ReportPayload::Neighbors(census.take_records()));
 
             // 1b. §6.1's firmware bug: the neighbour table accumulates
             // every BSSID ever heard with no eviction. Extreme sites
@@ -372,7 +491,14 @@ impl FleetSimulation {
                 let mut busy = 0u64;
                 let mut wifi = 0u64;
                 for hour in 0..(WEEK_S / 3600) {
-                    let load = serving_load(ap, &census, band, epoch, diurnal(hour % 24), &mut rng);
+                    let load = serving_load(
+                        ap,
+                        &census,
+                        band,
+                        epoch,
+                        diurnal_table[(hour % 24) as usize],
+                        &mut rng,
+                    );
                     let step_us = 3_600_000_000u64;
                     let u = load.utilization();
                     let d = load.decodable_fraction();
@@ -414,7 +540,14 @@ impl FleetSimulation {
                             Band::Ghz2_4 => &model24,
                             Band::Ghz5 => &model5,
                         };
-                        let load = serving_load(ap, &census, band, epoch, diurnal(hour), &mut link_rng);
+                        let load = serving_load(
+                            ap,
+                            &census,
+                            band,
+                            epoch,
+                            diurnal_table[hour as usize],
+                            &mut link_rng,
+                        );
                         let p = model.delivery_probability(&wl.link, load.utilization(), fade);
                         // 300 s window of 15 s probes = 20 expected.
                         let received = (0..20).filter(|_| link_rng.gen::<f64>() < p).count() as u32;
@@ -430,8 +563,15 @@ impl FleetSimulation {
                 }
             }
 
-            self.drain_agent(&ap_node, &mut agent, window, backend, polls);
-        }
+            self.drain_agent_collect(&ap_node, &mut agent, &mut out);
+            out
+        };
+
+        let mut tally = PanelTally::default();
+        run_ordered(threads, world.aps.len(), unit, |_, out: UnitOutput| {
+            tally.merge(&out, backend, window, polls);
+        });
+        tally
     }
 
     // ------------------------------------------------------------------
@@ -444,10 +584,19 @@ impl FleetSimulation {
         world: &World,
         epoch: NeighborEpoch,
         window: WindowId,
+        threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
-    ) {
-        for ap in world.aps.iter().filter(|a| a.model == ApModel::Mr18) {
+    ) -> PanelTally {
+        let diurnal_table = diurnal_table();
+        let scan_aps: Vec<&ApSite> = world
+            .aps
+            .iter()
+            .filter(|a| a.model == ApModel::Mr18)
+            .collect();
+        let unit = |index: usize| -> UnitOutput {
+            let ap = scan_aps[index];
+            let mut out = UnitOutput::default();
             let ap_node = node.indexed(ap.device_id);
             let mut rng = ap_node.child("scan").rng();
             let mut agent = DeviceAgent::new(ap.device_id + 500_000); // scan radio identity
@@ -459,8 +608,14 @@ impl FleetSimulation {
                     let mut records = Vec::new();
                     for band in [Band::Ghz2_4, Band::Ghz5] {
                         for channel in Channel::all_in(band) {
-                            let load =
-                                channel_load(ap, &census, channel, epoch, diurnal(hour), &mut rng);
+                            let load = channel_load(
+                                ap,
+                                &census,
+                                channel,
+                                epoch,
+                                diurnal_table[hour as usize],
+                                &mut rng,
+                            );
                             let networks = census.count_on(channel);
                             records.push(ChannelScanRecord {
                                 channel,
@@ -473,19 +628,21 @@ impl FleetSimulation {
                     agent.submit(timestamp, ReportPayload::ChannelScan(records));
                 }
             }
-            self.drain_agent(&ap_node, &mut agent, window, backend, polls);
-        }
+            self.drain_agent_collect(&ap_node, &mut agent, &mut out);
+            out
+        };
+
+        let mut tally = PanelTally::default();
+        run_ordered(threads, scan_aps.len(), unit, |_, out: UnitOutput| {
+            tally.merge(&out, backend, window, polls);
+        });
+        tally
     }
 
-    /// Polls an agent through a fault-injected tunnel until drained.
-    fn drain_agent(
-        &self,
-        node: &SeedTree,
-        agent: &mut DeviceAgent,
-        window: WindowId,
-        backend: &mut Backend,
-        polls: &mut PollStats,
-    ) {
+    /// Polls an agent through a fault-injected tunnel until drained,
+    /// collecting the decoded reports into `out` (the caller merges them
+    /// into the backend in deterministic unit order).
+    fn drain_agent_collect(&self, node: &SeedTree, agent: &mut DeviceAgent, out: &mut UnitOutput) {
         let mut tunnel = Tunnel::new(TunnelConfig {
             drop_probability: self.config.poll_drop_probability,
             poll_batch: 64,
@@ -496,9 +653,7 @@ impl FleetSimulation {
         for _ in 0..100_000 {
             match tunnel.poll(agent, &mut rng) {
                 PollOutcome::Delivered(reports) => {
-                    for r in &reports {
-                        backend.ingest(window, r);
-                    }
+                    out.reports.extend(reports);
                     if agent.queued() == 0 {
                         break;
                     }
@@ -506,9 +661,101 @@ impl FleetSimulation {
                 PollOutcome::Lost | PollOutcome::Disconnected => {}
             }
         }
-        polls.attempted += tunnel.polls_attempted();
-        polls.lost += tunnel.polls_lost();
+        out.polls_attempted += tunnel.polls_attempted();
+        out.polls_lost += tunnel.polls_lost();
+        out.bytes += tunnel.bytes_transferred();
         assert_eq!(agent.queued(), 0, "agent failed to drain");
+    }
+}
+
+/// Poll-sized report chunk length (records per report).
+const POLL_CHUNK: usize = 512;
+
+/// Device-id base for the usage panel's synthetic roamed-to APs; far
+/// above both the radio panel's ids and the usage batch agents'.
+const ROAM_DEVICE_BASE: u64 = 2_000_000;
+
+/// What one work unit hands back to the driver thread.
+#[derive(Debug, Default)]
+struct UnitOutput {
+    /// Decoded reports, in submission order, ready for backend ingest.
+    reports: Vec<Report>,
+    polls_attempted: u64,
+    polls_lost: u64,
+    /// Wire bytes encoded by this unit's tunnels.
+    bytes: u64,
+    /// Clients in this unit that roamed (usage panel only).
+    roamed: u64,
+}
+
+/// Running totals for one panel, merged on the driver thread.
+#[derive(Debug, Default)]
+struct PanelTally {
+    reports: u64,
+    bytes: u64,
+}
+
+impl PanelTally {
+    /// Ingests one unit's reports and folds its counters in. Called from
+    /// the ordered sink, so ingest order equals unit order.
+    fn merge(
+        &mut self,
+        out: &UnitOutput,
+        backend: &mut Backend,
+        window: WindowId,
+        polls: &mut PollStats,
+    ) {
+        self.reports += backend.ingest_batch(window, &out.reports);
+        self.bytes += out.bytes;
+        polls.attempted += out.polls_attempted;
+        polls.lost += out.polls_lost;
+    }
+
+    fn into_stats(self, label: &'static str, started: Instant) -> PanelStats {
+        PanelStats {
+            label,
+            wall_s: started.elapsed().as_secs_f64(),
+            reports: self.reports,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Accumulates records directly into poll-sized chunks, replacing the
+/// build-everything-then-`chunks().to_vec()` pattern (one fewer copy of
+/// every record on the hot path). Chunk boundaries match
+/// `slice::chunks(size)` over the same push sequence exactly.
+#[derive(Debug)]
+struct Chunked<T> {
+    size: usize,
+    chunks: Vec<Vec<T>>,
+}
+
+impl<T> Chunked<T> {
+    fn new(size: usize) -> Self {
+        Chunked {
+            size,
+            chunks: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: T) {
+        match self.chunks.last_mut() {
+            Some(last) if last.len() < self.size => last.push(value),
+            _ => {
+                let mut chunk = Vec::with_capacity(self.size);
+                chunk.push(value);
+                self.chunks.push(chunk);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    fn into_chunks(self) -> Vec<Vec<T>> {
+        self.chunks
     }
 }
 
@@ -532,6 +779,12 @@ pub fn diurnal(hour: u64) -> f64 {
     }
 }
 
+/// [`diurnal`] precomputed for all 24 hours — the hot loops index this
+/// instead of re-evaluating the match hundreds of thousands of times.
+pub fn diurnal_table() -> [f64; 24] {
+    std::array::from_fn(|hour| diurnal(hour as u64))
+}
+
 /// A sampled neighbour census for one AP.
 #[derive(Debug, Clone)]
 pub struct SampledCensus {
@@ -539,25 +792,39 @@ pub struct SampledCensus {
     pub records: Vec<NeighborRecord>,
     /// Fraction of neighbours beaconing as legacy 802.11b.
     pub legacy_fraction: f64,
+    // Counts are precomputed at sampling time so the per-hour load loops
+    // do map lookups instead of scanning `records`, and so the records
+    // themselves can be moved into a report payload (`take_records`)
+    // without cloning.
+    counts: std::collections::BTreeMap<(Band, u16), u32>,
+    band_totals: [u32; 2],
+}
+
+fn band_index(band: Band) -> usize {
+    match band {
+        Band::Ghz2_4 => 0,
+        Band::Ghz5 => 1,
+    }
 }
 
 impl SampledCensus {
     /// Networks heard on `channel`.
     pub fn count_on(&self, channel: Channel) -> u32 {
-        self.records
-            .iter()
-            .filter(|r| r.channel == channel)
-            .map(|r| r.networks)
-            .sum()
+        self.counts
+            .get(&(channel.band, channel.number))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Networks heard on a band.
     pub fn count_on_band(&self, band: Band) -> u32 {
-        self.records
-            .iter()
-            .filter(|r| r.channel.band == band)
-            .map(|r| r.networks)
-            .sum()
+        self.band_totals[band_index(band)]
+    }
+
+    /// Moves the wire records out (e.g. into a report payload). The
+    /// precomputed per-channel and per-band counts remain valid.
+    pub fn take_records(&mut self) -> Vec<NeighborRecord> {
+        std::mem::take(&mut self.records)
     }
 }
 
@@ -585,7 +852,7 @@ pub fn sample_census<R: Rng + ?Sized>(
             }
         }
     }
-    let records = per_channel
+    let records: Vec<NeighborRecord> = per_channel
         .into_iter()
         .map(|((band, number), (networks, hotspots))| NeighborRecord {
             channel: Channel::new(band, number).expect("placement emits plan channels"),
@@ -593,9 +860,19 @@ pub fn sample_census<R: Rng + ?Sized>(
             hotspots,
         })
         .collect();
+    let mut counts: std::collections::BTreeMap<(Band, u16), u32> = Default::default();
+    let mut band_totals = [0u32; 2];
+    for r in &records {
+        *counts
+            .entry((r.channel.band, r.channel.number))
+            .or_default() += r.networks;
+        band_totals[band_index(r.channel.band)] += r.networks;
+    }
     SampledCensus {
         records,
         legacy_fraction: 0.08,
+        counts,
+        band_totals,
     }
 }
 
@@ -714,12 +991,9 @@ fn channel_load_inner<R: Rng + ?Sized>(
     // modulated by time of day since most of these devices follow people.
     let non_wifi = match channel.band {
         Band::Ghz2_4 => {
-            let ambient = airstat_rf::interference::aggregate_duty(
-                &ap.interferers,
-                channel.center_mhz(),
-            );
-            (ambient * diurnal_factor).min(0.25)
-                + Exponential::with_mean(0.003).sample(rng)
+            let ambient =
+                airstat_rf::interference::aggregate_duty(&ap.interferers, channel.center_mhz());
+            (ambient * diurnal_factor).min(0.25) + Exponential::with_mean(0.003).sample(rng)
         }
         Band::Ghz5 => Exponential::with_mean(0.002).sample(rng),
     };
@@ -766,10 +1040,18 @@ mod tests {
         assert!(b.client_count(WINDOW_JAN_2015) > 0);
         assert!(b.client_count(WINDOW_JAN_2015) > b.client_count(WINDOW_JAN_2014));
         assert!(!b.usage_by_app(WINDOW_JAN_2015).is_empty());
-        assert!(!b.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
-        assert!(!b.latest_delivery_ratios(WINDOW_JUL_2014, Band::Ghz2_4).is_empty());
-        assert!(!b.serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
-        assert!(!b.scan_observations(WINDOW_JAN_2015, Band::Ghz2_4).is_empty());
+        assert!(!b
+            .latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
+            .is_empty());
+        assert!(!b
+            .latest_delivery_ratios(WINDOW_JUL_2014, Band::Ghz2_4)
+            .is_empty());
+        assert!(!b
+            .serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4)
+            .is_empty());
+        assert!(!b
+            .scan_observations(WINDOW_JAN_2015, Band::Ghz2_4)
+            .is_empty());
         let (_, mean24, _) = b.nearby_summary(WINDOW_JAN_2015, Band::Ghz2_4);
         assert!(mean24 > 10.0, "mean nearby {mean24}");
         assert!(out.polls_attempted > 0);
@@ -783,6 +1065,80 @@ mod tests {
     }
 
     #[test]
+    fn smoke_run_reports_panel_stats() {
+        let out = tiny_run();
+        let labels: Vec<_> = out.panels.iter().map(|p| p.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "usage-2014",
+                "usage-2015",
+                "radio-jul14",
+                "radio-jan15",
+                "scan-jan15"
+            ]
+        );
+        for p in &out.panels {
+            assert!(p.reports > 0, "{}: no reports", p.label);
+            assert!(p.bytes > 0, "{}: no wire bytes", p.label);
+        }
+        assert_eq!(
+            out.reports_ingested(),
+            out.backend.reports_ingested(),
+            "panel tallies must agree with the backend"
+        );
+        assert_eq!(
+            out.bytes_encoded,
+            out.panels.iter().map(|p| p.bytes).sum::<u64>()
+        );
+        assert!(out.threads >= 1);
+        let summary = out.throughput_summary();
+        assert!(summary.contains("usage-2015"));
+        assert!(summary.contains("total"));
+    }
+
+    #[test]
+    fn census_counts_match_records() {
+        let world = World::generate(&SeedTree::new(11), 50, 0);
+        let mut rng = SeedTree::new(12).rng();
+        for ap in &world.aps {
+            let mut census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
+            for band in [Band::Ghz2_4, Band::Ghz5] {
+                let scanned: u32 = census
+                    .records
+                    .iter()
+                    .filter(|r| r.channel.band == band)
+                    .map(|r| r.networks)
+                    .sum();
+                assert_eq!(census.count_on_band(band), scanned);
+                for channel in Channel::all_in(band) {
+                    let on_channel: u32 = census
+                        .records
+                        .iter()
+                        .filter(|r| r.channel == channel)
+                        .map(|r| r.networks)
+                        .sum();
+                    assert_eq!(census.count_on(channel), on_channel);
+                }
+            }
+            // Counts survive moving the records out.
+            let total_before = census.count_on_band(Band::Ghz2_4);
+            let records = census.take_records();
+            assert!(census.records.is_empty());
+            assert_eq!(census.count_on_band(Band::Ghz2_4), total_before);
+            drop(records);
+        }
+    }
+
+    #[test]
+    fn diurnal_table_matches_function() {
+        let table = diurnal_table();
+        for hour in 0..24u64 {
+            assert_eq!(table[hour as usize], diurnal(hour));
+        }
+    }
+
+    #[test]
     fn run_is_deterministic() {
         let a = tiny_run();
         let b = tiny_run();
@@ -792,8 +1148,10 @@ mod tests {
             b.backend.usage_by_app(WINDOW_JAN_2015)
         );
         assert_eq!(
-            a.backend.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4),
-            b.backend.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
+            a.backend
+                .latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4),
+            b.backend
+                .latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
         );
     }
 
@@ -837,10 +1195,24 @@ mod tests {
             let mut acc24 = 0.0;
             let mut acc5 = 0.0;
             for hour in 0..24 {
-                acc24 += serving_load(ap, &census, Band::Ghz2_4, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
-                    .utilization();
-                acc5 += serving_load(ap, &census, Band::Ghz5, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
-                    .utilization();
+                acc24 += serving_load(
+                    ap,
+                    &census,
+                    Band::Ghz2_4,
+                    NeighborEpoch::Jan2015,
+                    diurnal(hour),
+                    &mut rng,
+                )
+                .utilization();
+                acc5 += serving_load(
+                    ap,
+                    &census,
+                    Band::Ghz5,
+                    NeighborEpoch::Jan2015,
+                    diurnal(hour),
+                    &mut rng,
+                )
+                .utilization();
             }
             utils24.push(acc24 / 24.0);
             utils5.push(acc5 / 24.0);
@@ -889,12 +1261,27 @@ mod tests {
         let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
         let mut own = 0.0;
         let mut other = 0.0;
-        let other_channel = Channel::new(Band::Ghz2_4, if ap.channel_2_4.number == 6 { 1 } else { 6 }).unwrap();
+        let other_channel =
+            Channel::new(Band::Ghz2_4, if ap.channel_2_4.number == 6 { 1 } else { 6 }).unwrap();
         for _ in 0..50 {
-            own += channel_load(ap, &census, ap.channel_2_4, NeighborEpoch::Jan2015, 1.0, &mut rng)
-                .utilization();
-            other += channel_load(ap, &census, other_channel, NeighborEpoch::Jan2015, 1.0, &mut rng)
-                .utilization();
+            own += channel_load(
+                ap,
+                &census,
+                ap.channel_2_4,
+                NeighborEpoch::Jan2015,
+                1.0,
+                &mut rng,
+            )
+            .utilization();
+            other += channel_load(
+                ap,
+                &census,
+                other_channel,
+                NeighborEpoch::Jan2015,
+                1.0,
+                &mut rng,
+            )
+            .utilization();
         }
         assert!(own > other, "serving channel busier: {own} vs {other}");
     }
@@ -907,12 +1294,23 @@ mod tests {
         let mut decodables = Vec::new();
         for ap in &world.aps {
             let census = sample_census(&world, ap, NeighborEpoch::Jan2015, &mut rng);
-            let load = serving_load(ap, &census, Band::Ghz2_4, NeighborEpoch::Jan2015, 1.0, &mut rng);
+            let load = serving_load(
+                ap,
+                &census,
+                Band::Ghz2_4,
+                NeighborEpoch::Jan2015,
+                1.0,
+                &mut rng,
+            );
             if load.utilization() > 0.01 {
                 decodables.push(load.decodable_fraction());
             }
         }
         let e = Ecdf::new(decodables);
-        assert!(e.median().unwrap() > 0.5, "median decodable {}", e.median().unwrap());
+        assert!(
+            e.median().unwrap() > 0.5,
+            "median decodable {}",
+            e.median().unwrap()
+        );
     }
 }

@@ -1,0 +1,130 @@
+//! Deterministic fan-out for independent simulation work units.
+//!
+//! The fleet engine's panels decompose into work units (one usage batch,
+//! one AP's radio week, one AP's scan week) whose randomness descends
+//! from per-unit `SeedTree` nodes — so each unit's result depends only on
+//! its index, never on execution order. [`run_ordered`] exploits that: it
+//! fans units out across a scoped thread pool but hands results to the
+//! caller's sink **in ascending unit order**, buffered through a reorder
+//! window. The net effect is that `threads = N` produces byte-identical
+//! output to the strictly serial `threads = 1` path, which is kept as a
+//! degenerate case (no pool, no channel, no buffering).
+//!
+//! Built on `std` only (`thread::scope` + `mpsc` + an atomic work
+//! counter): the build environment is offline, so no rayon/crossbeam.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `unit(0..n)` and feeds each result to `sink` in ascending index
+/// order.
+///
+/// * `threads <= 1` (or `n <= 1`): plain serial loop, no threads spawned.
+/// * otherwise: `min(threads, n)` workers pull indices from a shared
+///   atomic counter; finished results stream back over a channel and a
+///   reorder buffer releases them to `sink` in index order.
+///
+/// `sink` always runs on the calling thread, so it may freely mutate
+/// caller state (e.g. ingest into a backend).
+///
+/// # Panics
+/// A panicking unit propagates to the caller when its worker thread is
+/// joined at scope exit.
+pub fn run_ordered<T, U, S>(threads: usize, n: usize, unit: U, mut sink: S)
+where
+    T: Send,
+    U: Fn(usize) -> T + Sync,
+    S: FnMut(usize, T),
+{
+    if threads <= 1 || n <= 1 {
+        for index in 0..n {
+            sink(index, unit(index));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let unit = &unit;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n || tx.send((index, unit(index))).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers own the remaining senders; dropping ours lets the
+        // receive loop end once every unit has reported.
+        drop(tx);
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut expected = 0usize;
+        for (index, result) in rx {
+            pending.insert(index, result);
+            while let Some(result) = pending.remove(&expected) {
+                sink(expected, result);
+                expected += 1;
+            }
+        }
+        assert!(pending.is_empty(), "all unit results must be released");
+        assert_eq!(expected, n, "every unit must complete");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let unit = |i: usize| (i as u64) * 3 + 1;
+        for threads in [1usize, 2, 4, 9] {
+            let mut seen = Vec::new();
+            run_ordered(threads, 37, unit, |i, v| seen.push((i, v)));
+            let expected: Vec<_> = (0..37).map(|i| (i, unit(i))).collect();
+            assert_eq!(seen, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sink_sees_results_in_index_order() {
+        // Make early units slow so late results arrive at the channel
+        // first; the reorder buffer must still release in order.
+        let unit = |i: usize| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 4 * i as u64));
+            }
+            i
+        };
+        let mut order = Vec::new();
+        run_ordered(4, 16, unit, |i, _| order.push(i));
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sink_can_mutate_caller_state() {
+        let mut total = 0u64;
+        run_ordered(3, 100, |i| i as u64, |_, v| total += v);
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn zero_units_is_a_no_op() {
+        run_ordered(
+            4,
+            0,
+            |_| unreachable!("no units"),
+            |_, ()| unreachable!("no results"),
+        );
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        let mut seen = Vec::new();
+        run_ordered(16, 3, |i| i, |_, v| seen.push(v));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

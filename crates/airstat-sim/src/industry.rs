@@ -179,7 +179,9 @@ impl IndustryMix {
     pub fn paper() -> Self {
         IndustryMix {
             weights: WeightedIndex::new(
-                Industry::ALL.iter().map(|i| f64::from(i.network_count_full())),
+                Industry::ALL
+                    .iter()
+                    .map(|i| f64::from(i.network_count_full())),
             ),
         }
     }
@@ -216,9 +218,15 @@ mod tests {
         }
         let edu_frac = f64::from(education) / n as f64;
         let expected_edu = 4_075.0 / 20_667.0;
-        assert!((edu_frac - expected_edu).abs() < 0.005, "education {edu_frac}");
+        assert!(
+            (edu_frac - expected_edu).abs() < 0.005,
+            "education {edu_frac}"
+        );
         let rest_frac = f64::from(restaurants) / n as f64;
-        assert!((rest_frac - 296.0 / 20_667.0).abs() < 0.003, "restaurants {rest_frac}");
+        assert!(
+            (rest_frac - 296.0 / 20_667.0).abs() < 0.003,
+            "restaurants {rest_frac}"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * [`world`] — topology: networks, APs, channels, neighbour densities,
 //!   probe links, interferers;
 //! * [`engine`] — the discrete-event loop that runs measurement windows
-//!   and pushes reports through the telemetry pipeline into a backend.
+//!   and pushes reports through the telemetry pipeline into a backend;
+//! * [`exec`] — deterministic ordered fan-out of independent work units
+//!   across a scoped thread pool (the engine's parallel backbone).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@
 pub mod appmix;
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod industry;
 pub mod population;
 pub mod surge;
@@ -39,4 +42,3 @@ pub mod world;
 
 pub use config::{FleetConfig, MeasurementYear};
 pub use engine::{FleetSimulation, SimulationOutput};
-

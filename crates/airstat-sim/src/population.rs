@@ -57,17 +57,61 @@ struct OsMarginal {
 
 /// Table 3's 2015 column (clients, MB/client).
 const MARGINALS_2015: &[OsMarginal] = &[
-    OsMarginal { os: OsFamily::Windows, clients: 822_761.0, mb_per_client: 751.0 },
-    OsMarginal { os: OsFamily::AppleIos, clients: 2_550_379.0, mb_per_client: 224.0 },
-    OsMarginal { os: OsFamily::MacOsX, clients: 313_976.0, mb_per_client: 1_487.0 },
-    OsMarginal { os: OsFamily::Android, clients: 1_535_859.0, mb_per_client: 121.0 },
-    OsMarginal { os: OsFamily::Unknown, clients: 228_182.0, mb_per_client: 357.0 },
-    OsMarginal { os: OsFamily::ChromeOs, clients: 178_095.0, mb_per_client: 366.0 },
-    OsMarginal { os: OsFamily::Other, clients: 13_969.0, mb_per_client: 1_951.0 },
-    OsMarginal { os: OsFamily::PlaystationOs, clients: 4_267.0, mb_per_client: 5_319.0 },
-    OsMarginal { os: OsFamily::Linux, clients: 4_402.0, mb_per_client: 1_393.0 },
-    OsMarginal { os: OsFamily::BlackBerry, clients: 13_681.0, mb_per_client: 11.0 },
-    OsMarginal { os: OsFamily::MobileWindows, clients: 4_943.0, mb_per_client: 26.0 },
+    OsMarginal {
+        os: OsFamily::Windows,
+        clients: 822_761.0,
+        mb_per_client: 751.0,
+    },
+    OsMarginal {
+        os: OsFamily::AppleIos,
+        clients: 2_550_379.0,
+        mb_per_client: 224.0,
+    },
+    OsMarginal {
+        os: OsFamily::MacOsX,
+        clients: 313_976.0,
+        mb_per_client: 1_487.0,
+    },
+    OsMarginal {
+        os: OsFamily::Android,
+        clients: 1_535_859.0,
+        mb_per_client: 121.0,
+    },
+    OsMarginal {
+        os: OsFamily::Unknown,
+        clients: 228_182.0,
+        mb_per_client: 357.0,
+    },
+    OsMarginal {
+        os: OsFamily::ChromeOs,
+        clients: 178_095.0,
+        mb_per_client: 366.0,
+    },
+    OsMarginal {
+        os: OsFamily::Other,
+        clients: 13_969.0,
+        mb_per_client: 1_951.0,
+    },
+    OsMarginal {
+        os: OsFamily::PlaystationOs,
+        clients: 4_267.0,
+        mb_per_client: 5_319.0,
+    },
+    OsMarginal {
+        os: OsFamily::Linux,
+        clients: 4_402.0,
+        mb_per_client: 1_393.0,
+    },
+    OsMarginal {
+        os: OsFamily::BlackBerry,
+        clients: 13_681.0,
+        mb_per_client: 11.0,
+    },
+    OsMarginal {
+        os: OsFamily::MobileWindows,
+        clients: 4_943.0,
+        mb_per_client: 26.0,
+    },
 ];
 
 /// Table 3's client-count growth (% increase), used to back-project 2014.
@@ -209,7 +253,8 @@ pub fn sample_capabilities<R: Rng + ?Sized>(
     } else {
         Generation::B
     };
-    let dual = generation == Generation::Ac || rng.gen::<f64>() < (p_dual_resid * dual_mult).min(1.0);
+    let dual =
+        generation == Generation::Ac || rng.gen::<f64>() < (p_dual_resid * dual_mult).min(1.0);
     let forty = rng.gen::<f64>() < p_forty;
     // Spatial streams: phones cap at 2 (antenna budget), so desktops and
     // laptops carry the fleet's 3/4-stream share (Table 4's aggregates
@@ -236,7 +281,10 @@ pub fn sample_capabilities<R: Rng + ?Sized>(
 fn sample_mac<R: Rng + ?Sized>(os: OsFamily, id: u64, rng: &mut R) -> MacAddress {
     let vendor = match os {
         OsFamily::AppleIos | OsFamily::MacOsX => Vendor::Apple,
-        OsFamily::Android => *pick(rng, &[Vendor::Samsung, Vendor::Htc, Vendor::Motorola, Vendor::Lg]),
+        OsFamily::Android => *pick(
+            rng,
+            &[Vendor::Samsung, Vendor::Htc, Vendor::Motorola, Vendor::Lg],
+        ),
         OsFamily::Windows => *pick(rng, &[Vendor::Intel, Vendor::Dell, Vendor::Hp]),
         OsFamily::ChromeOs => *pick(rng, &[Vendor::Google, Vendor::Intel]),
         OsFamily::Linux => *pick(rng, &[Vendor::RaspberryPi, Vendor::Intel]),
@@ -342,7 +390,9 @@ mod tests {
     fn sample_population(year: MeasurementYear, n: usize, seed: u64) -> Vec<ClientTruth> {
         let model = PopulationModel::new(year);
         let mut rng = SeedTree::new(seed).child("pop").rng();
-        (0..n).map(|i| model.sample_client(i as u64, &mut rng)).collect()
+        (0..n)
+            .map(|i| model.sample_client(i as u64, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -354,7 +404,11 @@ mod tests {
         }
         let frac = |os| counts.get(&os).copied().unwrap_or(0) as f64 / clients.len() as f64;
         // Table 3 shares: iOS 45.7%, Android 27.5%, Windows 14.7%.
-        assert!((frac(OsFamily::AppleIos) - 0.457).abs() < 0.01, "{}", frac(OsFamily::AppleIos));
+        assert!(
+            (frac(OsFamily::AppleIos) - 0.457).abs() < 0.01,
+            "{}",
+            frac(OsFamily::AppleIos)
+        );
         assert!((frac(OsFamily::Android) - 0.275).abs() < 0.01);
         assert!((frac(OsFamily::Windows) - 0.147).abs() < 0.01);
         // iOS clients ≈ 3x Windows clients (§3.2's headline).
@@ -365,7 +419,9 @@ mod tests {
     fn os_mix_2014_shifts_toward_desktop() {
         let c2014 = sample_population(MeasurementYear::Y2014, 100_000, 2);
         let c2015 = sample_population(MeasurementYear::Y2015, 100_000, 2);
-        let frac = |cs: &[ClientTruth], os| cs.iter().filter(|c| c.os == os).count() as f64 / cs.len() as f64;
+        let frac = |cs: &[ClientTruth], os| {
+            cs.iter().filter(|c| c.os == os).count() as f64 / cs.len() as f64
+        };
         // Android and Chrome OS shares grew; BlackBerry shrank.
         assert!(frac(&c2014, OsFamily::Android) < frac(&c2015, OsFamily::Android));
         assert!(frac(&c2014, OsFamily::ChromeOs) < frac(&c2015, OsFamily::ChromeOs));
@@ -382,12 +438,18 @@ mod tests {
             .map(|c| c.weekly_bytes)
             .collect();
         let mean_mb = win.iter().sum::<u64>() as f64 / win.len() as f64 / 1e6;
-        assert!((mean_mb / 751.0 - 1.0).abs() < 0.25, "windows mean {mean_mb} MB");
+        assert!(
+            (mean_mb / 751.0 - 1.0).abs() < 0.25,
+            "windows mean {mean_mb} MB"
+        );
         // Heavy tail: median far below mean.
         let mut sorted = win.clone();
         sorted.sort_unstable();
         let median_mb = sorted[sorted.len() / 2] as f64 / 1e6;
-        assert!(median_mb < mean_mb / 2.0, "median {median_mb} vs mean {mean_mb}");
+        assert!(
+            median_mb < mean_mb / 2.0,
+            "median {median_mb} vs mean {mean_mb}"
+        );
         // Mobile devices use far less than desktops on average.
         let ios: Vec<u64> = clients
             .iter()
@@ -395,7 +457,10 @@ mod tests {
             .map(|c| c.weekly_bytes)
             .collect();
         let ios_mean = ios.iter().sum::<u64>() as f64 / ios.len() as f64 / 1e6;
-        assert!(mean_mb > 2.0 * ios_mean, "windows {mean_mb} vs ios {ios_mean}");
+        assert!(
+            mean_mb > 2.0 * ios_mean,
+            "windows {mean_mb} vs ios {ios_mean}"
+        );
     }
 
     #[test]
@@ -428,7 +493,11 @@ mod tests {
         assert!((f(forty) - 0.638).abs() < 0.06, "forty {}", f(forty));
         // Two+ streams ≈ 19.3 + 3.8 + 1.8 ≈ 25%, reduced a bit by the
         // mobile two-stream cap.
-        assert!(f(multi2) > 0.15 && f(multi2) < 0.30, "streams {}", f(multi2));
+        assert!(
+            f(multi2) > 0.15 && f(multi2) < 0.30,
+            "streams {}",
+            f(multi2)
+        );
     }
 
     #[test]
@@ -467,7 +536,10 @@ mod tests {
         let unknown_frac = unknown as f64 / clients.len() as f64;
         assert!(accuracy > 0.85, "accuracy {accuracy}");
         // The Unknown row is ~4% in Table 3; ours should be mid-single-digit.
-        assert!(unknown_frac > 0.01 && unknown_frac < 0.12, "unknown {unknown_frac}");
+        assert!(
+            unknown_frac > 0.01 && unknown_frac < 0.12,
+            "unknown {unknown_frac}"
+        );
     }
 
     #[test]
@@ -489,8 +561,9 @@ mod tests {
     fn macs_are_unique_per_id() {
         let model = PopulationModel::new(MeasurementYear::Y2015);
         let mut rng = SeedTree::new(8).rng();
-        let macs: std::collections::HashSet<MacAddress> =
-            (0..10_000).map(|i| model.sample_client(i, &mut rng).mac).collect();
+        let macs: std::collections::HashSet<MacAddress> = (0..10_000)
+            .map(|i| model.sample_client(i, &mut rng).mac)
+            .collect();
         assert_eq!(macs.len(), 10_000);
     }
 

@@ -99,7 +99,11 @@ pub fn generate_daily_series<R: Rng + ?Sized>(
         // Base profile.
         let weights: Vec<f64> = (0..7)
             .map(|d| {
-                let shape = if client.always_on { 1.0 } else { WEEKDAY_ACTIVITY[d] };
+                let shape = if client.always_on {
+                    1.0
+                } else {
+                    WEEKDAY_ACTIVITY[d]
+                };
                 shape * jitter.sample(rng)
             })
             .collect();
@@ -113,7 +117,11 @@ pub fn generate_daily_series<R: Rng + ?Sized>(
                 continue;
             }
             // Day-one uptake, then exponential tail across following days.
-            for (offset, share) in [(0usize, event.day_one_uptake), (1, event.day_one_uptake * 0.4), (2, event.day_one_uptake * 0.15)] {
+            for (offset, share) in [
+                (0usize, event.day_one_uptake),
+                (1, event.day_one_uptake * 0.4),
+                (2, event.day_one_uptake * 0.15),
+            ] {
                 let day = event.day + offset;
                 if day >= 7 {
                     break;
@@ -126,7 +134,10 @@ pub fn generate_daily_series<R: Rng + ?Sized>(
             }
         }
     }
-    DailySeries { total, update_bytes }
+    DailySeries {
+        total,
+        update_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +150,9 @@ mod tests {
     fn clients(n: usize) -> Vec<ClientTruth> {
         let model = PopulationModel::new(MeasurementYear::Y2015);
         let mut rng = SeedTree::new(71).rng();
-        (0..n).map(|i| model.sample_client(i as u64, &mut rng)).collect()
+        (0..n)
+            .map(|i| model.sample_client(i as u64, &mut rng))
+            .collect()
     }
 
     #[test]

@@ -140,12 +140,14 @@ pub fn metadata_for<R: Rng + ?Sized>(app: Application, rng: &mut R) -> FlowMetad
             FlowMetadata::https(&format!("portal{}.example.org", rng.gen_range(0..100_000)))
         }
         A::MiscVideo => {
-            let mut m = FlowMetadata::http(&format!("media{}.example.net", rng.gen_range(0..10_000)));
+            let mut m =
+                FlowMetadata::http(&format!("media{}.example.net", rng.gen_range(0..10_000)));
             m.content_hint = Some(ContentHint::Video);
             m
         }
         A::MiscAudio => {
-            let mut m = FlowMetadata::http(&format!("radio{}.example.net", rng.gen_range(0..10_000)));
+            let mut m =
+                FlowMetadata::http(&format!("radio{}.example.net", rng.gen_range(0..10_000)));
             m.content_hint = Some(ContentHint::Audio);
             m
         }
@@ -251,7 +253,9 @@ mod tests {
     fn clients(n: usize, year: MeasurementYear, seed: u64) -> Vec<ClientTruth> {
         let model = PopulationModel::new(year);
         let mut rng = SeedTree::new(seed).child("clients").rng();
-        (0..n).map(|i| model.sample_client(i as u64, &mut rng)).collect()
+        (0..n)
+            .map(|i| model.sample_client(i as u64, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -342,7 +346,11 @@ mod tests {
         }
         let share = |app| by_app.get(&app).copied().unwrap_or(0) as f64 / total as f64;
         // The heavy hitters must be in roughly the right place.
-        assert!(share(Application::MiscWeb) > 0.08, "misc web {}", share(Application::MiscWeb));
+        assert!(
+            share(Application::MiscWeb) > 0.08,
+            "misc web {}",
+            share(Application::MiscWeb)
+        );
         let video = share(Application::Youtube) + share(Application::Netflix);
         assert!(video > 0.05 && video < 0.45, "video {video}");
         // Tiny apps stay tiny.
@@ -382,7 +390,11 @@ mod tests {
         let mut rng = SeedTree::new(5).child("traffic").rng();
         for c in cs.iter().filter(|c| c.os == OsFamily::AppleIos) {
             for f in generate_weekly(c, MeasurementYear::Y2015, &mut rng).flows {
-                assert_ne!(f.truth, Application::WindowsFileSharing, "iOS mounting SMB?");
+                assert_ne!(
+                    f.truth,
+                    Application::WindowsFileSharing,
+                    "iOS mounting SMB?"
+                );
                 assert_ne!(f.truth, Application::Steam);
             }
         }

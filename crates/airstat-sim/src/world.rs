@@ -152,7 +152,7 @@ impl World {
         // Location density: log-normal, mean 1.0, long tail for the
         // Manhattan case (density 10+ means hundreds of beacons heard).
         let density_dist = LogNormal::new(-0.32, 0.8); // median .73, mean 1.0
-        // Peak offered load per AP: a few Mb/s with a heavy tail.
+                                                       // Peak offered load per AP: a few Mb/s with a heavy tail.
         let load_dist = LogNormal::from_median_p90(3.2e6, 10.5e6);
 
         let mut networks = Vec::new();
@@ -259,7 +259,9 @@ impl World {
 /// never sleep, a microwave runs minutes per day, phone calls and
 /// headsets come and go.
 fn sample_interferers<R: Rng + ?Sized>(density: f64, rng: &mut R) -> Vec<Interferer> {
-    let count = Exponential::with_mean((density * 2.5).max(0.3)).sample(rng).round() as usize;
+    let count = Exponential::with_mean((density * 2.5).max(0.3))
+        .sample(rng)
+        .round() as usize;
     (0..count)
         .map(|_| {
             let kind = sample_kind_2_4(rng);
@@ -369,7 +371,7 @@ mod tests {
     }
 
     #[test]
-    fn more_2_4_links_than_5(){
+    fn more_2_4_links_than_5() {
         let w = world();
         let l24 = w.link_count(Band::Ghz2_4);
         let l5 = w.link_count(Band::Ghz5);

@@ -43,7 +43,10 @@ impl Normal {
     /// # Panics
     /// Panics if `std_dev` is negative or not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be >= 0");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be >= 0"
+        );
         Normal { mean, std_dev }
     }
 

@@ -109,8 +109,14 @@ mod tests {
         // Expected 40 hits each; allow generous tolerance.
         let min = *hits.iter().min().unwrap();
         let max = *hits.iter().max().unwrap();
-        assert!(min > 10, "min hit count {min} too small — bias toward late items?");
-        assert!(max < 90, "max hit count {max} too large — bias toward early items?");
+        assert!(
+            min > 10,
+            "min hit count {min} too small — bias toward late items?"
+        );
+        assert!(
+            max < 90,
+            "max hit count {max} too large — bias toward early items?"
+        );
     }
 
     #[test]

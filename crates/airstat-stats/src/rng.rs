@@ -156,8 +156,14 @@ mod tests {
     fn small_seeds_produce_spread_states() {
         // Consecutive seeds must not produce nearby states; check the top
         // byte varies across the first 256 seeds.
-        let tops: HashSet<u8> = (0..256).map(|s| (SeedTree::new(s).state() >> 56) as u8).collect();
-        assert!(tops.len() > 100, "top byte spread too small: {}", tops.len());
+        let tops: HashSet<u8> = (0..256)
+            .map(|s| (SeedTree::new(s).state() >> 56) as u8)
+            .collect();
+        assert!(
+            tops.len() > 100,
+            "top byte spread too small: {}",
+            tops.len()
+        );
     }
 
     #[test]

@@ -239,6 +239,19 @@ impl Backend {
         true
     }
 
+    /// Ingests a batch of reports in order, returning how many were
+    /// accepted (non-duplicates).
+    ///
+    /// This is the merge entry point for drained per-device report
+    /// batches: the caller controls the batch order, the backend applies
+    /// each report exactly as [`Backend::ingest`] would.
+    pub fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
+        reports
+            .iter()
+            .filter(|report| self.ingest(window, report))
+            .count() as u64
+    }
+
     // ------------------------------------------------------------------
     // Usage queries (§3)
     // ------------------------------------------------------------------
@@ -291,15 +304,18 @@ impl Backend {
     }
 
     /// Iterates over client identities in a window.
-    pub fn clients(&self, window: WindowId) -> impl Iterator<Item = (&MacAddress, &ClientIdentity)> {
+    pub fn clients(
+        &self,
+        window: WindowId,
+    ) -> impl Iterator<Item = (&MacAddress, &ClientIdentity)> {
         self.clients.get(&window).into_iter().flatten()
     }
 
     /// Distinct clients that used a given application in a window.
     pub fn app_client_count(&self, window: WindowId, app: Application) -> u64 {
-        self.usage
-            .get(&window)
-            .map_or(0, |usage| usage.keys().filter(|&&(_, a)| a == app).count() as u64)
+        self.usage.get(&window).map_or(0, |usage| {
+            usage.keys().filter(|&&(_, a)| a == app).count() as u64
+        })
     }
 
     // ------------------------------------------------------------------
@@ -397,7 +413,11 @@ impl Backend {
                 }
             }
         }
-        let mean = if devices > 0 { total as f64 / devices as f64 } else { 0.0 };
+        let mean = if devices > 0 {
+            total as f64 / devices as f64
+        } else {
+            0.0
+        };
         (total, mean, hotspots)
     }
 
@@ -465,7 +485,14 @@ mod tests {
         Channel::new(band, n).unwrap()
     }
 
-    fn usage_report(device: u64, seq: u64, mac_id: u64, app: Application, up: u64, down: u64) -> Report {
+    fn usage_report(
+        device: u64,
+        seq: u64,
+        mac_id: u64,
+        app: Application,
+        up: u64,
+        down: u64,
+    ) -> Report {
         Report {
             device,
             seq,
@@ -485,7 +512,10 @@ mod tests {
         backend.ingest(W, &usage_report(1, 0, 7, Application::Netflix, 10, 100));
         backend.ingest(W, &usage_report(1, 1, 7, Application::Netflix, 5, 50));
         let rows = backend.usage_by_app(W);
-        let netflix = rows.iter().find(|(a, _, _)| *a == Application::Netflix).unwrap();
+        let netflix = rows
+            .iter()
+            .find(|(a, _, _)| *a == Application::Netflix)
+            .unwrap();
         assert_eq!(netflix.1.up_bytes, 15);
         assert_eq!(netflix.1.down_bytes, 150);
         assert_eq!(netflix.2, 1, "one distinct client");
@@ -499,7 +529,10 @@ mod tests {
         backend.ingest(W, &usage_report(1, 0, 7, Application::Youtube, 10, 100));
         backend.ingest(W, &usage_report(2, 0, 7, Application::Youtube, 20, 200));
         let rows = backend.usage_by_app(W);
-        let yt = rows.iter().find(|(a, _, _)| *a == Application::Youtube).unwrap();
+        let yt = rows
+            .iter()
+            .find(|(a, _, _)| *a == Application::Youtube)
+            .unwrap();
         assert_eq!(yt.1.total(), 330);
         assert_eq!(yt.2, 1);
     }
@@ -518,8 +551,14 @@ mod tests {
     #[test]
     fn windows_are_isolated() {
         let mut backend = Backend::new();
-        backend.ingest(WindowId(2014), &usage_report(1, 0, 7, Application::Netflix, 1, 1));
-        backend.ingest(WindowId(2015), &usage_report(1, 1, 7, Application::Netflix, 2, 2));
+        backend.ingest(
+            WindowId(2014),
+            &usage_report(1, 0, 7, Application::Netflix, 1, 1),
+        );
+        backend.ingest(
+            WindowId(2015),
+            &usage_report(1, 1, 7, Application::Netflix, 2, 2),
+        );
         assert_eq!(backend.usage_by_app(WindowId(2014))[0].1.total(), 2);
         assert_eq!(backend.usage_by_app(WindowId(2015))[0].1.total(), 4);
     }
@@ -642,8 +681,16 @@ mod tests {
                 seq: 1,
                 timestamp_s: 300,
                 payload: ReportPayload::Neighbors(vec![
-                    NeighborRecord { channel: ch(Band::Ghz2_4, 1), networks: 30, hotspots: 6 },
-                    NeighborRecord { channel: ch(Band::Ghz2_4, 6), networks: 25, hotspots: 5 },
+                    NeighborRecord {
+                        channel: ch(Band::Ghz2_4, 1),
+                        networks: 30,
+                        hotspots: 6,
+                    },
+                    NeighborRecord {
+                        channel: ch(Band::Ghz2_4, 6),
+                        networks: 25,
+                        hotspots: 5,
+                    },
                 ]),
             },
         );

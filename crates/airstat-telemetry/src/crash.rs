@@ -224,7 +224,9 @@ impl CrashAggregator {
             .reports
             .iter()
             .filter(|r| {
-                r.reason == signature.reason && r.firmware == signature.firmware && r.reason.is_crash()
+                r.reason == signature.reason
+                    && r.firmware == signature.firmware
+                    && r.reason.is_crash()
             })
             .map(|r| r.program_counter)
             .collect();
@@ -236,7 +238,11 @@ impl CrashAggregator {
     /// The §6.1 heuristic: an OOM signature whose program counters scatter
     /// (more than `scatter_threshold` distinct sites) is a heap-exhaustion
     /// bug, not a code bug at any one site.
-    pub fn looks_like_heap_exhaustion(&self, signature: &CrashSignature, scatter_threshold: usize) -> bool {
+    pub fn looks_like_heap_exhaustion(
+        &self,
+        signature: &CrashSignature,
+        scatter_threshold: usize,
+    ) -> bool {
         signature.reason == RebootReason::OutOfMemory
             && self.distinct_pcs(signature) > scatter_threshold
     }
@@ -333,8 +339,14 @@ mod tests {
         for d in 20..30u64 {
             agg.ingest(report(d, RebootReason::Fault, 0xBEEF));
         }
-        let oom = CrashSignature { firmware: "mr16-25.9".into(), reason: RebootReason::OutOfMemory };
-        let fault = CrashSignature { firmware: "mr16-25.9".into(), reason: RebootReason::Fault };
+        let oom = CrashSignature {
+            firmware: "mr16-25.9".into(),
+            reason: RebootReason::OutOfMemory,
+        };
+        let fault = CrashSignature {
+            firmware: "mr16-25.9".into(),
+            reason: RebootReason::Fault,
+        };
         assert_eq!(agg.distinct_pcs(&oom), 10);
         assert_eq!(agg.distinct_pcs(&fault), 1);
         assert!(agg.looks_like_heap_exhaustion(&oom, 3));

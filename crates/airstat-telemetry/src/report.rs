@@ -44,7 +44,10 @@ pub fn app_from_code(code: u64) -> Result<Application, WireError> {
 
 /// Stable numeric code for an [`OsFamily`].
 pub fn os_code(os: OsFamily) -> u64 {
-    OsFamily::ALL.iter().position(|&o| o == os).expect("os is in ALL") as u64
+    OsFamily::ALL
+        .iter()
+        .position(|&o| o == os)
+        .expect("os is in ALL") as u64
 }
 
 /// Inverse of [`os_code`].
@@ -165,8 +168,10 @@ pub struct LinkRecord {
 impl LinkRecord {
     /// Delivery ratio in `[0, 1]`; `None` when nothing was expected.
     pub fn delivery_ratio(&self) -> Option<f64> {
-        (self.probes_expected > 0)
-            .then(|| f64::from(self.probes_received.min(self.probes_expected)) / f64::from(self.probes_expected))
+        (self.probes_expected > 0).then(|| {
+            f64::from(self.probes_received.min(self.probes_expected))
+                / f64::from(self.probes_expected)
+        })
     }
 }
 

@@ -192,10 +192,7 @@ impl RollupSeries {
     /// Returns the resolution step along with the buckets.
     pub fn range(&self, from_s: u64, to_s: u64) -> (u64, Vec<Bucket>) {
         for level in &self.levels {
-            let covers = level
-                .buckets
-                .front()
-                .is_some_and(|b| b.start_s <= from_s);
+            let covers = level.buckets.front().is_some_and(|b| b.start_s <= from_s);
             if covers || level.step_s == self.levels.last().expect("nonempty").step_s {
                 let buckets = level
                     .buckets

@@ -138,6 +138,7 @@ pub struct Tunnel {
     connected: bool,
     polls_attempted: u64,
     polls_lost: u64,
+    bytes_transferred: u64,
 }
 
 /// The outcome of one poll over a tunnel.
@@ -160,6 +161,7 @@ impl Tunnel {
             connected: true,
             polls_attempted: 0,
             polls_lost: 0,
+            bytes_transferred: 0,
         }
     }
 
@@ -193,6 +195,12 @@ impl Tunnel {
         self.polls_lost
     }
 
+    /// Wire bytes successfully transferred (encoded report bytes on
+    /// delivered polls; lost polls transfer nothing that counts).
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
     /// Performs one backend-initiated poll of `agent`.
     ///
     /// On success the transferred reports are acknowledged on the agent and
@@ -213,6 +221,7 @@ impl Tunnel {
         let mut max_seq = None;
         for report in &batch {
             let bytes = report.encode();
+            self.bytes_transferred += bytes.len() as u64;
             let decoded = Report::decode(&bytes).expect("self-encoded report must decode");
             max_seq = Some(decoded.seq);
             delivered.push(decoded);
@@ -332,6 +341,20 @@ mod tests {
             PollOutcome::Delivered(reports) => assert_eq!(reports[0].seq, 0),
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn delivered_polls_count_wire_bytes() {
+        let mut agent = DeviceAgent::new(6);
+        agent.submit(0, payload());
+        let mut tunnel = Tunnel::perfect();
+        let mut rng = SeedTree::new(5).rng();
+        assert_eq!(tunnel.bytes_transferred(), 0);
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => assert_eq!(reports.len(), 1),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(tunnel.bytes_transferred() > 0, "encoded bytes counted");
     }
 
     #[test]

@@ -113,7 +113,10 @@ pub fn put_field_f64(out: &mut Vec<u8>, field: u32, v: f64) {
 
 /// Appends a tagged length-delimited bytes field.
 pub fn put_field_bytes(out: &mut Vec<u8>, field: u32, bytes: &[u8]) {
-    put_varint(out, (u64::from(field) << 3) | WireType::LengthDelimited as u64);
+    put_varint(
+        out,
+        (u64::from(field) << 3) | WireType::LengthDelimited as u64,
+    );
     put_varint(out, bytes.len() as u64);
     out.extend_from_slice(bytes);
 }
@@ -160,9 +163,9 @@ impl<'a> Field<'a> {
     /// The field number.
     pub fn number(&self) -> u32 {
         match self {
-            Field::Varint { field, .. } | Field::Fixed64 { field, .. } | Field::Bytes { field, .. } => {
-                *field
-            }
+            Field::Varint { field, .. }
+            | Field::Fixed64 { field, .. }
+            | Field::Bytes { field, .. } => *field,
         }
     }
 

@@ -103,14 +103,18 @@ fn any_payload() -> impl Strategy<Value = ReportPayload> {
         )
         .prop_map(ReportPayload::Links),
         prop::collection::vec(
-            (any_channel(), 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000).prop_map(
-                |(channel, elapsed, busy, wifi)| AirtimeRecord {
+            (
+                any_channel(),
+                0u64..1_000_000,
+                0u64..1_000_000,
+                0u64..1_000_000
+            )
+                .prop_map(|(channel, elapsed, busy, wifi)| AirtimeRecord {
                     channel,
                     elapsed_us: elapsed,
                     busy_us: busy,
                     wifi_us: wifi,
-                }
-            ),
+                }),
             0..8
         )
         .prop_map(ReportPayload::Airtime),
@@ -138,15 +142,20 @@ fn any_payload() -> impl Strategy<Value = ReportPayload> {
         )
         .prop_map(ReportPayload::ChannelScan),
         prop::collection::vec(
-            ("[a-z0-9.-]{1,16}", 0u8..5, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-                |(firmware, reason, pc, uptime, free)| CrashRecord {
+            (
+                "[a-z0-9.-]{1,16}",
+                0u8..5,
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            )
+                .prop_map(|(firmware, reason, pc, uptime, free)| CrashRecord {
                     firmware,
                     reason,
                     program_counter: pc,
                     uptime_s: uptime,
                     free_memory_bytes: free,
-                }
-            ),
+                }),
             0..8
         )
         .prop_map(ReportPayload::Crash),
@@ -276,7 +285,6 @@ proptest! {
         prop_assert_eq!(rows[0].1.total(), 2 * n_reports as u64);
     }
 }
-
 
 mod extended {
     use super::*;

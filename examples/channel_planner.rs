@@ -49,8 +49,7 @@ fn main() {
             const SAMPLES: usize = 10;
             for s in 0..SAMPLES {
                 let hour = [9, 11, 14, 16, 10, 13, 15, 17, 12, 18][s % 10];
-                util += channel_load(ap, &census, ch, epoch, diurnal(hour), &mut rng)
-                    .utilization();
+                util += channel_load(ap, &census, ch, epoch, diurnal(hour), &mut rng).utilization();
             }
             rows.push((ch, census.count_on(ch), util / SAMPLES as f64));
         }

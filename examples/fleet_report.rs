@@ -23,9 +23,10 @@ fn main() {
     }
 
     eprintln!(
-        "running the full campaign at {:.1}% scale (seed {:#x})...",
+        "running the full campaign at {:.1}% scale (seed {:#x}, {} thread(s))...",
         scale * 100.0,
-        config.seed
+        config.seed,
+        config.effective_threads()
     );
     let start = std::time::Instant::now();
     let output = FleetSimulation::new(config.clone()).run();
@@ -35,6 +36,7 @@ fn main() {
         output.backend.reports_ingested(),
         output.polls_lost
     );
+    eprintln!("{}", output.throughput_summary());
 
     let report = PaperReport::from_simulation(&output, &config);
     println!("{report}");

@@ -41,8 +41,7 @@ fn main() {
             continue;
         }
         let mut agent = DeviceAgent::new(ap.device_id);
-        let mut windows: Vec<SlidingRatio> =
-            links.iter().map(|_| SlidingRatio::new(300)).collect();
+        let mut windows: Vec<SlidingRatio> = links.iter().map(|_| SlidingRatio::new(300)).collect();
         let mut faders: Vec<FadingProcess> = links
             .iter()
             .map(|_| FadingProcess::probe_interval_default())
@@ -116,7 +115,12 @@ fn main() {
          2.4 GHz links in this region (Figure 3)"
     );
     let key_example = backend.link_keys(WINDOW, Band::Ghz2_4);
-    if let Some(&LinkKey { rx_device, tx_device, .. }) = key_example.first() {
+    if let Some(&LinkKey {
+        rx_device,
+        tx_device,
+        ..
+    }) = key_example.first()
+    {
         let series = backend.link_series(
             WINDOW,
             LinkKey {

@@ -44,7 +44,9 @@ fn main() {
         ios.clients as f64 / win.clients as f64,
         ios.totals.total() as f64 / win.totals.total() as f64,
     );
-    let util = output.backend.serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4);
+    let util = output
+        .backend
+        .serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4);
     let ecdf = airstat::stats::Ecdf::new(util);
     println!(
         "median 2.4 GHz serving-channel utilization across the fleet: {:.0}%",

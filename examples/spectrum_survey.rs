@@ -28,7 +28,10 @@ fn main() {
         "occupancy above threshold: {:.1}% (paper observed ~22% at this site)",
         fig.occupancy_2_4() * 100.0
     );
-    println!("{}", SpectrumFigure::render_waterfall(&fig.scan_2_4, 24, 76));
+    println!(
+        "{}",
+        SpectrumFigure::render_waterfall(&fig.scan_2_4, 24, 76)
+    );
 
     println!("== 5.220 GHz, 32 MHz span, 4096-point FFT ==");
     println!(

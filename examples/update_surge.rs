@@ -22,7 +22,9 @@ fn main() {
     let seed = SeedTree::new(0x5A9E);
     let model = PopulationModel::new(MeasurementYear::Y2015);
     let mut rng = seed.child("population").rng();
-    let clients: Vec<_> = (0..30_000).map(|i| model.sample_client(i, &mut rng)).collect();
+    let clients: Vec<_> = (0..30_000)
+        .map(|i| model.sample_client(i, &mut rng))
+        .collect();
     println!("fleet: {} clients", clients.len());
 
     // Wednesday: iOS major release. Tuesday: Windows cumulative update.
@@ -35,7 +37,12 @@ fn main() {
 
     // Per-platform series for attribution.
     let mut per_os = Vec::new();
-    for os in [OsFamily::AppleIos, OsFamily::Windows, OsFamily::Android, OsFamily::MacOsX] {
+    for os in [
+        OsFamily::AppleIos,
+        OsFamily::Windows,
+        OsFamily::Android,
+        OsFamily::MacOsX,
+    ] {
         let subset: Vec<_> = clients.iter().filter(|c| c.os == os).cloned().collect();
         let mut rng = seed.child("week").rng(); // same stream: same base week
         let s = generate_daily_series(&subset, &events, &mut rng);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 pre-merge gate: release build, root-package test suite, format check.
+# Usage: scripts/tier1.sh   (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "tier-1 gate: all green"

@@ -1,11 +1,11 @@
 //! `airstat` — the command-line front end.
 //!
 //! ```text
-//! airstat report  [--scale 0.01] [--seed N]    # every table and figure
-//! airstat table   <2|3|4|5|6|7>  [--scale ...] # one table
-//! airstat figure  <1..11>        [--scale ...] # one figure
-//! airstat release <dir>          [--scale ...] # the anonymized dataset
-//! airstat info                                 # panel sizes at a scale
+//! airstat report  [--scale 0.01] [--seed N] [--threads T]  # every table and figure
+//! airstat table   <2|3|4|5|6|7>  [--scale ...]             # one table
+//! airstat figure  <1..11>        [--scale ...]             # one figure
+//! airstat release <dir>          [--scale ...]             # the anonymized dataset
+//! airstat info                                             # panel sizes at a scale
 //! ```
 
 use airstat::core::export::build_release;
@@ -29,10 +29,11 @@ struct Options {
     command: Command,
     scale: f64,
     seed: Option<u64>,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -40,7 +41,9 @@ fn usage() -> &'static str {
      release DIR   write the anonymized dataset CSVs into DIR\n\
      info          print panel sizes at the chosen scale\n\
      --scale S     fleet scale in (0, 1], default 0.01\n\
-     --seed N      root random seed (u64, decimal or 0x-hex)"
+     --seed N      root random seed (u64, decimal or 0x-hex)\n\
+     --threads T   worker threads (>= 1); output is byte-identical for\n\
+                   every value, default = available CPU cores"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -56,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut positional = Vec::new();
     let mut scale = 0.01f64;
     let mut seed = None;
+    let mut threads = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +75,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 let value = args.get(i).ok_or("--seed needs a value")?;
                 seed = Some(parse_u64(value)?);
+            }
+            "--threads" => {
+                i += 1;
+                let value = args.get(i).ok_or("--threads needs a value")?;
+                let t: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad thread count: {value}"))?;
+                if t == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                threads = Some(t);
             }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -112,13 +127,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         Some(other) => return Err(format!("unknown command {other}")),
         None => return Err(String::new()),
     };
-    Ok(Options { command, scale, seed })
+    Ok(Options {
+        command,
+        scale,
+        seed,
+        threads,
+    })
 }
 
 fn run(options: Options) -> Result<(), String> {
     let mut config = FleetConfig::paper(options.scale);
     if let Some(seed) = options.seed {
         config.seed = seed;
+    }
+    if let Some(threads) = options.threads {
+        config.threads = threads;
     }
     if options.command == Command::Info {
         println!(
@@ -134,8 +157,13 @@ fn run(options: Options) -> Result<(), String> {
         return Ok(());
     }
 
-    eprintln!("running campaign at {:.2}% scale...", options.scale * 100.0);
+    eprintln!(
+        "running campaign at {:.2}% scale on {} thread(s)...",
+        options.scale * 100.0,
+        config.effective_threads()
+    );
     let output = FleetSimulation::new(config.clone()).run();
+    eprintln!("{}", output.throughput_summary());
 
     match options.command {
         Command::Report => {
@@ -228,7 +256,10 @@ mod tests {
     fn parses_commands() {
         assert_eq!(parse(&["report"]).unwrap().command, Command::Report);
         assert_eq!(parse(&["table", "3"]).unwrap().command, Command::Table(3));
-        assert_eq!(parse(&["figure", "11"]).unwrap().command, Command::Figure(11));
+        assert_eq!(
+            parse(&["figure", "11"]).unwrap().command,
+            Command::Figure(11)
+        );
         assert_eq!(
             parse(&["release", "/tmp/x"]).unwrap().command,
             Command::Release("/tmp/x".into())
@@ -238,16 +269,28 @@ mod tests {
 
     #[test]
     fn parses_flags_anywhere() {
-        let o = parse(&["--scale", "0.5", "table", "4", "--seed", "0xBEEF"]).unwrap();
+        let o = parse(&[
+            "--scale",
+            "0.5",
+            "table",
+            "4",
+            "--seed",
+            "0xBEEF",
+            "--threads",
+            "8",
+        ])
+        .unwrap();
         assert_eq!(o.command, Command::Table(4));
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, Some(0xBEEF));
+        assert_eq!(o.threads, Some(8));
     }
 
     #[test]
     fn default_scale() {
         assert_eq!(parse(&["report"]).unwrap().scale, 0.01);
         assert_eq!(parse(&["report"]).unwrap().seed, None);
+        assert_eq!(parse(&["report"]).unwrap().threads, None);
     }
 
     #[test]
@@ -261,6 +304,8 @@ mod tests {
         assert!(parse(&["report", "--scale", "2.0"]).is_err());
         assert!(parse(&["report", "--scale", "0"]).is_err());
         assert!(parse(&["report", "--bogus"]).is_err());
+        assert!(parse(&["report", "--threads", "0"]).is_err());
+        assert!(parse(&["report", "--threads", "many"]).is_err());
         assert!(parse(&[]).is_err());
     }
 

@@ -45,13 +45,20 @@ fn fleet_run_surfaces_the_manhattan_bug() {
         "scattered PCs identify heap exhaustion"
     );
     // Crashing devices live in unusually dense RF environments.
-    let mean_density: f64 =
-        output.world.aps.iter().map(|a| a.density).sum::<f64>() / fleet as f64;
+    let mean_density: f64 = output.world.aps.iter().map(|a| a.density).sum::<f64>() / fleet as f64;
     // affected_devices has no device list API; recompute via world: the
     // crashers were the census-extreme APs, which correlates with density.
     // Weak check: the fleet has outliers at all.
-    let max_density = output.world.aps.iter().map(|a| a.density).fold(0.0, f64::max);
-    assert!(max_density > 3.0 * mean_density, "skyscraper-grade outliers exist");
+    let max_density = output
+        .world
+        .aps
+        .iter()
+        .map(|a| a.density)
+        .fold(0.0, f64::max);
+    assert!(
+        max_density > 3.0 * mean_density,
+        "skyscraper-grade outliers exist"
+    );
 }
 
 #[test]
@@ -59,14 +66,19 @@ fn update_surge_detected_and_attributed() {
     let seed = SeedTree::new(0x0b5);
     let model = PopulationModel::new(MeasurementYear::Y2015);
     let mut rng = seed.child("clients").rng();
-    let clients: Vec<_> = (0..20_000).map(|i| model.sample_client(i, &mut rng)).collect();
+    let clients: Vec<_> = (0..20_000)
+        .map(|i| model.sample_client(i, &mut rng))
+        .collect();
     let events = [UpdateEvent::ios_major(2)];
     let mut rng = seed.child("week").rng();
     let series = generate_daily_series(&clients, &events, &mut rng);
     let spikes = detect_spikes(&series.total, &WEEKDAY_ACTIVITY, 4.0);
     // The Wednesday release dominates; its Thursday download tail may
     // also cross the threshold, nothing else can.
-    assert!(!spikes.is_empty() && spikes.len() <= 2, "spikes: {spikes:?}");
+    assert!(
+        !spikes.is_empty() && spikes.len() <= 2,
+        "spikes: {spikes:?}"
+    );
     assert_eq!(spikes[0].index, 2, "the release day ranks first");
     if let Some(tail) = spikes.get(1) {
         assert_eq!(tail.index, 3, "only the tail may co-trigger");
@@ -95,8 +107,15 @@ fn utilization_planner_beats_count_planner_at_fleet_scale() {
             let channel = Channel::new(Band::Ghz2_4, n).unwrap();
             let mut util = 0.0;
             for hour in [9u64, 11, 14, 16, 10, 13] {
-                util += channel_load(ap, &census, channel, NeighborEpoch::Jan2015, diurnal(hour), &mut rng)
-                    .utilization();
+                util += channel_load(
+                    ap,
+                    &census,
+                    channel,
+                    NeighborEpoch::Jan2015,
+                    diurnal(hour),
+                    &mut rng,
+                )
+                .utilization();
             }
             measurements.insert(
                 (ap.device_id, n),
@@ -107,8 +126,12 @@ fn utilization_planner_beats_count_planner_at_fleet_scale() {
             );
         }
     }
-    let measure =
-        |d: u64, ch: Channel| measurements.get(&(d, ch.number)).copied().unwrap_or_default();
+    let measure = |d: u64, ch: Channel| {
+        measurements
+            .get(&(d, ch.number))
+            .copied()
+            .unwrap_or_default()
+    };
     let truth = |d: u64, ch: Channel| measure(d, ch).utilization;
     let by_count = plan(&world, &measure, PlannerStrategy::FewestNetworks);
     let by_util = plan(&world, &measure, PlannerStrategy::LowestUtilization);

@@ -70,7 +70,10 @@ fn table3_ios_clients_triple_windows_but_bytes_comparable() {
     let ios = r.table3.row(OsFamily::AppleIos).unwrap();
     let win = r.table3.row(OsFamily::Windows).unwrap();
     let client_ratio = ios.clients as f64 / win.clients as f64;
-    assert!((client_ratio - 3.1).abs() < 0.6, "client ratio {client_ratio}");
+    assert!(
+        (client_ratio - 3.1).abs() < 0.6,
+        "client ratio {client_ratio}"
+    );
     let byte_ratio = ios.totals.total() as f64 / win.totals.total() as f64;
     assert!(
         byte_ratio > 0.55 && byte_ratio < 1.7,
@@ -138,7 +141,10 @@ fn table4_capability_evolution() {
     assert!(dual15 > dual14 + 0.08, "5 GHz grew {dual14} -> {dual15}");
     assert!((dual15 - 0.649).abs() < 0.08);
     let (forty14, forty15) = get("40 MHz channels");
-    assert!(forty15 > 2.0 * forty14, "40 MHz tripled: {forty14} -> {forty15}");
+    assert!(
+        forty15 > 2.0 * forty14,
+        "40 MHz tripled: {forty14} -> {forty15}"
+    );
     let (g14, g15) = get("802.11g");
     assert!(g14 > 0.99 && g15 > 0.99);
 }
@@ -179,7 +185,11 @@ fn table5_dropcam_anomaly() {
     // Dropcam: fewest clients in the top 40 but huge per-client usage,
     // upload dominated (paper: ~19x more up than down).
     if let Some(row) = r.table5.row(Application::Dropcam) {
-        assert!(row.download_percent() < 20.0, "dropcam down% {}", row.download_percent());
+        assert!(
+            row.download_percent() < 20.0,
+            "dropcam down% {}",
+            row.download_percent()
+        );
         let max_per_client = r
             .table5
             .rows
@@ -196,9 +206,17 @@ fn table5_dropcam_anomaly() {
 #[test]
 fn table5_streaming_is_download_dominated() {
     let (r, _) = report();
-    for app in [Application::Netflix, Application::Youtube, Application::Itunes] {
+    for app in [
+        Application::Netflix,
+        Application::Youtube,
+        Application::Itunes,
+    ] {
         let row = r.table5.row(app).unwrap();
-        assert!(row.download_percent() > 90.0, "{app:?} {}", row.download_percent());
+        assert!(
+            row.download_percent() > 90.0,
+            "{app:?} {}",
+            row.download_percent()
+        );
     }
 }
 
@@ -221,7 +239,10 @@ fn table6_direction_extremes() {
     let (r, _) = report();
     // Online backup: uploads dominate (paper: 22.8x up).
     let backup = r.table6.row(AppCategory::OnlineBackup).unwrap();
-    assert!(backup.down_up_ratio().unwrap() < 0.5, "backup should upload");
+    assert!(
+        backup.down_up_ratio().unwrap() < 0.5,
+        "backup should upload"
+    );
     // Video: ~97% download.
     let video = r.table6.row(AppCategory::VideoMusic).unwrap();
     assert!(video.download_percent() > 90.0);
@@ -241,11 +262,23 @@ fn table6_direction_extremes() {
 fn table7_neighbour_growth() {
     let (r, _) = report();
     let t = &r.table7;
-    assert!((t.now_2_4.per_ap - 55.47).abs() < 14.0, "2.4 now {}", t.now_2_4.per_ap);
-    assert!((t.before_2_4.per_ap - 28.60).abs() < 8.0, "2.4 before {}", t.before_2_4.per_ap);
+    assert!(
+        (t.now_2_4.per_ap - 55.47).abs() < 14.0,
+        "2.4 now {}",
+        t.now_2_4.per_ap
+    );
+    assert!(
+        (t.before_2_4.per_ap - 28.60).abs() < 8.0,
+        "2.4 before {}",
+        t.before_2_4.per_ap
+    );
     let growth = t.growth_factor_2_4().unwrap();
     assert!((growth - 1.94).abs() < 0.4, "growth factor {growth}");
-    assert!((t.now_5.per_ap - 3.68).abs() < 1.2, "5 now {}", t.now_5.per_ap);
+    assert!(
+        (t.now_5.per_ap - 3.68).abs() < 1.2,
+        "5 now {}",
+        t.now_5.per_ap
+    );
     assert!(t.now_5.per_ap > t.before_5.per_ap);
     let hotspots = t.hotspot_fraction_2_4_now().unwrap();
     assert!((hotspots - 0.20).abs() < 0.05, "hotspot share {hotspots}");
@@ -358,7 +391,10 @@ fn figure9_day_night_gap() {
     // median). The scanner's view includes idle channels, so the mean gap
     // is the robust statistic at small scale.
     let gap24 = r.figure9_2_4.mean_gap_points().unwrap();
-    assert!(gap24 > 0.5 && gap24 < 15.0, "2.4 GHz day-night gap {gap24} pts");
+    assert!(
+        gap24 > 0.5 && gap24 < 15.0,
+        "2.4 GHz day-night gap {gap24} pts"
+    );
     // 5 GHz: similar day and night.
     let gap5 = r.figure9_5.mean_gap_points().unwrap();
     assert!(gap5.abs() < 4.0, "5 GHz gap {gap5} pts");
@@ -400,7 +436,11 @@ fn figure11_spectrum_occupancy() {
 fn full_report_renders() {
     let (r, _) = report();
     let s = r.to_string();
-    assert!(s.len() > 5_000, "report should be substantial: {} bytes", s.len());
+    assert!(
+        s.len() > 5_000,
+        "report should be substantial: {} bytes",
+        s.len()
+    );
     assert!(s.contains("Netflix"));
     assert!(s.contains("802.11ac"));
     assert!(s.contains("Pearson"));

@@ -26,7 +26,10 @@ fn headline_shapes_hold_across_seeds() {
 
         // Table 3: fleet growth and platform ordering.
         let growth = r.table3.all.clients_increase.expect("growth defined");
-        assert!((growth - 37.0).abs() < 10.0, "{label}: client growth {growth}%");
+        assert!(
+            (growth - 37.0).abs() < 10.0,
+            "{label}: client growth {growth}%"
+        );
         let ios = r.table3.row(OsFamily::AppleIos).expect("iOS present");
         let win = r.table3.row(OsFamily::Windows).expect("Windows present");
         assert!(
@@ -47,7 +50,11 @@ fn headline_shapes_hold_across_seeds() {
 
         // Table 6: category ordering.
         assert_eq!(r.table6.rows[0].category, AppCategory::Other, "{label}");
-        assert_eq!(r.table6.rows[1].category, AppCategory::VideoMusic, "{label}");
+        assert_eq!(
+            r.table6.rows[1].category,
+            AppCategory::VideoMusic,
+            "{label}"
+        );
 
         // Table 7 / Figure 2: neighbour growth and channel placement.
         assert!(
@@ -61,7 +68,10 @@ fn headline_shapes_hold_across_seeds() {
 
         // Figure 1: band split.
         let frac = r.figure1.fraction_on_2_4();
-        assert!((frac - 0.80).abs() < 0.10, "{label}: 2.4 GHz fraction {frac}");
+        assert!(
+            (frac - 0.80).abs() < 0.10,
+            "{label}: 2.4 GHz fraction {frac}"
+        );
 
         // Figure 3: intermediate 2.4 GHz links dominate.
         let inter = airstat::core::figures::DeliveryFigure::intermediate_fraction(
@@ -100,4 +110,29 @@ fn same_seed_same_report() {
     let a = run_with_seed(0xD5EED);
     let b = run_with_seed(0xD5EED);
     assert_eq!(a.to_string(), b.to_string(), "byte-identical reproduction");
+}
+
+/// The engine's parallel fan-out must be invisible in the output: a
+/// multi-threaded run renders the exact same report, byte for byte, as
+/// the strictly serial path — across different seeds.
+#[test]
+fn thread_count_never_changes_output() {
+    for seed in [0xE5EED_u64, 0x0BEE5] {
+        let render = |threads: usize| {
+            let config = FleetConfig {
+                seed,
+                threads,
+                ..FleetConfig::paper(0.004)
+            };
+            let output = FleetSimulation::new(config.clone()).run();
+            assert_eq!(output.threads, threads.max(1));
+            PaperReport::from_simulation(&output, &config).to_string()
+        };
+        let serial = render(1);
+        let parallel = render(4);
+        assert_eq!(
+            serial, parallel,
+            "seed {seed:#x}: threads=4 must be byte-identical to threads=1"
+        );
+    }
 }

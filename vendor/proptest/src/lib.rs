@@ -1,0 +1,913 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the surface the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! `any::<T>()`, `Just`, tuple and collection strategies, a tiny
+//! regex-subset string generator, and the `proptest!` / `prop_assert*`
+//! macros. There is no shrinking: a failing case panics with the failure
+//! message and the deterministic per-test seed, which is enough to
+//! reproduce it.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies. Deterministically derived per test
+    /// function so failures reproduce across runs.
+    pub type TestRng = SmallRng;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub fn new_test_rng(name: &str) -> TestRng {
+        SmallRng::seed_from_u64(fnv1a(name.as_bytes()))
+    }
+
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The generated case did not satisfy an assumption; retry.
+        Reject(String),
+        /// An assertion failed; abort the test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is just a pure sampling function over a deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.inner.new_value(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 candidates in a row",
+                self.whence
+            )
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+
+                    fn new_value(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn new_value(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Types with a canonical "anything goes" strategy, for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_gen {
+        ($($ty:ty),*) => {
+            $(
+                impl Arbitrary for $ty {
+                    fn arbitrary(rng: &mut TestRng) -> Self {
+                        rng.gen()
+                    }
+                }
+            )*
+        };
+    }
+
+    arbitrary_via_gen!(bool, u8, u16, u32, u64, usize);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            rng.fill(&mut out[..]);
+            out
+        }
+    }
+
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Strings are generated from a small regex subset: literals, `\`
+    /// escapes, `[a-z0-9]` classes with ranges, `(a|b)` alternation, and
+    /// `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    /// `prop::collection::vec` size argument.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        pub fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo + 1 >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection strategy");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn vec_strategy<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::BTreeSet::new();
+            // Bounded retries so duplicate-heavy element strategies still
+            // terminate (with a smaller set) instead of spinning.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 10 * n + 100 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub fn btree_set_strategy<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Bias toward Some, matching upstream's default 3:1 weighting.
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "prop::sample::select needs options");
+        Select { options }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Alt(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut it = pattern.chars().peekable();
+        let branches = parse_alt(&mut it, pattern);
+        assert!(
+            it.peek().is_none(),
+            "unsupported regex pattern {:?}: trailing input",
+            pattern
+        );
+        let mut out = String::new();
+        emit_seq(&pick(&branches, rng), rng, &mut out);
+        out
+    }
+
+    fn pick<'a>(branches: &'a [Vec<Node>], rng: &mut TestRng) -> &'a [Node] {
+        if branches.len() == 1 {
+            &branches[0]
+        } else {
+            &branches[rng.gen_range(0..branches.len())]
+        }
+    }
+
+    fn emit_seq(seq: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in seq {
+            emit(node, rng, out);
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let idx = rng.gen_range(0..ranges.len());
+                let (lo, hi) = ranges[idx];
+                out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap());
+            }
+            Node::Alt(branches) => emit_seq(&pick(branches, rng), rng, out),
+            Node::Repeat(inner, lo, hi) => {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                };
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    fn parse_alt(it: &mut Peekable<Chars>, pattern: &str) -> Vec<Vec<Node>> {
+        let mut branches = vec![parse_seq(it, pattern)];
+        while it.peek() == Some(&'|') {
+            it.next();
+            branches.push(parse_seq(it, pattern));
+        }
+        branches
+    }
+
+    fn parse_seq(it: &mut Peekable<Chars>, pattern: &str) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(&c) = it.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = parse_atom(it, pattern);
+            seq.push(parse_quantifier(atom, it, pattern));
+        }
+        seq
+    }
+
+    fn parse_atom(it: &mut Peekable<Chars>, pattern: &str) -> Node {
+        match it.next() {
+            Some('[') => {
+                let mut ranges = Vec::new();
+                loop {
+                    match it.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if it.peek() == Some(&'-') {
+                                it.next();
+                                match it.peek() {
+                                    // `-` just before `]` is a literal,
+                                    // not a range (e.g. `[a-z0-9.-]`).
+                                    Some(&']') => {
+                                        ranges.push((lo, lo));
+                                        ranges.push(('-', '-'));
+                                    }
+                                    Some(&hi) => {
+                                        it.next();
+                                        ranges.push((lo, hi));
+                                    }
+                                    None => bad(pattern, "unterminated class range"),
+                                }
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                        None => bad(pattern, "unterminated character class"),
+                    }
+                }
+                if ranges.is_empty() {
+                    bad(pattern, "empty character class")
+                }
+                Node::Class(ranges)
+            }
+            Some('(') => {
+                let branches = parse_alt(it, pattern);
+                if it.next() != Some(')') {
+                    bad(pattern, "unterminated group")
+                }
+                Node::Alt(branches)
+            }
+            Some('\\') => {
+                let c = it.next().unwrap_or_else(|| bad(pattern, "dangling escape"));
+                Node::Lit(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            Some('.') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]),
+            Some(c) => Node::Lit(c),
+            None => bad(pattern, "empty atom"),
+        }
+    }
+
+    fn parse_quantifier(atom: Node, it: &mut Peekable<Chars>, pattern: &str) -> Node {
+        match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut lo = String::new();
+                while let Some(&c) = it.peek() {
+                    if c.is_ascii_digit() {
+                        lo.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                let lo: u32 = lo
+                    .parse()
+                    .unwrap_or_else(|_| bad(pattern, "bad repeat count"));
+                let hi = match it.next() {
+                    Some('}') => lo,
+                    Some(',') => {
+                        let mut hi = String::new();
+                        while let Some(&c) = it.peek() {
+                            if c.is_ascii_digit() {
+                                hi.push(c);
+                                it.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        if it.next() != Some('}') {
+                            bad(pattern, "unterminated repeat")
+                        }
+                        hi.parse()
+                            .unwrap_or_else(|_| bad(pattern, "bad repeat bound"))
+                    }
+                    _ => bad(pattern, "unterminated repeat"),
+                };
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            Some('?') => {
+                it.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                it.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                it.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        }
+    }
+
+    fn bad(pattern: &str, why: &str) -> ! {
+        panic!("unsupported regex pattern {:?}: {}", pattern, why)
+    }
+}
+
+/// Namespace mirror of upstream's `prop::` module paths.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::{btree_set_strategy, vec_strategy, SizeRange};
+
+        pub fn vec<S: crate::strategy::Strategy>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> crate::strategy::VecStrategy<S> {
+            vec_strategy(element, size)
+        }
+
+        pub fn btree_set<S>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> crate::strategy::BTreeSetStrategy<S>
+        where
+            S: crate::strategy::Strategy,
+            S::Value: Ord,
+        {
+            btree_set_strategy(element, size)
+        }
+    }
+
+    pub mod option {
+        pub fn of<S: crate::strategy::Strategy>(inner: S) -> crate::strategy::OptionStrategy<S> {
+            crate::strategy::option_of(inner)
+        }
+    }
+
+    pub mod sample {
+        pub fn select<T: Clone>(options: Vec<T>) -> crate::strategy::Select<T> {
+            crate::strategy::select(options)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    (@fns ($config:expr);) => {};
+    (@fns ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::new_test_rng(concat!(
+                file!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).max(1000) {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({} attempts)",
+                        stringify!($name),
+                        attempts
+                    );
+                }
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)*
+                #[allow(unused_mut)] // `mut` is only needed when $body mutates captures
+                let mut case =
+                    move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                match case() {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        msg,
+                    )) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name),
+                            accepted,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategy_matches_shape() {
+        let mut rng = crate::test_runner::new_test_rng("string_strategy_matches_shape");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[a-z]{1,10}\\.(com|net|org)", &mut rng);
+            let (host, tld) = s.split_once('.').expect("dot present");
+            assert!((1..=10).contains(&host.len()));
+            assert!(host.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(matches!(tld, "com" | "net" | "org"));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_a_literal_dash() {
+        let mut rng = crate::test_runner::new_test_rng("class_with_trailing_dash");
+        let mut saw_dash = false;
+        for _ in 0..400 {
+            let s = Strategy::new_value(&"[a-z0-9.-]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash, "the trailing dash must be generatable");
+    }
+
+    #[test]
+    fn union_and_just_cover_options() {
+        let mut rng = crate::test_runner::new_test_rng("union_and_just_cover_options");
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::new_test_rng("vec_strategy_respects_size");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u64..10, 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_with_config((a, b) in (0u32..5, 0u32..5)) {
+            prop_assert_ne!(a + b + 1, 0);
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same algorithm rand 0.8 uses on
+//!   64-bit platforms), seeded via SplitMix64 like rand 0.8.5's
+//!   `seed_from_u64`;
+//! * [`Rng::gen`] for `f64` / `u64` / `u32` / `bool` with rand's bit
+//!   conversions (53-bit mantissa fill for `f64`, high 32 bits for `u32`);
+//! * [`Rng::gen_range`] over integer and float ranges using rand 0.8's
+//!   widening-multiply-with-rejection (Lemire) method so draw sequences
+//!   match the upstream implementation;
+//! * [`SeedableRng::seed_from_u64`].
+//!
+//! Everything is deterministic and dependency-free. The statistical tests
+//! in `crates/airstat-stats` exercise the uniformity of these conversions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The low-level RNG interface: raw 32/64-bit output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable uniformly from an RNG's raw bits (`Standard` in rand).
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for f64 {
+    /// 53 random bits scaled into `[0, 1)`, exactly rand 0.8's `Standard`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// 24 random bits scaled into `[0, 1)`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    /// Compares against the most significant bit (rand 0.8's `Standard`).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl<const N: usize> StandardSample for [u8; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-range sampler.
+///
+/// `SampleRange` is implemented once, generically, over `Range<T>` and
+/// `RangeInclusive<T>` for `T: SampleUniform` — the same shape as upstream
+/// rand. The blanket impl matters for inference: it lets the compiler
+/// unify the range's element type with the use site (e.g.
+/// `arr[rng.gen_range(0..3)]` inferring `usize`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($($ty:ty => $unsigned:ty, $u_large:ty, $sample:ident, $zone:ident);+ $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "cannot sample empty range");
+                // Upstream routes exclusive ranges through the inclusive
+                // sampler with `high - 1`; keep that shape so draw
+                // sequences match.
+                Self::sample_inclusive(low, high.wrapping_sub(1), rng)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // Full domain: every bit pattern is valid.
+                    return <$ty>::sample_from_bits(rng);
+                }
+                let zone = $zone(range);
+                $sample(rng, range, low as $unsigned as $u_large, zone) as $ty
+            }
+        }
+    )+};
+}
+
+/// Helper for full-domain inclusive ranges: draws from the same raw words
+/// as upstream's `Standard` distribution (32-bit output for sub-word
+/// integers, 64-bit for the rest).
+trait SampleFromBits {
+    fn sample_from_bits<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! sample_from_bits_impl {
+    (via32: $($ty32:ty),+; via64: $($ty64:ty),+) => {
+        $(
+            impl SampleFromBits for $ty32 {
+                fn sample_from_bits<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u32() as $ty32
+                }
+            }
+        )+
+        $(
+            impl SampleFromBits for $ty64 {
+                fn sample_from_bits<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $ty64
+                }
+            }
+        )+
+    };
+}
+sample_from_bits_impl!(via32: u8, u16, u32, i8, i16, i32; via64: u64, usize, i64, isize);
+
+// Rejection zones, matching rand 0.8's `uniform_int_impl!`: integer types
+// up to 16 bits compute the exact zone by modulus; wider types use the
+// cheaper leading-zeros approximation.
+
+fn zone_modulus_u32(range: u32) -> u32 {
+    let ints_to_reject = (u32::MAX - range + 1) % range;
+    u32::MAX - ints_to_reject
+}
+
+fn zone_shift_u32(range: u32) -> u32 {
+    (range << range.leading_zeros()).wrapping_sub(1)
+}
+
+fn zone_shift_u64(range: u64) -> u64 {
+    (range << range.leading_zeros()).wrapping_sub(1)
+}
+
+/// Widening-multiply rejection sampling of `[0, range)`, offset by `low`
+/// (rand 0.8's unbiased Lemire method), drawing 32-bit words.
+///
+/// Types whose `$u_large` is `u32` upstream (`u8`..`u32` and signed
+/// counterparts) must draw via `next_u32`, not `next_u64`, to keep the
+/// word stream aligned with upstream.
+fn sample_bounded_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32, low: u32, zone: u32) -> u32 {
+    debug_assert!(range > 0);
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (range as u64);
+        let hi = (m >> 32) as u32;
+        let lo = m as u32;
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// 64-bit variant of [`sample_bounded_u32`].
+fn sample_bounded_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64, low: u64, zone: u64) -> u64 {
+    debug_assert!(range > 0);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let hi = (m >> 64) as u64;
+        let lo = m as u64;
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+uniform_int_impl! {
+    u8 => u8, u32, sample_bounded_u32, zone_modulus_u32;
+    u16 => u16, u32, sample_bounded_u32, zone_modulus_u32;
+    u32 => u32, u32, sample_bounded_u32, zone_shift_u32;
+    u64 => u64, u64, sample_bounded_u64, zone_shift_u64;
+    usize => usize, u64, sample_bounded_u64, zone_shift_u64;
+    i8 => u8, u32, sample_bounded_u32, zone_modulus_u32;
+    i16 => u16, u32, sample_bounded_u32, zone_modulus_u32;
+    i32 => u32, u32, sample_bounded_u32, zone_shift_u32;
+    i64 => u64, u64, sample_bounded_u64, zone_shift_u64;
+    isize => usize, u64, sample_bounded_u64, zone_shift_u64;
+}
+
+impl SampleUniform for f64 {
+    /// rand 0.8's `UniformFloat::sample_single`: a uniform value in
+    /// `[1, 2)` shifted to `[0, 1)` (exact by Sterbenz), then
+    /// `value * scale + low`, retrying with a slightly reduced scale when
+    /// rounding lands exactly on `high`.
+    fn sample_exclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low < high, "cannot sample empty range");
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "range overflow");
+        loop {
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low <= high, "cannot sample empty range");
+        if low == high {
+            return low;
+        }
+        f64::sample_exclusive(low, high.next_up_compat(), rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_exclusive<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low < high, "cannot sample empty range");
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "range overflow");
+        loop {
+            let fraction = rng.next_u32() >> 9;
+            let value1_2 = f32::from_bits((127u32 << 23) | fraction);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low <= high, "cannot sample empty range");
+        if low == high {
+            return low;
+        }
+        f32::sample_exclusive(low, high, rng)
+    }
+}
+
+/// `f64::next_up` for the pinned toolchain floor (stable in 1.86).
+trait NextUpCompat {
+    fn next_up_compat(self) -> f64;
+}
+
+impl NextUpCompat for f64 {
+    fn next_up_compat(self) -> f64 {
+        if self.is_nan() || self == f64::INFINITY {
+            return self;
+        }
+        let bits = self.to_bits();
+        let next = if self == 0.0 {
+            1
+        } else if self > 0.0 {
+            bits + 1
+        } else {
+            bits - 1
+        };
+        f64::from_bits(next)
+    }
+}
+
+/// The user-facing RNG interface (subset of rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a `u64`, expanding it with SplitMix64
+    /// exactly as rand 0.8.5 seeds its xoshiro generators.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    ///
+    /// The same algorithm rand 0.8's `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // xoshiro256++ scrambles its full output word, so truncation
+            // is sound — and it matches upstream rand 0.8's behaviour.
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&w| w == 0) {
+                // The all-zero state is a fixed point; nudge it.
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x0000_0000_0000_0001,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_int_bounds_and_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            let v = rng.gen_range(0..6usize);
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..11);
+            assert_eq!(v, 10);
+            let w = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Must not hang or panic: range arithmetic wraps to 0 internally.
+        for _ in 0..100 {
+            let _: u8 = rng.gen_range(0u8..=u8::MAX);
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = rng.gen_range(5u32..5);
+    }
+}
