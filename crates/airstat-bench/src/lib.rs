@@ -9,6 +9,9 @@
 //! This library part only hosts the shared fixture so every bench file
 //! reuses one simulation run.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use airstat_core::PaperReport;
 use airstat_sim::{FleetConfig, FleetSimulation, SimulationOutput};
 use std::sync::OnceLock;
@@ -55,18 +58,26 @@ pub mod harness {
     /// measured per-iteration time.
     #[derive(Debug, Clone, Copy)]
     pub enum Throughput {
+        /// The bench processes this many bytes per iteration.
         Bytes(u64),
+        /// The bench processes this many items per iteration.
         Elements(u64),
     }
 
     /// One measured benchmark, exposed for JSON export.
     #[derive(Debug, Clone)]
     pub struct BenchResult {
+        /// Benchmark group the result belongs to.
         pub group: String,
+        /// Bench name within the group.
         pub name: String,
+        /// Samples actually taken.
         pub iterations: usize,
+        /// Mean per-iteration time (ns).
         pub mean_ns: f64,
+        /// Fastest observed iteration (ns).
         pub min_ns: f64,
+        /// Throughput annotation, if the group set one.
         pub throughput: Option<Throughput>,
     }
 
@@ -104,6 +115,7 @@ pub mod harness {
         /// Soft wall-clock budget per bench function; sampling stops early
         /// once it is exceeded (minimum 3 samples are always taken).
         max_sample_time: Duration,
+        /// Every result recorded so far, in execution order.
         pub results: Vec<BenchResult>,
     }
 
@@ -118,16 +130,19 @@ pub mod harness {
     }
 
     impl Criterion {
+        /// Sets the default samples per bench (minimum 1).
         pub fn sample_size(mut self, n: usize) -> Self {
             self.sample_size = n.max(1);
             self
         }
 
+        /// Sets the soft wall-clock budget per bench function.
         pub fn measurement_time(mut self, budget: Duration) -> Self {
             self.max_sample_time = budget;
             self
         }
 
+        /// Opens a named benchmark group.
         pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
             let name = name.into();
             println!("[bench group] {name}");
@@ -151,6 +166,7 @@ pub mod harness {
         }
     }
 
+    /// A named group of benches sharing sampling and throughput settings.
     pub struct BenchmarkGroup<'c> {
         criterion: &'c mut Criterion,
         name: String,
@@ -159,16 +175,20 @@ pub mod harness {
     }
 
     impl BenchmarkGroup<'_> {
+        /// Overrides the sample count for this group.
         pub fn sample_size(&mut self, n: usize) -> &mut Self {
             self.sample_size = Some(n.max(1));
             self
         }
 
+        /// Annotates the group's benches with a throughput, so results
+        /// print a derived rate.
         pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
             self.throughput = Some(throughput);
             self
         }
 
+        /// Runs one bench closure and records its result.
         pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
         where
             F: FnMut(&mut Bencher),
@@ -214,6 +234,7 @@ pub mod harness {
             self
         }
 
+        /// No-op, mirroring criterion's API.
         pub fn finish(&mut self) {}
     }
 
@@ -225,6 +246,7 @@ pub mod harness {
     }
 
     impl Bencher {
+        /// Times `routine` once per sample after one warm-up call.
         pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
             black_box(routine());
             let started = Instant::now();
@@ -238,6 +260,8 @@ pub mod harness {
             }
         }
 
+        /// Like [`Bencher::iter`], but re-runs `setup` outside the timed
+        /// region before each sample.
         pub fn iter_with_setup<S, R, Setup, Routine>(
             &mut self,
             mut setup: Setup,

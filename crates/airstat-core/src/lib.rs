@@ -26,12 +26,16 @@
 //!   (`dl.meraki.net/sigcomm-2015`), regenerated;
 //! * [`planner`] — §8's second recommendation: coordinated,
 //!   utilization-driven channel planning, with the count-based baseline;
-//! * [`diagnostics`] — §6.3's wired-vs-wireless problem triage.
+//! * [`diagnostics`] — §6.3's wired-vs-wireless problem triage;
+//! * [`degradation`] — the fault-campaign degradation report:
+//!   completeness, loss/duplicate accounting, and report latency
+//!   quantiles for a simulated collection-layer fault scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod degradation;
 pub mod diagnostics;
 pub mod export;
 pub mod figures;
@@ -40,4 +44,5 @@ pub mod render;
 pub mod report;
 pub mod tables;
 
+pub use degradation::DegradationReport;
 pub use report::PaperReport;

@@ -9,6 +9,8 @@
 
 use airstat_telemetry::backend::WindowId;
 
+use crate::faults::FaultSchedule;
+
 /// The two usage-measurement years.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasurementYear {
@@ -69,6 +71,12 @@ pub struct FleetConfig {
     /// the engine merges unit results in deterministic order. Defaults to
     /// [`default_threads`].
     pub threads: usize,
+    /// Optional fault-injection campaign. `None` runs the healthy
+    /// pipeline; `Some(schedule)` injects the schedule's per-window
+    /// faults during every drain. A [`FaultSchedule::zero`] schedule
+    /// reproduces the `None` output byte for byte (differential-tested),
+    /// and campaigns stay byte-identical across thread counts.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Default for FleetConfig {
@@ -95,6 +103,7 @@ impl FleetConfig {
             scan_window_s: 180,
             poll_drop_probability: 0.01,
             threads: default_threads(),
+            faults: None,
         }
     }
 

@@ -42,15 +42,17 @@ use airstat_stats::dist::{Exponential, LogNormal};
 use airstat_stats::SeedTree;
 use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
+use airstat_telemetry::poll::{drain_with_policy, PollPolicy};
 use airstat_telemetry::report::{
     AirtimeRecord, ChannelScanRecord, ClientInfoRecord, CrashRecord, LinkRecord, NeighborRecord,
     Report, ReportPayload, UsageRecord,
 };
-use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel, TunnelConfig};
+use airstat_telemetry::transport::{DeviceAgent, Tunnel, TunnelConfig};
 use rand::Rng;
 
 use crate::config::{FleetConfig, MeasurementYear, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014};
 use crate::exec::run_ordered;
+use crate::faults::{self, DegradationTally};
 use crate::population::PopulationModel;
 use crate::traffic::generate_weekly;
 use crate::world::{ApModel, ApSite, NeighborEpoch, World};
@@ -75,6 +77,10 @@ pub struct SimulationOutput {
     pub bytes_encoded: u64,
     /// Worker threads the run actually used.
     pub threads: usize,
+    /// Campaign-wide degradation accounting (completeness, latency,
+    /// fault counters). With `FleetConfig::faults = None` this is the
+    /// healthy baseline: completeness 1.0, no failovers, no crash loss.
+    pub degradation: DegradationTally,
 }
 
 impl SimulationOutput {
@@ -189,6 +195,7 @@ impl FleetSimulation {
         let world = World::generate(&seed, self.config.mr16_aps(), self.config.mr18_aps());
         let mut backend = Backend::new();
         let mut polls = PollStats::default();
+        let mut degradation = DegradationTally::default();
         let threads = self.config.effective_threads();
         let mut panels = Vec::new();
 
@@ -200,8 +207,14 @@ impl FleetSimulation {
                 MeasurementYear::Y2015 => "usage-2015",
             };
             let started = Instant::now();
-            let (roamed, tally) =
-                self.run_usage_window(&seed, year, threads, &mut backend, &mut polls);
+            let (roamed, tally) = self.run_usage_window(
+                &seed,
+                year,
+                threads,
+                &mut backend,
+                &mut polls,
+                &mut degradation,
+            );
             panels.push(tally.into_stats(label, started));
             if year == MeasurementYear::Y2015 {
                 roamed_clients = roamed;
@@ -221,6 +234,7 @@ impl FleetSimulation {
                 threads,
                 &mut backend,
                 &mut polls,
+                &mut degradation,
             );
             panels.push(tally.into_stats(label, started));
         }
@@ -234,6 +248,7 @@ impl FleetSimulation {
             threads,
             &mut backend,
             &mut polls,
+            &mut degradation,
         );
         panels.push(tally.into_stats("scan-jan15", started));
 
@@ -247,6 +262,7 @@ impl FleetSimulation {
             panels,
             bytes_encoded,
             threads,
+            degradation,
         }
     }
 
@@ -254,6 +270,7 @@ impl FleetSimulation {
     // Usage panel
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_usage_window(
         &self,
         seed: &SeedTree,
@@ -261,6 +278,7 @@ impl FleetSimulation {
         threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
+        degradation: &mut DegradationTally,
     ) -> (u64, PanelTally) {
         let window = year.window();
         let year_label = match year {
@@ -390,25 +408,30 @@ impl FleetSimulation {
                 }
             }
             // Split into multiple reports (daily polls in production).
-            let mut agent = DeviceAgent::new(device_id);
+            let mut agent = self.make_agent(device_id, window);
             for (i, chunk) in info_records.into_chunks().into_iter().enumerate() {
                 agent.submit(i as u64 * 86_400, ReportPayload::ClientInfo(chunk));
             }
             for (i, chunk) in usage_records.into_chunks().into_iter().enumerate() {
                 agent.submit(i as u64 * 3_600, ReportPayload::Usage(chunk));
             }
-            self.drain_agent_collect(&node.indexed(device_id), &mut agent, &mut out);
+            self.drain_agent_collect(&node.indexed(device_id), window, &mut agent, &mut out);
             // The batch's roamers surface at a dedicated roamed-to AP so
             // the unit stays self-contained; the backend's MAC-level
             // aggregation merges the split usage regardless of which AP
             // reported it.
             if !roaming_spill.is_empty() {
                 let roam_device = ROAM_DEVICE_BASE + batch;
-                let mut roam_agent = DeviceAgent::new(roam_device);
+                let mut roam_agent = self.make_agent(roam_device, window);
                 for (i, chunk) in roaming_spill.into_chunks().into_iter().enumerate() {
                     roam_agent.submit(i as u64 * 3_600, ReportPayload::Usage(chunk));
                 }
-                self.drain_agent_collect(&node.indexed(roam_device), &mut roam_agent, &mut out);
+                self.drain_agent_collect(
+                    &node.indexed(roam_device),
+                    window,
+                    &mut roam_agent,
+                    &mut out,
+                );
             }
             out
         };
@@ -417,7 +440,7 @@ impl FleetSimulation {
         let mut roamed_clients = 0u64;
         run_ordered(threads, n_batches, unit, |_, out: UnitOutput| {
             roamed_clients += out.roamed;
-            tally.merge(&out, backend, window, polls);
+            tally.merge(&out, backend, window, polls, degradation);
         });
         (roamed_clients, tally)
     }
@@ -426,6 +449,7 @@ impl FleetSimulation {
     // Radio panel (MR16 + link probes + censuses)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_radio_window(
         &self,
         node: &SeedTree,
@@ -435,6 +459,7 @@ impl FleetSimulation {
         threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
+        degradation: &mut DegradationTally,
     ) -> PanelTally {
         let model24 = LinkModel::for_band(Band::Ghz2_4);
         let model5 = LinkModel::for_band(Band::Ghz5);
@@ -446,7 +471,7 @@ impl FleetSimulation {
             let mut out = UnitOutput::default();
             let ap_node = node.indexed(ap.device_id);
             let mut rng = ap_node.child("census").rng();
-            let mut agent = DeviceAgent::new(ap.device_id);
+            let mut agent = self.make_agent(ap.device_id, window);
 
             // 1. Neighbour census. The wire records move straight into
             //    the payload; the census keeps precomputed counts.
@@ -563,13 +588,13 @@ impl FleetSimulation {
                 }
             }
 
-            self.drain_agent_collect(&ap_node, &mut agent, &mut out);
+            self.drain_agent_collect(&ap_node, window, &mut agent, &mut out);
             out
         };
 
         let mut tally = PanelTally::default();
         run_ordered(threads, world.aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, backend, window, polls);
+            tally.merge(&out, backend, window, polls, degradation);
         });
         tally
     }
@@ -578,6 +603,7 @@ impl FleetSimulation {
     // Scan panel (MR18)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_scan_window(
         &self,
         node: &SeedTree,
@@ -587,6 +613,7 @@ impl FleetSimulation {
         threads: usize,
         backend: &mut Backend,
         polls: &mut PollStats,
+        degradation: &mut DegradationTally,
     ) -> PanelTally {
         let diurnal_table = diurnal_table();
         let scan_aps: Vec<&ApSite> = world
@@ -599,7 +626,7 @@ impl FleetSimulation {
             let mut out = UnitOutput::default();
             let ap_node = node.indexed(ap.device_id);
             let mut rng = ap_node.child("scan").rng();
-            let mut agent = DeviceAgent::new(ap.device_id + 500_000); // scan radio identity
+            let mut agent = self.make_agent(ap.device_id + 500_000, window); // scan radio identity
             let census = sample_census(world, ap, epoch, &mut rng);
             // Two 3-minute aggregates per day: 10:00 and 22:00.
             for day in 0..7u64 {
@@ -628,43 +655,88 @@ impl FleetSimulation {
                     agent.submit(timestamp, ReportPayload::ChannelScan(records));
                 }
             }
-            self.drain_agent_collect(&ap_node, &mut agent, &mut out);
+            self.drain_agent_collect(&ap_node, window, &mut agent, &mut out);
             out
         };
 
         let mut tally = PanelTally::default();
         run_ordered(threads, scan_aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, backend, window, polls);
+            tally.merge(&out, backend, window, polls, degradation);
         });
         tally
     }
 
-    /// Polls an agent through a fault-injected tunnel until drained,
-    /// collecting the decoded reports into `out` (the caller merges them
-    /// into the backend in deterministic unit order).
-    fn drain_agent_collect(&self, node: &SeedTree, agent: &mut DeviceAgent, out: &mut UnitOutput) {
-        let mut tunnel = Tunnel::new(TunnelConfig {
+    /// Creates a device agent, applying the active fault schedule's
+    /// queue-capacity pressure for `window` (default capacity otherwise).
+    fn make_agent(&self, device_id: u64, window: WindowId) -> DeviceAgent {
+        let capacity = self
+            .config
+            .faults
+            .as_ref()
+            .and_then(|schedule| schedule.intensity(window).queue_capacity)
+            .unwrap_or(DeviceAgent::DEFAULT_CAPACITY);
+        DeviceAgent::with_capacity(device_id, capacity)
+    }
+
+    /// Polls an agent until drained, collecting the decoded reports into
+    /// `out` (the caller merges them into the backend in deterministic
+    /// unit order).
+    ///
+    /// Without a fault schedule this is the healthy path: one tunnel,
+    /// the default [`PollPolicy`], and a drain that must empty the queue.
+    /// With a schedule, [`faults::drain_faulted`] drives a [`DualTunnel`]
+    /// (`airstat_telemetry::failover`) through the window's scripted
+    /// faults instead. Both paths consume the same `child("tunnel")` RNG
+    /// stream per poll, so a zero-intensity schedule reproduces the
+    /// no-schedule output byte for byte.
+    fn drain_agent_collect(
+        &self,
+        node: &SeedTree,
+        window: WindowId,
+        agent: &mut DeviceAgent,
+        out: &mut UnitOutput,
+    ) {
+        let base = TunnelConfig {
             drop_probability: self.config.poll_drop_probability,
             poll_batch: 64,
-        });
-        let mut rng = node.child("tunnel").rng();
-        // Bounded retries; with default drop probability a handful of
-        // rounds drains everything.
-        for _ in 0..100_000 {
-            match tunnel.poll(agent, &mut rng) {
-                PollOutcome::Delivered(reports) => {
-                    out.reports.extend(reports);
-                    if agent.queued() == 0 {
-                        break;
-                    }
-                }
-                PollOutcome::Lost | PollOutcome::Disconnected => {}
+        };
+        match &self.config.faults {
+            None => {
+                let mut tunnel = Tunnel::new(base);
+                let mut rng = node.child("tunnel").rng();
+                let (reports, stats) =
+                    drain_with_policy(PollPolicy::default(), &mut tunnel, agent, &mut rng);
+                out.reports.extend(reports);
+                out.polls_attempted += stats.polls;
+                out.polls_lost += stats.lost;
+                out.bytes += stats.bytes;
+                out.tally.absorb(&stats);
+                assert_eq!(agent.queued(), 0, "agent failed to drain");
+            }
+            Some(schedule) => {
+                let intensity = schedule.intensity(window);
+                let drained = faults::drain_faulted(
+                    intensity,
+                    schedule.policy(),
+                    base,
+                    node,
+                    firmware_for(window),
+                    agent,
+                );
+                out.reports.extend(drained.reports);
+                out.polls_attempted += drained.stats.polls;
+                out.polls_lost += drained.stats.lost;
+                out.bytes += drained.stats.bytes;
+                out.tally.absorb(&drained.stats);
+                out.tally.lost_to_crash += drained.crash_lost;
+                out.tally.crash_reboots += drained.crash_reboots;
+                out.tally.failovers += drained.failovers;
+                out.tally.secondary_served += drained.secondary_served;
+                out.tally.left_queued += agent.queued() as u64;
             }
         }
-        out.polls_attempted += tunnel.polls_attempted();
-        out.polls_lost += tunnel.polls_lost();
-        out.bytes += tunnel.bytes_transferred();
-        assert_eq!(agent.queued(), 0, "agent failed to drain");
+        out.tally.submitted += agent.reports_submitted();
+        out.tally.dropped_overflow += agent.dropped_overflow();
     }
 }
 
@@ -686,6 +758,8 @@ struct UnitOutput {
     bytes: u64,
     /// Clients in this unit that roamed (usage panel only).
     roamed: u64,
+    /// Degradation accounting for this unit's drains.
+    tally: DegradationTally,
 }
 
 /// Running totals for one panel, merged on the driver thread.
@@ -704,11 +778,15 @@ impl PanelTally {
         backend: &mut Backend,
         window: WindowId,
         polls: &mut PollStats,
+        degradation: &mut DegradationTally,
     ) {
-        self.reports += backend.ingest_batch(window, &out.reports);
+        let accepted = backend.ingest_batch(window, &out.reports);
+        self.reports += accepted;
         self.bytes += out.bytes;
         polls.attempted += out.polls_attempted;
         polls.lost += out.polls_lost;
+        degradation.merge(&out.tally);
+        degradation.accepted += accepted;
     }
 
     fn into_stats(self, label: &'static str, started: Instant) -> PanelStats {

@@ -1,0 +1,657 @@
+//! Deterministic fault-injection campaigns.
+//!
+//! The paper's pipeline is *designed* to degrade gracefully: devices queue
+//! reports while offline, the backend re-polls with backoff, a second
+//! data center absorbs outages, and sequence-number dedup makes all the
+//! retries safe (§2). This module drives that machinery at fleet scale
+//! with a scripted [`FaultSchedule`]: per measurement window it injects
+//!
+//! * **tunnel flaps** — short primary-tunnel losses a failover absorbs;
+//! * **datacenter outages** — a primary-DC outage spanning several poll
+//!   rounds, with a burst re-poll storm when the primary recovers;
+//! * **AP crash/reboot cycles** — the in-RAM report queue is lost, a
+//!   crash report follows the reboot;
+//! * **queue-overflow pressure** — a tightened device queue capacity so
+//!   backlogs overflow (oldest-first) during faults;
+//! * **burst re-poll storms** — speculative, unacknowledged re-polls
+//!   whose redeliveries the backend must deduplicate;
+//!
+//! plus elevated poll loss and lost acknowledgements. Every fault draw
+//! descends from the per-agent `SeedTree` node (`child("faults")`), a
+//! stream disjoint from the tunnel's (`child("tunnel")`), so campaigns
+//! compose with the parallel engine: any thread count replays the same
+//! faults, and a [`FaultSchedule::zero`] campaign is byte-identical to a
+//! run with no schedule at all — the differential test in
+//! `tests/fault_campaigns.rs` pins both properties.
+
+use airstat_stats::SeedTree;
+use airstat_telemetry::backend::WindowId;
+use airstat_telemetry::crash::RebootReason;
+use airstat_telemetry::failover::{DataCenter, DualTunnel};
+use airstat_telemetry::poll::{DrainStats, LatencyHistogram, PollPolicy, PollSession};
+use airstat_telemetry::report::{CrashRecord, Report, ReportPayload};
+use airstat_telemetry::transport::{DeviceAgent, PollOutcome, TunnelConfig};
+use rand::Rng;
+
+/// Consecutive primary failures before a campaign drain fails over.
+pub const FAILOVER_THRESHOLD: u32 = 2;
+
+/// Fault intensities for one measurement window.
+///
+/// Every probability is per fault *opportunity* (per agent for one-shot
+/// events like outages and crashes, per poll round for flaps and lost
+/// acks); zero disables the fault entirely, and [`FaultIntensity::zero`]
+/// disables everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultIntensity {
+    /// Poll-loss probability *added* to the engine's base
+    /// `poll_drop_probability` (capped at 0.95 overall).
+    pub extra_drop_probability: f64,
+    /// Probability a delivered poll's acknowledgement is lost, forcing a
+    /// retransmission the backend must dedup.
+    pub ack_loss_probability: f64,
+    /// Per-round probability the primary tunnel flaps.
+    pub flap_probability: f64,
+    /// Poll rounds a flap keeps the primary down.
+    pub flap_rounds: u32,
+    /// Probability this agent's drain overlaps the primary-DC outage.
+    pub dc_outage_probability: f64,
+    /// Poll rounds the outage lasts.
+    pub dc_outage_rounds: u32,
+    /// Unacknowledged re-polls fired when the primary DC recovers (the
+    /// catch-up storm) or a spontaneous storm triggers.
+    pub repoll_burst: u32,
+    /// Per-agent probability of a spontaneous re-poll storm.
+    pub storm_probability: f64,
+    /// Per-agent probability of one crash/reboot cycle mid-drain.
+    pub crash_probability: f64,
+    /// Device queue capacity override (overflow pressure); `None` keeps
+    /// [`DeviceAgent::DEFAULT_CAPACITY`].
+    pub queue_capacity: Option<usize>,
+    /// Poll batch-size override; smaller batches stretch drains across
+    /// more rounds so faults and backlogs interact. `None` keeps the
+    /// engine default.
+    pub poll_batch: Option<usize>,
+}
+
+impl FaultIntensity {
+    /// No faults at all.
+    pub fn zero() -> Self {
+        FaultIntensity {
+            extra_drop_probability: 0.0,
+            ack_loss_probability: 0.0,
+            flap_probability: 0.0,
+            flap_rounds: 0,
+            dc_outage_probability: 0.0,
+            dc_outage_rounds: 0,
+            repoll_burst: 0,
+            storm_probability: 0.0,
+            crash_probability: 0.0,
+            queue_capacity: None,
+            poll_batch: None,
+        }
+    }
+
+    /// Whether this intensity injects nothing.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultIntensity::zero()
+    }
+}
+
+/// A named, per-window fault schedule for one campaign.
+///
+/// Schedules are plain data: a default [`FaultIntensity`] plus optional
+/// per-window overrides, and the [`PollPolicy`] the backend uses while
+/// the campaign runs. Three canned scenarios cover the degradation axes
+/// ([`FaultSchedule::tunnel_loss`], [`FaultSchedule::dc_outage`],
+/// [`FaultSchedule::queue_pressure`]); [`FaultSchedule::zero`] is the
+/// control arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    name: String,
+    policy: PollPolicy,
+    default: FaultIntensity,
+    overrides: Vec<(WindowId, FaultIntensity)>,
+}
+
+/// The canned scenario names [`FaultSchedule::by_name`] accepts.
+pub const SCENARIO_NAMES: [&str; 4] = ["zero", "tunnel-loss", "dc-outage", "queue-pressure"];
+
+impl FaultSchedule {
+    /// A schedule from parts.
+    pub fn new(
+        name: impl Into<String>,
+        policy: PollPolicy,
+        default: FaultIntensity,
+        overrides: Vec<(WindowId, FaultIntensity)>,
+    ) -> Self {
+        FaultSchedule {
+            name: name.into(),
+            policy,
+            default,
+            overrides,
+        }
+    }
+
+    /// The control schedule: zero intensity everywhere. Running it must
+    /// reproduce a no-schedule run byte for byte.
+    pub fn zero() -> Self {
+        FaultSchedule::new(
+            "zero",
+            PollPolicy::default(),
+            FaultIntensity::zero(),
+            Vec::new(),
+        )
+    }
+
+    /// Scenario 1 — chronic transport loss: elevated poll drops, lost
+    /// acks, and short tunnel flaps in every window. Nothing is ever
+    /// destroyed, so completeness stays at 100% while duplicates and
+    /// latency climb.
+    pub fn tunnel_loss() -> Self {
+        FaultSchedule::new(
+            "tunnel-loss",
+            PollPolicy::default(),
+            FaultIntensity {
+                extra_drop_probability: 0.25,
+                ack_loss_probability: 0.10,
+                flap_probability: 0.08,
+                flap_rounds: 2,
+                poll_batch: Some(16),
+                ..FaultIntensity::zero()
+            },
+            Vec::new(),
+        )
+    }
+
+    /// Scenario 2 — tunnel loss plus one primary-DC outage during the
+    /// January 2015 windows, with a catch-up re-poll storm on recovery
+    /// and tightened device queues; the 2014 windows see only the
+    /// background loss. Expect `duplicates_dropped > 0` and completeness
+    /// below 100% (queue overflow while the backlog waits out the
+    /// outage).
+    pub fn dc_outage() -> Self {
+        let background = FaultIntensity {
+            extra_drop_probability: 0.15,
+            ack_loss_probability: 0.08,
+            flap_probability: 0.05,
+            flap_rounds: 2,
+            poll_batch: Some(8),
+            ..FaultIntensity::zero()
+        };
+        let outage = FaultIntensity {
+            dc_outage_probability: 1.0,
+            dc_outage_rounds: 4,
+            repoll_burst: 2,
+            queue_capacity: Some(24),
+            ..background.clone()
+        };
+        FaultSchedule::new(
+            "dc-outage",
+            PollPolicy::default(),
+            background,
+            vec![(crate::config::WINDOW_JAN_2015, outage)],
+        )
+    }
+
+    /// Scenario 3 — resource exhaustion: tiny device queues, frequent
+    /// crash/reboot cycles, and spontaneous re-poll storms. Completeness
+    /// drops on every axis (overflow, crash loss) and the dedup layer
+    /// works hardest.
+    pub fn queue_pressure() -> Self {
+        FaultSchedule::new(
+            "queue-pressure",
+            PollPolicy::default(),
+            FaultIntensity {
+                extra_drop_probability: 0.05,
+                ack_loss_probability: 0.05,
+                crash_probability: 0.30,
+                storm_probability: 0.25,
+                repoll_burst: 3,
+                queue_capacity: Some(12),
+                poll_batch: Some(8),
+                ..FaultIntensity::zero()
+            },
+            Vec::new(),
+        )
+    }
+
+    /// Looks a canned scenario up by its CLI name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "zero" => Some(FaultSchedule::zero()),
+            "tunnel-loss" => Some(FaultSchedule::tunnel_loss()),
+            "dc-outage" => Some(FaultSchedule::dc_outage()),
+            "queue-pressure" => Some(FaultSchedule::queue_pressure()),
+            _ => None,
+        }
+    }
+
+    /// The schedule's name (scenario label in the degradation report).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backend poll policy campaigns run under.
+    pub fn policy(&self) -> PollPolicy {
+        self.policy
+    }
+
+    /// The intensity for a measurement window (override or default).
+    pub fn intensity(&self, window: WindowId) -> &FaultIntensity {
+        self.overrides
+            .iter()
+            .find(|(w, _)| *w == window)
+            .map(|(_, i)| i)
+            .unwrap_or(&self.default)
+    }
+
+    /// Whether every window's intensity is zero.
+    pub fn is_zero(&self) -> bool {
+        self.default.is_zero() && self.overrides.iter().all(|(_, i)| i.is_zero())
+    }
+}
+
+/// Campaign-wide degradation accounting, merged across every drained
+/// agent in deterministic unit order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationTally {
+    /// Reports submitted by device agents (completeness denominator).
+    pub submitted: u64,
+    /// Unique reports the backend accepted (completeness numerator).
+    pub accepted: u64,
+    /// Reports destroyed by queue overflow (oldest-first eviction).
+    pub dropped_overflow: u64,
+    /// Reports destroyed by crash/reboot cycles (in-RAM queue loss).
+    pub lost_to_crash: u64,
+    /// Reports still queued when a drain's poll budget ran out.
+    pub left_queued: u64,
+    /// Crash/reboot cycles injected.
+    pub crash_reboots: u64,
+    /// Poll rounds across all agents.
+    pub polls: u64,
+    /// Poll rounds lost to transport faults.
+    pub polls_lost: u64,
+    /// Poll rounds that found every usable tunnel down.
+    pub disconnected_polls: u64,
+    /// Primary→secondary failover transitions.
+    pub failovers: u64,
+    /// Delivered polls served by the secondary data center.
+    pub secondary_served: u64,
+    /// Reports redelivered on the wire (lost acks, re-poll storms);
+    /// upper-bounds the backend's `duplicates_dropped`.
+    pub redelivered: u64,
+    /// Agents whose poll budget ran out before their queue drained.
+    pub budget_exhausted_agents: u64,
+    /// Report delivery latency in virtual seconds since each drain began.
+    pub latency: LatencyHistogram,
+}
+
+impl DegradationTally {
+    /// Folds one drain's transport stats in.
+    pub fn absorb(&mut self, stats: &DrainStats) {
+        self.polls += stats.polls;
+        self.polls_lost += stats.lost;
+        self.disconnected_polls += stats.disconnected;
+        self.redelivered += stats.redelivered;
+        self.budget_exhausted_agents += u64::from(stats.budget_exhausted);
+        self.latency.merge(&stats.latency);
+    }
+
+    /// Folds another tally in (panel → campaign merge).
+    pub fn merge(&mut self, other: &DegradationTally) {
+        self.submitted += other.submitted;
+        self.accepted += other.accepted;
+        self.dropped_overflow += other.dropped_overflow;
+        self.lost_to_crash += other.lost_to_crash;
+        self.left_queued += other.left_queued;
+        self.crash_reboots += other.crash_reboots;
+        self.polls += other.polls;
+        self.polls_lost += other.polls_lost;
+        self.disconnected_polls += other.disconnected_polls;
+        self.failovers += other.failovers;
+        self.secondary_served += other.secondary_served;
+        self.redelivered += other.redelivered;
+        self.budget_exhausted_agents += other.budget_exhausted_agents;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Data completeness: unique accepted reports over submitted reports
+    /// (1.0 for an empty campaign).
+    pub fn completeness(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// What one faulted drain produced, beyond the transport stats.
+#[derive(Debug)]
+pub struct FaultedDrain {
+    /// Delivered reports in delivery order (redeliveries included — the
+    /// backend's dedup drops them at ingest).
+    pub reports: Vec<Report>,
+    /// Transport-level drain statistics.
+    pub stats: DrainStats,
+    /// Reports the injected crash destroyed.
+    pub crash_lost: u64,
+    /// Crash/reboot cycles injected (0 or 1 per drain).
+    pub crash_reboots: u64,
+    /// Primary→secondary failover transitions observed.
+    pub failovers: u64,
+    /// Delivered polls served by the secondary data center.
+    pub secondary_served: u64,
+}
+
+/// Drains `agent` through a [`DualTunnel`] while injecting the faults
+/// `intensity` prescribes.
+///
+/// Fault randomness comes from `node.child("faults")`, transport
+/// randomness from `node.child("tunnel")` — the same stream the
+/// no-schedule engine path uses, so a zero intensity consumes the tunnel
+/// stream identically and reproduces its output byte for byte.
+pub fn drain_faulted(
+    intensity: &FaultIntensity,
+    policy: PollPolicy,
+    base: TunnelConfig,
+    node: &SeedTree,
+    firmware: &str,
+    agent: &mut DeviceAgent,
+) -> FaultedDrain {
+    let mut fault_rng = node.child("faults").rng();
+    let mut tunnel_rng = node.child("tunnel").rng();
+    let config = TunnelConfig {
+        drop_probability: (base.drop_probability + intensity.extra_drop_probability).min(0.95),
+        poll_batch: intensity.poll_batch.unwrap_or(base.poll_batch),
+    };
+    let mut dual = DualTunnel::new(config, FAILOVER_THRESHOLD);
+
+    // One-shot events are planned up front from the fault stream.
+    let outage = if intensity.dc_outage_probability > 0.0
+        && fault_rng.gen::<f64>() < intensity.dc_outage_probability
+    {
+        let start = fault_rng.gen_range(0u64..2);
+        Some((start, start + u64::from(intensity.dc_outage_rounds.max(1))))
+    } else {
+        None
+    };
+    let crash_round = if intensity.crash_probability > 0.0
+        && fault_rng.gen::<f64>() < intensity.crash_probability
+    {
+        Some(fault_rng.gen_range(0u64..4))
+    } else {
+        None
+    };
+    let storm_round = if intensity.storm_probability > 0.0
+        && fault_rng.gen::<f64>() < intensity.storm_probability
+    {
+        Some(fault_rng.gen_range(0u64..3))
+    } else {
+        None
+    };
+
+    let mut session = PollSession::new(policy);
+    let mut stats = DrainStats::default();
+    let mut reports = Vec::new();
+    let mut highest_delivered: Option<u64> = None;
+    let mut crash_lost = 0u64;
+    let mut crash_reboots = 0u64;
+    let mut failovers = 0u64;
+    let mut last_dc = DataCenter::Primary;
+    let mut in_outage = false;
+    let mut flap_left = 0u32;
+    let mut pending_burst = 0u32;
+    let mut round = 0u64;
+
+    while agent.queued() > 0 || pending_burst > 0 {
+        if !session.begin_round() {
+            stats.budget_exhausted = agent.queued() > 0;
+            break;
+        }
+        // --- scripted fault events for this round ---
+        if let Some((start, end)) = outage {
+            if round == start {
+                dual.outage(DataCenter::Primary);
+                in_outage = true;
+                flap_left = 0;
+            }
+            if round == end && in_outage {
+                dual.restore(DataCenter::Primary);
+                in_outage = false;
+                // The catch-up storm: the recovered primary re-polls the
+                // span it missed without waiting for ack state.
+                pending_burst += intensity.repoll_burst;
+            }
+        }
+        if crash_round == Some(round) && agent.queued() > 0 {
+            crash_lost += agent.crash_reboot() as u64;
+            crash_reboots += 1;
+            agent.submit(
+                session.now_s(),
+                ReportPayload::Crash(vec![CrashRecord {
+                    firmware: firmware.to_string(),
+                    reason: RebootReason::Watchdog.code(),
+                    program_counter: 0x40_0000 + fault_rng.gen_range(0u64..0x8_0000),
+                    uptime_s: session.now_s(),
+                    free_memory_bytes: 4096,
+                }]),
+            );
+        }
+        if storm_round == Some(round) {
+            pending_burst += intensity.repoll_burst.max(1);
+        }
+        if flap_left > 0 {
+            flap_left -= 1;
+            if flap_left == 0 && !in_outage {
+                dual.restore(DataCenter::Primary);
+            }
+        } else if !in_outage
+            && intensity.flap_probability > 0.0
+            && fault_rng.gen::<f64>() < intensity.flap_probability
+        {
+            dual.outage(DataCenter::Primary);
+            flap_left = intensity.flap_rounds.max(1);
+        }
+        // --- the poll itself ---
+        let ack = if pending_burst > 0 {
+            pending_burst -= 1;
+            false
+        } else {
+            !(intensity.ack_loss_probability > 0.0
+                && fault_rng.gen::<f64>() < intensity.ack_loss_probability)
+        };
+        let (outcome, dc) = dual.poll_mode(agent, &mut tunnel_rng, ack);
+        match outcome {
+            PollOutcome::Delivered(batch) => {
+                session.on_success();
+                if dc != last_dc && dc == DataCenter::Secondary {
+                    failovers += 1;
+                }
+                last_dc = dc;
+                for report in &batch {
+                    if highest_delivered.is_some_and(|h| report.seq <= h) {
+                        stats.redelivered += 1;
+                    }
+                }
+                if let Some(max) = batch.iter().map(|r| r.seq).max() {
+                    highest_delivered = Some(highest_delivered.map_or(max, |h| h.max(max)));
+                }
+                stats.delivered += batch.len() as u64;
+                stats.latency.record_n(session.now_s(), batch.len() as u64);
+                reports.extend(batch);
+            }
+            PollOutcome::Lost => {
+                session.on_failure();
+                stats.lost += 1;
+            }
+            PollOutcome::Disconnected => {
+                session.on_failure();
+                stats.disconnected += 1;
+            }
+        }
+        round += 1;
+    }
+
+    stats.polls = dual.polls_attempted();
+    stats.bytes = dual.bytes_transferred();
+    stats.virtual_elapsed_s = session.now_s();
+    FaultedDrain {
+        reports,
+        stats,
+        crash_lost,
+        crash_reboots,
+        failovers,
+        secondary_served: dual.served_by(DataCenter::Secondary),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{WINDOW_JAN_2014, WINDOW_JAN_2015};
+
+    fn loaded_agent(n: u64, capacity: usize) -> DeviceAgent {
+        let mut agent = DeviceAgent::with_capacity(1, capacity);
+        for t in 0..n {
+            agent.submit(t, ReportPayload::Usage(vec![]));
+        }
+        agent
+    }
+
+    #[test]
+    fn scenarios_resolve_by_name() {
+        for name in SCENARIO_NAMES {
+            let schedule = FaultSchedule::by_name(name).expect(name);
+            assert_eq!(schedule.name(), name);
+        }
+        assert!(FaultSchedule::by_name("nope").is_none());
+        assert!(FaultSchedule::zero().is_zero());
+        assert!(!FaultSchedule::dc_outage().is_zero());
+    }
+
+    #[test]
+    fn per_window_overrides_apply() {
+        let schedule = FaultSchedule::dc_outage();
+        assert_eq!(
+            schedule.intensity(WINDOW_JAN_2015).dc_outage_probability,
+            1.0
+        );
+        assert_eq!(
+            schedule.intensity(WINDOW_JAN_2014).dc_outage_probability,
+            0.0,
+            "2014 windows only see the background loss"
+        );
+    }
+
+    #[test]
+    fn zero_intensity_drain_is_clean() {
+        let mut agent = loaded_agent(40, DeviceAgent::DEFAULT_CAPACITY);
+        let node = SeedTree::new(11).child("unit");
+        let base = TunnelConfig {
+            drop_probability: 0.0,
+            poll_batch: 16,
+        };
+        let drain = drain_faulted(
+            &FaultIntensity::zero(),
+            PollPolicy::default(),
+            base,
+            &node,
+            "fw-test",
+            &mut agent,
+        );
+        assert_eq!(drain.reports.len(), 40);
+        assert_eq!(drain.stats.redelivered, 0);
+        assert_eq!(drain.failovers, 0);
+        assert_eq!(drain.crash_reboots, 0);
+        assert_eq!(agent.queued(), 0);
+    }
+
+    #[test]
+    fn outage_fails_over_and_storm_redelivers() {
+        let intensity = FaultIntensity {
+            dc_outage_probability: 1.0,
+            dc_outage_rounds: 3,
+            repoll_burst: 2,
+            ..FaultIntensity::zero()
+        };
+        let mut agent = loaded_agent(40, DeviceAgent::DEFAULT_CAPACITY);
+        let node = SeedTree::new(12).child("unit");
+        let base = TunnelConfig {
+            drop_probability: 0.0,
+            poll_batch: 8,
+        };
+        let drain = drain_faulted(
+            &intensity,
+            PollPolicy::default(),
+            base,
+            &node,
+            "fw-test",
+            &mut agent,
+        );
+        assert!(drain.failovers > 0, "outage must force a failover");
+        assert!(drain.secondary_served > 0);
+        assert!(
+            drain.stats.redelivered > 0,
+            "the recovery storm redelivers unacked spans"
+        );
+        assert_eq!(agent.queued(), 0);
+        // Every submitted report was delivered at least once.
+        let mut seqs: Vec<u64> = drain.reports.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 40);
+    }
+
+    #[test]
+    fn crash_loses_queue_and_files_report() {
+        let intensity = FaultIntensity {
+            crash_probability: 1.0,
+            ..FaultIntensity::zero()
+        };
+        let mut agent = loaded_agent(64, DeviceAgent::DEFAULT_CAPACITY);
+        let node = SeedTree::new(13).child("unit");
+        let base = TunnelConfig {
+            drop_probability: 0.0,
+            poll_batch: 8,
+        };
+        let drain = drain_faulted(
+            &intensity,
+            PollPolicy::default(),
+            base,
+            &node,
+            "fw-test",
+            &mut agent,
+        );
+        assert_eq!(drain.crash_reboots, 1);
+        assert!(drain.crash_lost > 0);
+        assert!(
+            drain
+                .reports
+                .iter()
+                .any(|r| matches!(r.payload, ReportPayload::Crash(_))),
+            "the crash report reaches the backend after the reboot"
+        );
+    }
+
+    #[test]
+    fn tally_merge_and_completeness() {
+        let mut a = DegradationTally {
+            submitted: 100,
+            accepted: 90,
+            dropped_overflow: 10,
+            ..DegradationTally::default()
+        };
+        let b = DegradationTally {
+            submitted: 100,
+            accepted: 100,
+            ..DegradationTally::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submitted, 200);
+        assert_eq!(a.accepted, 190);
+        assert!((a.completeness() - 0.95).abs() < 1e-12);
+        assert_eq!(DegradationTally::default().completeness(), 1.0);
+    }
+}

@@ -25,7 +25,11 @@
 //! * [`engine`] — the discrete-event loop that runs measurement windows
 //!   and pushes reports through the telemetry pipeline into a backend;
 //! * [`exec`] — deterministic ordered fan-out of independent work units
-//!   across a scoped thread pool (the engine's parallel backbone).
+//!   across a scoped thread pool (the engine's parallel backbone);
+//! * [`faults`] — deterministic fault-injection campaigns: scripted
+//!   per-window schedules of tunnel flaps, DC outages, crash/reboot
+//!   cycles, queue pressure and re-poll storms, with campaign-wide
+//!   degradation accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod appmix;
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod industry;
 pub mod population;
 pub mod surge;
@@ -42,3 +47,4 @@ pub mod world;
 
 pub use config::{FleetConfig, MeasurementYear};
 pub use engine::{FleetSimulation, SimulationOutput};
+pub use faults::{DegradationTally, FaultIntensity, FaultSchedule};

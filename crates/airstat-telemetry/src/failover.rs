@@ -74,6 +74,21 @@ impl DualTunnel {
         }
     }
 
+    /// Total polls attempted across both data centers.
+    pub fn polls_attempted(&self) -> u64 {
+        self.primary.polls_attempted() + self.secondary.polls_attempted()
+    }
+
+    /// Polls lost to injected faults across both data centers.
+    pub fn polls_lost(&self) -> u64 {
+        self.primary.polls_lost() + self.secondary.polls_lost()
+    }
+
+    /// Wire bytes transferred across both data centers.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.primary.bytes_transferred() + self.secondary.bytes_transferred()
+    }
+
     /// One backend poll with failover: try the preferred tunnel, switch to
     /// the other after `failover_threshold` consecutive failures.
     ///
@@ -83,15 +98,35 @@ impl DualTunnel {
         agent: &mut DeviceAgent,
         rng: &mut R,
     ) -> (PollOutcome, DataCenter) {
+        self.poll_mode(agent, rng, true)
+    }
+
+    /// [`DualTunnel::poll`] with an explicit acknowledgement flag.
+    ///
+    /// `ack = false` models a lost acknowledgement or a speculative
+    /// re-poll (a burst storm after an outage): reports reach the backend
+    /// but stay queued on the device, so the following poll retransmits —
+    /// sequence-number dedup absorbs the duplicates.
+    pub fn poll_mode<R: Rng + ?Sized>(
+        &mut self,
+        agent: &mut DeviceAgent,
+        rng: &mut R,
+        ack: bool,
+    ) -> (PollOutcome, DataCenter) {
         let use_secondary = self.primary_failures >= self.failover_threshold;
         let dc = if use_secondary {
             DataCenter::Secondary
         } else {
             DataCenter::Primary
         };
-        let outcome = match dc {
-            DataCenter::Primary => self.primary.poll(agent, rng),
-            DataCenter::Secondary => self.secondary.poll(agent, rng),
+        let tunnel = match dc {
+            DataCenter::Primary => &mut self.primary,
+            DataCenter::Secondary => &mut self.secondary,
+        };
+        let outcome = if ack {
+            tunnel.poll(agent, rng)
+        } else {
+            tunnel.poll_unacked(agent, rng)
         };
         match (&outcome, dc) {
             (PollOutcome::Delivered(_), DataCenter::Primary) => {

@@ -20,6 +20,9 @@
 //! * [`backend`] — the poller and the time-series store that the analytics
 //!   crate queries, including MAC-level usage aggregation for roaming and
 //!   sequence-number deduplication so retransmits never double-count;
+//! * [`poll`] — the backend's polling *policy*: capped exponential
+//!   backoff, per-device poll budgets, and virtual-time drain telemetry
+//!   (latency histograms) for degradation reporting;
 //! * [`failover`] — the second data-center tunnel of §2, with failover
 //!   and fail-back;
 //! * [`crash`] — §6.1's crash telemetry: reports, the bounded-heap device
@@ -37,11 +40,13 @@ pub mod anonymize;
 pub mod backend;
 pub mod crash;
 pub mod failover;
+pub mod poll;
 pub mod report;
 pub mod timeseries;
 pub mod transport;
 pub mod wire;
 
 pub use backend::{Backend, WindowId};
+pub use poll::{DrainStats, LatencyHistogram, PollPolicy, PollSession};
 pub use report::{Report, ReportPayload};
 pub use transport::{DeviceAgent, Tunnel, TunnelConfig};

@@ -742,6 +742,33 @@ mod tests {
     }
 
     #[test]
+    fn wire_format_doc_example_is_pinned() {
+        // The worked example in docs/WIRE_FORMAT.md, byte for byte.
+        let report = Report {
+            device: 7,
+            seq: 3,
+            timestamp_s: 99,
+            payload: ReportPayload::Links(vec![LinkRecord {
+                peer_device: 42,
+                band: Band::Ghz2_4,
+                probes_expected: 20,
+                probes_received: 13,
+            }]),
+        };
+        assert_eq!(
+            report.encode(),
+            [
+                0x08, 0x07, // device = 7
+                0x10, 0x03, // seq = 3
+                0x18, 0x63, // timestamp = 99
+                0x20, 0x02, // kind = Links
+                0x2A, 0x08, // record, 8 bytes
+                0x08, 0x2A, 0x10, 0x00, 0x18, 0x14, 0x20, 0x0D,
+            ]
+        );
+    }
+
+    #[test]
     fn encoding_is_compact() {
         // One usage record should cost tens of bytes, not hundreds — the
         // paper's 1 kbit/s budget depends on this.

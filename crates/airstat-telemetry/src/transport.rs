@@ -67,6 +67,34 @@ impl DeviceAgent {
     /// When the queue is full the **oldest** report is discarded (newest
     /// data is most valuable for monitoring) and counted in
     /// [`DeviceAgent::dropped_overflow`].
+    ///
+    /// Reports queue while the device is offline and survive until the
+    /// backend's catch-up poll acknowledges them (§2):
+    ///
+    /// ```
+    /// use airstat_telemetry::report::ReportPayload;
+    /// use airstat_telemetry::transport::{DeviceAgent, PollOutcome, Tunnel};
+    /// use airstat_stats::SeedTree;
+    ///
+    /// let mut agent = DeviceAgent::new(7);
+    /// let mut tunnel = Tunnel::perfect();
+    /// let mut rng = SeedTree::new(1).rng();
+    ///
+    /// // The WAN goes down; the device keeps queuing.
+    /// tunnel.disconnect();
+    /// agent.submit(0, ReportPayload::Usage(vec![]));
+    /// agent.submit(60, ReportPayload::Usage(vec![]));
+    /// assert_eq!(tunnel.poll(&mut agent, &mut rng), PollOutcome::Disconnected);
+    /// assert_eq!(agent.queued(), 2, "nothing lost while offline");
+    ///
+    /// // Connectivity returns; the backend's re-poll drains the backlog.
+    /// tunnel.reconnect();
+    /// let PollOutcome::Delivered(reports) = tunnel.poll(&mut agent, &mut rng) else {
+    ///     unreachable!("perfect tunnel delivers");
+    /// };
+    /// assert_eq!(reports.len(), 2);
+    /// assert_eq!(agent.queued(), 0, "delivered reports were acked");
+    /// ```
     pub fn submit(&mut self, timestamp_s: u64, payload: ReportPayload) {
         let report = Report {
             device: self.device_id,
@@ -99,6 +127,34 @@ impl DeviceAgent {
     }
 
     /// Acknowledges all reports with `seq <= upto`, releasing queue space.
+    ///
+    /// Delivery is at-least-once: when the ack itself is lost, the device
+    /// retransmits on the next poll and the backend's sequence-number
+    /// dedup rejects the duplicate — the queue→re-poll→dedup flow end to
+    /// end:
+    ///
+    /// ```
+    /// use airstat_telemetry::backend::{Backend, WindowId};
+    /// use airstat_telemetry::report::ReportPayload;
+    /// use airstat_telemetry::transport::DeviceAgent;
+    ///
+    /// let mut agent = DeviceAgent::new(7);
+    /// let mut backend = Backend::new();
+    /// agent.submit(0, ReportPayload::Usage(vec![]));
+    ///
+    /// // Poll #1 delivers, but the ack is lost on the way back: the
+    /// // report stays queued on the device.
+    /// let batch = agent.peek(64);
+    /// assert_eq!(backend.ingest_batch(WindowId(1501), &batch), 1);
+    /// assert_eq!(agent.queued(), 1, "unacked report is retained");
+    ///
+    /// // Poll #2 retransmits; dedup drops it; this ack arrives.
+    /// let batch = agent.peek(64);
+    /// assert_eq!(backend.ingest_batch(WindowId(1501), &batch), 0);
+    /// assert_eq!(backend.duplicates_dropped(), 1);
+    /// agent.ack(batch.last().unwrap().seq);
+    /// assert_eq!(agent.queued(), 0);
+    /// ```
     pub fn ack(&mut self, upto: u64) {
         while let Some(front) = self.queue.front() {
             if front.seq <= upto {
@@ -107,6 +163,22 @@ impl DeviceAgent {
                 break;
             }
         }
+    }
+
+    /// Reports ever submitted to this agent (the next sequence number);
+    /// the denominator of a campaign's completeness ratio.
+    pub fn reports_submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Simulates a crash/reboot cycle: the in-RAM report queue is lost,
+    /// but sequence numbering continues (the counter lives in flash), so
+    /// backend dedup stays correct across the reboot. Returns how many
+    /// queued reports the crash destroyed.
+    pub fn crash_reboot(&mut self) -> usize {
+        let lost = self.queue.len();
+        self.queue.clear();
+        lost
     }
 }
 
@@ -165,7 +237,13 @@ impl Tunnel {
         }
     }
 
-    /// A perfect tunnel (no faults).
+    /// A perfect tunnel: zero drop probability and initially connected,
+    /// with the default poll batch of [`TunnelConfig::default`].
+    ///
+    /// "Perfect" covers the *fault injection*, not the topology —
+    /// [`Tunnel::disconnect`] still works on a perfect tunnel (a WAN
+    /// outage is an event, not a tunnel property), and a perfect tunnel
+    /// still batches polls. A test pins both properties.
     pub fn perfect() -> Self {
         Tunnel::new(TunnelConfig::default())
     }
@@ -207,6 +285,28 @@ impl Tunnel {
     /// returned as decoded values (after a wire round-trip). On loss the
     /// agent queue is untouched, so the next poll retransmits.
     pub fn poll<R: Rng + ?Sized>(&mut self, agent: &mut DeviceAgent, rng: &mut R) -> PollOutcome {
+        self.poll_inner(agent, rng, true)
+    }
+
+    /// Like [`Tunnel::poll`], but the acknowledgement is lost in transit:
+    /// reports reach the backend yet stay queued on the device, so the
+    /// next poll retransmits them. This is how fault campaigns model lost
+    /// acks and burst re-poll storms; the backend's sequence-number dedup
+    /// makes the redelivery harmless.
+    pub fn poll_unacked<R: Rng + ?Sized>(
+        &mut self,
+        agent: &mut DeviceAgent,
+        rng: &mut R,
+    ) -> PollOutcome {
+        self.poll_inner(agent, rng, false)
+    }
+
+    fn poll_inner<R: Rng + ?Sized>(
+        &mut self,
+        agent: &mut DeviceAgent,
+        rng: &mut R,
+        ack: bool,
+    ) -> PollOutcome {
         self.polls_attempted += 1;
         if !self.connected {
             return PollOutcome::Disconnected;
@@ -226,8 +326,10 @@ impl Tunnel {
             max_seq = Some(decoded.seq);
             delivered.push(decoded);
         }
-        if let Some(seq) = max_seq {
-            agent.ack(seq);
+        if ack {
+            if let Some(seq) = max_seq {
+                agent.ack(seq);
+            }
         }
         PollOutcome::Delivered(delivered)
     }
@@ -379,5 +481,66 @@ mod tests {
     #[should_panic(expected = "queue capacity must be > 0")]
     fn zero_capacity_rejected() {
         let _ = DeviceAgent::with_capacity(1, 0);
+    }
+
+    #[test]
+    fn perfect_tunnel_matches_its_docs() {
+        // "Perfect" means zero injected loss, not immunity to events:
+        // drop probability is exactly 0, the tunnel starts connected,
+        // and disconnect() still takes it down.
+        let mut tunnel = Tunnel::perfect();
+        assert_eq!(tunnel.config.drop_probability, 0.0);
+        assert!(tunnel.is_connected());
+        let mut agent = DeviceAgent::new(8);
+        let mut rng = SeedTree::new(6).rng();
+        for t in 0..200 {
+            agent.submit(t, payload());
+        }
+        // Batch limit applies (64 per default config), loss never does.
+        while agent.queued() > 0 {
+            match tunnel.poll(&mut agent, &mut rng) {
+                PollOutcome::Delivered(reports) => assert!(reports.len() <= 64),
+                other => panic!("perfect tunnel failed a poll: {other:?}"),
+            }
+        }
+        assert_eq!(tunnel.polls_lost(), 0);
+        tunnel.disconnect();
+        assert_eq!(tunnel.poll(&mut agent, &mut rng), PollOutcome::Disconnected);
+    }
+
+    #[test]
+    fn unacked_poll_delivers_but_retains() {
+        let mut agent = DeviceAgent::new(9);
+        agent.submit(0, payload());
+        agent.submit(1, payload());
+        let mut tunnel = Tunnel::perfect();
+        let mut rng = SeedTree::new(7).rng();
+        match tunnel.poll_unacked(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => assert_eq!(reports.len(), 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(agent.queued(), 2, "lost ack leaves the queue intact");
+        // The retransmission carries the same sequence numbers.
+        match tunnel.poll(&mut agent, &mut rng) {
+            PollOutcome::Delivered(reports) => {
+                assert_eq!(reports.iter().map(|r| r.seq).collect::<Vec<_>>(), [0, 1]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(agent.queued(), 0);
+    }
+
+    #[test]
+    fn crash_reboot_loses_queue_but_not_sequencing() {
+        let mut agent = DeviceAgent::new(10);
+        for t in 0..4 {
+            agent.submit(t, payload());
+        }
+        assert_eq!(agent.crash_reboot(), 4);
+        assert_eq!(agent.queued(), 0);
+        // Post-reboot submissions continue the sequence space.
+        agent.submit(100, payload());
+        assert_eq!(agent.peek(1)[0].seq, 4);
+        assert_eq!(agent.reports_submitted(), 5);
     }
 }

@@ -11,6 +11,14 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> cargo test --doc (telemetry pipeline doctests)"
+cargo test -q --offline -p airstat-telemetry --doc
+
+echo "==> cargo doc (airstat crates, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline \
+    -p airstat -p airstat-stats -p airstat-rf -p airstat-classify \
+    -p airstat-telemetry -p airstat-sim -p airstat-core -p airstat-bench
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -7,11 +7,16 @@
 //! airstat release <dir>          [--scale ...]             # the anonymized dataset
 //! airstat info                                             # panel sizes at a scale
 //! ```
+//!
+//! Any simulating command also accepts `--faults <scenario>` to run the
+//! campaign under a deterministic fault-injection schedule; a degradation
+//! report is then printed to stderr next to the throughput summary.
 
 use airstat::core::export::build_release;
-use airstat::core::PaperReport;
+use airstat::core::{DegradationReport, PaperReport};
 use airstat::sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
-use airstat::sim::{FleetConfig, FleetSimulation, MeasurementYear};
+use airstat::sim::faults::SCENARIO_NAMES;
+use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation, MeasurementYear};
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -30,10 +35,11 @@ struct Options {
     scale: f64,
     seed: Option<u64>,
     threads: Option<usize>,
+    faults: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--faults NAME]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -43,7 +49,10 @@ fn usage() -> &'static str {
      --scale S     fleet scale in (0, 1], default 0.01\n\
      --seed N      root random seed (u64, decimal or 0x-hex)\n\
      --threads T   worker threads (>= 1); output is byte-identical for\n\
-                   every value, default = available CPU cores"
+                   every value, default = available CPU cores\n\
+     --faults NAME run under a fault-injection campaign and print a\n\
+                   degradation report; NAME is one of zero, tunnel-loss,\n\
+                   dc-outage, queue-pressure"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -60,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut scale = 0.01f64;
     let mut seed = None;
     let mut threads = None;
+    let mut faults = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +96,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--threads must be >= 1".into());
                 }
                 threads = Some(t);
+            }
+            "--faults" => {
+                i += 1;
+                let value = args.get(i).ok_or("--faults needs a scenario name")?;
+                if FaultSchedule::by_name(value).is_none() {
+                    return Err(format!(
+                        "unknown fault scenario {value}; valid scenarios: {}",
+                        SCENARIO_NAMES.join(", ")
+                    ));
+                }
+                faults = Some(value.clone());
             }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -132,6 +153,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scale,
         seed,
         threads,
+        faults,
     })
 }
 
@@ -142,6 +164,9 @@ fn run(options: Options) -> Result<(), String> {
     }
     if let Some(threads) = options.threads {
         config.threads = threads;
+    }
+    if let Some(name) = &options.faults {
+        config.faults = FaultSchedule::by_name(name);
     }
     if options.command == Command::Info {
         println!(
@@ -164,6 +189,12 @@ fn run(options: Options) -> Result<(), String> {
     );
     let output = FleetSimulation::new(config.clone()).run();
     eprintln!("{}", output.throughput_summary());
+    if let Some(schedule) = &config.faults {
+        eprintln!(
+            "{}",
+            DegradationReport::from_simulation(&output, schedule.name())
+        );
+    }
 
     match options.command {
         Command::Report => {
@@ -291,6 +322,18 @@ mod tests {
         assert_eq!(parse(&["report"]).unwrap().scale, 0.01);
         assert_eq!(parse(&["report"]).unwrap().seed, None);
         assert_eq!(parse(&["report"]).unwrap().threads, None);
+        assert_eq!(parse(&["report"]).unwrap().faults, None);
+    }
+
+    #[test]
+    fn parses_fault_scenarios() {
+        for name in SCENARIO_NAMES {
+            let o = parse(&["report", "--faults", name]).unwrap();
+            assert_eq!(o.faults.as_deref(), Some(name));
+        }
+        let err = parse(&["report", "--faults", "meteor-strike"]).unwrap_err();
+        assert!(err.contains("dc-outage"), "lists valid names: {err}");
+        assert!(parse(&["report", "--faults"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Acceptance tests for the deterministic fault-injection campaigns.
+//!
+//! Two contracts are pinned here. First, the *null fault* contract: a
+//! zero-intensity schedule must reproduce the no-faults engine output
+//! byte for byte, at every thread count — fault injection may not perturb
+//! the healthy pipeline. Second, the *degradation* contract: the canned
+//! scenarios must degrade the way docs/EXPERIMENTS.md says they do
+//! (duplicates without loss under tunnel-loss, bounded loss plus
+//! failovers under dc-outage), deterministically across thread counts.
+
+use airstat::rf::band::Band;
+use airstat::sim::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
+use airstat::sim::engine::SimulationOutput;
+use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation};
+
+fn campaign_config(threads: usize, faults: Option<FaultSchedule>) -> FleetConfig {
+    FleetConfig {
+        threads,
+        faults,
+        // 6-hourly link reports keep radio queues small enough that the
+        // four runs below finish quickly at 0.2% scale.
+        link_report_interval_s: 6 * 3600,
+        ..FleetConfig::paper(0.002)
+    }
+}
+
+/// Serializes everything observable about a run — backend analytics,
+/// transport counters, per-panel volumes, and the degradation tally —
+/// so two runs can be compared byte for byte.
+fn digest(output: &SimulationOutput) -> String {
+    use std::fmt::Write as _;
+    let mut d = String::new();
+    for window in [WINDOW_JAN_2014, WINDOW_JUL_2014, WINDOW_JAN_2015] {
+        let _ = writeln!(
+            d,
+            "apps {window:?}: {:?}",
+            output.backend.usage_by_app(window)
+        );
+        let _ = writeln!(
+            d,
+            "oses {window:?}: {:?}",
+            output.backend.usage_by_os(window)
+        );
+        for band in [Band::Ghz2_4, Band::Ghz5] {
+            let _ = writeln!(
+                d,
+                "delivery {window:?} {band:?}: {:?}",
+                output.backend.mean_delivery_ratios(window, band)
+            );
+            let _ = writeln!(
+                d,
+                "nearby {window:?} {band:?}: {:?}",
+                output.backend.nearby_summary(window, band)
+            );
+        }
+    }
+    let _ = writeln!(
+        d,
+        "ingested {} duplicates {} bytes {} polls {}/{}",
+        output.backend.reports_ingested(),
+        output.backend.duplicates_dropped(),
+        output.bytes_encoded,
+        output.polls_lost,
+        output.polls_attempted,
+    );
+    for p in &output.panels {
+        let _ = writeln!(
+            d,
+            "panel {} reports {} bytes {}",
+            p.label, p.reports, p.bytes
+        );
+    }
+    let _ = writeln!(d, "degradation {:?}", output.degradation);
+    d
+}
+
+fn run(threads: usize, faults: Option<FaultSchedule>) -> SimulationOutput {
+    FleetSimulation::new(campaign_config(threads, faults)).run()
+}
+
+#[test]
+fn zero_fault_schedule_is_byte_identical_to_no_faults() {
+    let baseline = digest(&run(1, None));
+    for threads in [1, 4] {
+        let no_faults = digest(&run(threads, None));
+        let zero = digest(&run(threads, Some(FaultSchedule::zero())));
+        assert_eq!(
+            no_faults, baseline,
+            "healthy run must be thread-invariant (threads={threads})"
+        );
+        assert_eq!(
+            zero, baseline,
+            "zero-intensity schedule must not perturb the pipeline (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn faulted_campaign_is_thread_invariant() {
+    let schedule = FaultSchedule::by_name("dc-outage").unwrap();
+    let serial = digest(&run(1, Some(schedule.clone())));
+    let parallel = digest(&run(4, Some(schedule)));
+    assert_eq!(serial, parallel, "fault campaigns must be deterministic");
+}
+
+#[test]
+fn tunnel_loss_campaign_is_lossless_end_to_end() {
+    let output = run(1, Some(FaultSchedule::by_name("tunnel-loss").unwrap()));
+    let t = &output.degradation;
+    assert_eq!(t.completeness(), 1.0, "retry + dedup recover every report");
+    assert!(
+        output.backend.duplicates_dropped() > 0,
+        "lost acks must force wire-level retransmissions"
+    );
+    assert_eq!(output.backend.duplicates_dropped(), t.redelivered);
+    assert!(t.polls_lost > 0, "the tunnel really was lossy");
+    assert!(t.failovers > 0, "flaps must trip the DC failover");
+    assert_eq!(t.dropped_overflow + t.lost_to_crash + t.left_queued, 0);
+}
+
+#[test]
+fn dc_outage_campaign_degrades_gracefully() {
+    let healthy = run(1, None);
+    let output = run(1, Some(FaultSchedule::by_name("dc-outage").unwrap()));
+    let t = &output.degradation;
+    // The headline acceptance criteria: duplicates appear and
+    // completeness drops below 100%.
+    assert!(output.backend.duplicates_dropped() > 0);
+    assert!(t.completeness() < 1.0, "outage overflows bounded queues");
+    assert!(t.completeness() > 0.5, "but most data still arrives");
+    assert!(t.dropped_overflow > 0, "loss is attributed to overflow");
+    // Every submitted report is accounted for exactly once.
+    assert_eq!(
+        t.submitted,
+        t.accepted + t.dropped_overflow + t.lost_to_crash + t.left_queued,
+        "degradation accounting must balance"
+    );
+    // The outage forces traffic onto the secondary datacenter.
+    assert!(t.failovers > 0);
+    assert!(t.secondary_served > 0);
+    // Backoff during the outage stretches the latency tail well past the
+    // healthy run's.
+    assert!(t.latency.max_s() >= healthy.degradation.latency.max_s());
+    // The analytics tables are computed from *accepted* reports only, so
+    // the faulted backend never sees more clients than the healthy one.
+    assert!(
+        output.backend.client_count(WINDOW_JAN_2015)
+            <= healthy.backend.client_count(WINDOW_JAN_2015)
+    );
+}
+
+#[test]
+fn queue_pressure_campaign_loses_to_crashes() {
+    let output = run(1, Some(FaultSchedule::by_name("queue-pressure").unwrap()));
+    let t = &output.degradation;
+    assert!(t.crash_reboots > 0, "crash faults must fire");
+    assert!(t.lost_to_crash > 0, "crashes clear device queues");
+    assert!(t.dropped_overflow > 0, "tiny queues must overflow");
+    assert!(t.completeness() < 1.0);
+}
