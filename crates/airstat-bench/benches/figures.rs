@@ -17,41 +17,41 @@ use std::hint::black_box;
 
 fn fig1_rssi(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = RssiFigure::compute(&output.backend, WINDOW_JAN_2015);
+    let fig = RssiFigure::compute(&output.query(), WINDOW_JAN_2015);
     println!("\n[figure1]:\n{fig}");
     c.bench_function("fig1_rssi", |b| {
-        b.iter(|| RssiFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+        b.iter(|| RssiFigure::compute(black_box(&output.query()), WINDOW_JAN_2015))
     });
 }
 
 fn fig2_channels(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = ChannelCensusFigure::compute(&output.backend, WINDOW_JAN_2015);
+    let fig = ChannelCensusFigure::compute(&output.query(), WINDOW_JAN_2015);
     println!("\n[figure2]:\n{fig}");
     c.bench_function("fig2_channels", |b| {
-        b.iter(|| ChannelCensusFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+        b.iter(|| ChannelCensusFigure::compute(black_box(&output.query()), WINDOW_JAN_2015))
     });
 }
 
 fn fig3_delivery(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = DeliveryFigure::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
+    let fig = DeliveryFigure::compute(&output.query(), WINDOW_JUL_2014, WINDOW_JAN_2015);
     println!("\n[figure3]:\n{fig}");
     c.bench_function("fig3_delivery", |b| {
         b.iter(|| {
-            DeliveryFigure::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015)
+            DeliveryFigure::compute(black_box(&output.query()), WINDOW_JUL_2014, WINDOW_JAN_2015)
         })
     });
 }
 
 fn fig4_link24(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = LinkTimeseriesFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz2_4, 2);
+    let fig = LinkTimeseriesFigure::compute(&output.query(), WINDOW_JAN_2015, Band::Ghz2_4, 2);
     println!("\n[figure4]:\n{fig}");
     c.bench_function("fig4_link24", |b| {
         b.iter(|| {
             LinkTimeseriesFigure::compute(
-                black_box(&output.backend),
+                black_box(&output.query()),
                 WINDOW_JAN_2015,
                 Band::Ghz2_4,
                 2,
@@ -62,12 +62,12 @@ fn fig4_link24(c: &mut Criterion) {
 
 fn fig5_link5(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = LinkTimeseriesFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz5, 2);
+    let fig = LinkTimeseriesFigure::compute(&output.query(), WINDOW_JAN_2015, Band::Ghz5, 2);
     println!("\n[figure5]:\n{fig}");
     c.bench_function("fig5_link5", |b| {
         b.iter(|| {
             LinkTimeseriesFigure::compute(
-                black_box(&output.backend),
+                black_box(&output.query()),
                 WINDOW_JAN_2015,
                 Band::Ghz5,
                 2,
@@ -78,37 +78,37 @@ fn fig5_link5(c: &mut Criterion) {
 
 fn fig6_utilization(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = UtilizationFigure::compute(&output.backend, WINDOW_JAN_2015);
+    let fig = UtilizationFigure::compute(&output.query(), WINDOW_JAN_2015);
     println!("\n[figure6]:\n{fig}");
     c.bench_function("fig6_utilization", |b| {
-        b.iter(|| UtilizationFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+        b.iter(|| UtilizationFigure::compute(black_box(&output.query()), WINDOW_JAN_2015))
     });
 }
 
 fn fig7_scatter24(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = UtilVsApsFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz2_4);
+    let fig = UtilVsApsFigure::compute(&output.query(), WINDOW_JAN_2015, Band::Ghz2_4);
     println!("\n[figure7]:\n{fig}");
     c.bench_function("fig7_scatter24", |b| {
         b.iter(|| {
-            UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz2_4)
+            UtilVsApsFigure::compute(black_box(&output.query()), WINDOW_JAN_2015, Band::Ghz2_4)
         })
     });
 }
 
 fn fig8_scatter5(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = UtilVsApsFigure::compute(&output.backend, WINDOW_JAN_2015, Band::Ghz5);
+    let fig = UtilVsApsFigure::compute(&output.query(), WINDOW_JAN_2015, Band::Ghz5);
     println!("\n[figure8]:\n{fig}");
     c.bench_function("fig8_scatter5", |b| {
-        b.iter(|| UtilVsApsFigure::compute(black_box(&output.backend), WINDOW_JAN_2015, Band::Ghz5))
+        b.iter(|| UtilVsApsFigure::compute(black_box(&output.query()), WINDOW_JAN_2015, Band::Ghz5))
     });
 }
 
 fn fig9_daynight(c: &mut Criterion) {
     let (output, _) = fixture();
     let fig = DayNightFigure::compute(
-        &output.backend,
+        &output.query(),
         WINDOW_JAN_2015,
         Band::Ghz2_4,
         DAY_SAMPLE_HOUR,
@@ -118,7 +118,7 @@ fn fig9_daynight(c: &mut Criterion) {
     c.bench_function("fig9_daynight", |b| {
         b.iter(|| {
             DayNightFigure::compute(
-                black_box(&output.backend),
+                black_box(&output.query()),
                 WINDOW_JAN_2015,
                 Band::Ghz2_4,
                 DAY_SAMPLE_HOUR,
@@ -130,10 +130,10 @@ fn fig9_daynight(c: &mut Criterion) {
 
 fn fig10_decodable(c: &mut Criterion) {
     let (output, _) = fixture();
-    let fig = DecodableFigure::compute(&output.backend, WINDOW_JAN_2015);
+    let fig = DecodableFigure::compute(&output.query(), WINDOW_JAN_2015);
     println!("\n[figure10]:\n{fig}");
     c.bench_function("fig10_decodable", |b| {
-        b.iter(|| DecodableFigure::compute(black_box(&output.backend), WINDOW_JAN_2015))
+        b.iter(|| DecodableFigure::compute(black_box(&output.query()), WINDOW_JAN_2015))
     });
 }
 

@@ -4,9 +4,11 @@
 //! * wire-format encode/decode throughput for a typical usage report;
 //! * application classification throughput (the AP's fast-path rule walk);
 //! * device-OS classification throughput;
-//! * backend ingest throughput;
+//! * backend ingest throughput, legacy vs sharded store (`store_ingest`);
+//! * query-engine latency, cold vs cached (`store_query`);
 //! * end-to-end fleet simulation rate (clients simulated per second).
 
+use airstat_bench::fixture;
 use airstat_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use airstat_classify::apps::{FlowMetadata, RuleSet};
 use airstat_classify::device::{
@@ -16,6 +18,7 @@ use airstat_classify::mac::MacAddress;
 use airstat_classify::Application;
 use airstat_sim::{FleetConfig, FleetSimulation};
 use airstat_stats::SeedTree;
+use airstat_store::{QueryPlan, ShardedStore, StoreConfig};
 use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 use std::hint::black_box;
@@ -104,6 +107,57 @@ fn backend_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn store_ingest(c: &mut Criterion) {
+    // Same 64-record reports as the legacy `backend` group, one per
+    // device, so the two ingest paths are directly comparable.
+    let batch: Vec<_> = (0..64u64)
+        .map(|device| {
+            let mut report = sample_report(64);
+            report.device = device;
+            report.seq = 1;
+            report
+        })
+        .collect();
+    let mut group = c.benchmark_group("store_ingest");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 8] {
+        group.bench_function(format!("ingest_64_reports_s{shards}"), |b| {
+            b.iter_with_setup(
+                || ShardedStore::with_config(StoreConfig { shards, threads: 1 }),
+                |mut store| {
+                    store.ingest_batch(WindowId(1501), black_box(&batch));
+                    store
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn store_query(c: &mut Criterion) {
+    let (output, _) = fixture();
+    let plan = QueryPlan::UsageByOs(airstat_sim::config::WINDOW_JAN_2015);
+    let mut group = c.benchmark_group("store_query");
+    // Cold: a fresh engine (empty cache) per sample — full per-shard
+    // compute plus the deterministic merge.
+    group.bench_function("usage_by_os_cold", |b| {
+        b.iter_with_setup(|| output.query(), |engine| engine.execute(black_box(&plan)))
+    });
+    // Cached: the same engine serves every sample after the first, so
+    // this measures an epoch-keyed cache hit.
+    let warm = output.query();
+    warm.execute(&plan);
+    group.bench_function("usage_by_os_cached", |b| {
+        b.iter(|| warm.execute(black_box(&plan)))
+    });
+    let stats = warm.stats();
+    println!(
+        "[store_query] warm engine: {} hits / {} misses after sampling",
+        stats.hits, stats.misses
+    );
+    group.finish();
+}
+
 fn fleet_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
@@ -139,6 +193,7 @@ fn fleet_simulation(c: &mut Criterion) {
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(30);
-    targets = wire_roundtrip, classify_flows, backend_ingest, fleet_simulation
+    targets = wire_roundtrip, classify_flows, backend_ingest, store_ingest,
+              store_query, fleet_simulation
 }
 criterion_main!(pipeline);

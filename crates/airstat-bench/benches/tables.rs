@@ -25,34 +25,34 @@ fn table2_industry(c: &mut Criterion) {
 
 fn table3_os_usage(c: &mut Criterion) {
     let (output, _) = fixture();
-    let table = OsUsageTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014);
+    let table = OsUsageTable::compute(&output.query(), WINDOW_JAN_2015, WINDOW_JAN_2014);
     println!("\n[table3]:\n{table}");
     c.bench_function("table3_os_usage", |b| {
         b.iter(|| {
-            OsUsageTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014)
+            OsUsageTable::compute(black_box(&output.query()), WINDOW_JAN_2015, WINDOW_JAN_2014)
         })
     });
 }
 
 fn table4_capabilities(c: &mut Criterion) {
     let (output, _) = fixture();
-    let table = CapabilitiesTable::compute(&output.backend, WINDOW_JAN_2014, WINDOW_JAN_2015);
+    let table = CapabilitiesTable::compute(&output.query(), WINDOW_JAN_2014, WINDOW_JAN_2015);
     println!("\n[table4]:\n{table}");
     c.bench_function("table4_capabilities", |b| {
         b.iter(|| {
-            CapabilitiesTable::compute(black_box(&output.backend), WINDOW_JAN_2014, WINDOW_JAN_2015)
+            CapabilitiesTable::compute(black_box(&output.query()), WINDOW_JAN_2014, WINDOW_JAN_2015)
         })
     });
 }
 
 fn table5_top_apps(c: &mut Criterion) {
     let (output, _) = fixture();
-    let table = TopAppsTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014, 40);
+    let table = TopAppsTable::compute(&output.query(), WINDOW_JAN_2015, WINDOW_JAN_2014, 40);
     println!("\n[table5] top 40:\n{table}");
     c.bench_function("table5_top_apps", |b| {
         b.iter(|| {
             TopAppsTable::compute(
-                black_box(&output.backend),
+                black_box(&output.query()),
                 WINDOW_JAN_2015,
                 WINDOW_JAN_2014,
                 40,
@@ -63,22 +63,22 @@ fn table5_top_apps(c: &mut Criterion) {
 
 fn table6_categories(c: &mut Criterion) {
     let (output, _) = fixture();
-    let table = CategoriesTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014);
+    let table = CategoriesTable::compute(&output.query(), WINDOW_JAN_2015, WINDOW_JAN_2014);
     println!("\n[table6]:\n{table}");
     c.bench_function("table6_categories", |b| {
         b.iter(|| {
-            CategoriesTable::compute(black_box(&output.backend), WINDOW_JAN_2015, WINDOW_JAN_2014)
+            CategoriesTable::compute(black_box(&output.query()), WINDOW_JAN_2015, WINDOW_JAN_2014)
         })
     });
 }
 
 fn table7_nearby(c: &mut Criterion) {
     let (output, _) = fixture();
-    let table = NearbyTable::compute(&output.backend, WINDOW_JUL_2014, WINDOW_JAN_2015);
+    let table = NearbyTable::compute(&output.query(), WINDOW_JUL_2014, WINDOW_JAN_2015);
     println!("\n[table7]:\n{table}");
     c.bench_function("table7_nearby", |b| {
         b.iter(|| {
-            NearbyTable::compute(black_box(&output.backend), WINDOW_JUL_2014, WINDOW_JAN_2015)
+            NearbyTable::compute(black_box(&output.query()), WINDOW_JUL_2014, WINDOW_JAN_2015)
         })
     });
 }

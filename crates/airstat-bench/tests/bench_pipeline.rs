@@ -2,15 +2,22 @@
 //!
 //! The criterion-style benches in `benches/pipeline.rs` need `cargo bench`;
 //! this harness runs under plain `cargo test` and records the thread-scaling
-//! numbers for the full campaign into `BENCH_pipeline.json` at the repo root,
-//! so the perf trajectory is versioned alongside the code.
+//! numbers for the full campaign — plus the sharded store's ingest and
+//! cold-vs-cached query latency — into `BENCH_pipeline.json` at the repo
+//! root, so the perf trajectory is versioned alongside the code.
 //!
 //! Speedup caveat: the JSON records whatever the host actually delivers.
 //! On a single-core machine the parallel case degenerates to the serial
 //! path plus channel overhead, so `speedup_vs_1_thread` will sit near 1.0;
 //! the `host_cores` field is there to make that legible.
 
+use airstat_classify::mac::MacAddress;
+use airstat_classify::Application;
+use airstat_sim::config::WINDOW_JAN_2015;
 use airstat_sim::{FleetConfig, FleetSimulation, MeasurementYear};
+use airstat_store::{QueryPlan, ShardedStore, StoreConfig};
+use airstat_telemetry::backend::WindowId;
+use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 use std::time::Instant;
 
 const SCALE: f64 = 0.001;
@@ -38,6 +45,63 @@ fn time_campaign(threads: usize) -> u64 {
         std::hint::black_box(FleetSimulation::new(config.clone()).run());
     }
     (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64
+}
+
+/// A 64-report, 64-record-each usage batch, one report per device.
+fn sample_batch() -> Vec<Report> {
+    (0..64u64)
+        .map(|device| Report {
+            device,
+            seq: 1,
+            timestamp_s: 12_345,
+            payload: ReportPayload::Usage(
+                (0..64)
+                    .map(|i| UsageRecord {
+                        mac: MacAddress::new([0, 1, 2, 3, device as u8, i as u8]),
+                        app: Application::ALL[i % Application::ALL.len()],
+                        up_bytes: 1_000 + i as u64,
+                        down_bytes: 90_000 + i as u64,
+                    })
+                    .collect(),
+            ),
+        })
+        .collect()
+}
+
+/// Mean nanoseconds to ingest the sample batch into a fresh store.
+fn time_store_ingest(shards: usize) -> u64 {
+    let batch = sample_batch();
+    let mut store = ShardedStore::with_config(StoreConfig { shards, threads: 1 });
+    store.ingest_batch(WindowId(1501), &batch); // warm-up
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        let mut store = ShardedStore::with_config(StoreConfig { shards, threads: 1 });
+        store.ingest_batch(WindowId(1501), &batch);
+        std::hint::black_box(store);
+    }
+    (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64
+}
+
+/// Mean nanoseconds for a cold (fresh cache) and cached usage-by-OS query.
+fn time_store_query(output: &airstat_sim::SimulationOutput) -> (u64, u64) {
+    let plan = QueryPlan::UsageByOs(WINDOW_JAN_2015);
+    std::hint::black_box(output.query().execute(&plan)); // warm-up
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        std::hint::black_box(output.query().execute(&plan));
+    }
+    let cold_ns = (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64;
+
+    let warm = output.query();
+    std::hint::black_box(warm.execute(&plan)); // populate the cache
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        std::hint::black_box(warm.execute(&plan));
+    }
+    let cached_ns = (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64;
+    let stats = warm.stats();
+    assert!(stats.hits >= TIMED_ITERS as u64, "cached loop must hit");
+    (cold_ns, cached_ns)
 }
 
 #[test]
@@ -71,9 +135,30 @@ fn record_pipeline_bench() {
         ));
     }
 
+    // The sharded store's own hot paths: ingest at 1 and 8 shards, plus
+    // one query measured cold (fresh engine) and cached (same engine).
+    let batch_reports = sample_batch().len();
+    let mut store_rows = Vec::new();
+    for shards in [1usize, 8] {
+        let mean_ns = time_store_ingest(shards);
+        store_rows.push(format!(
+            "    {{ \"case\": \"store_ingest\", \"shards\": {shards}, \"mean_ns\": {mean_ns}, \
+             \"reports_per_s\": {:.1} }}",
+            batch_reports as f64 / (mean_ns as f64 / 1e9),
+        ));
+    }
+    let output = FleetSimulation::new(campaign_config(1)).run();
+    let (cold_ns, cached_ns) = time_store_query(&output);
+    store_rows.push(format!(
+        "    {{ \"case\": \"store_query\", \"plan\": \"usage_by_os\", \"cold_ns\": {cold_ns}, \
+         \"cached_ns\": {cached_ns}, \"cache_speedup\": {:.1} }}",
+        cold_ns as f64 / cached_ns.max(1) as f64,
+    ));
+
     let json = format!(
-        "{{\n  \"bench\": \"fleet_full_campaign\",\n  \"scale\": {SCALE},\n  \"clients\": {clients},\n  \"host_cores\": {host_cores},\n  \"note\": \"output is byte-identical across thread counts; speedup is bounded by host_cores (1-core hosts cannot show parallel gain)\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fleet_full_campaign\",\n  \"scale\": {SCALE},\n  \"clients\": {clients},\n  \"host_cores\": {host_cores},\n  \"note\": \"output is byte-identical across thread counts; speedup is bounded by host_cores (1-core hosts cannot show parallel gain)\",\n  \"cases\": [\n{}\n  ],\n  \"store\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
+        store_rows.join(",\n"),
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

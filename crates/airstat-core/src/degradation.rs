@@ -32,7 +32,7 @@ impl DegradationReport {
         DegradationReport {
             scenario: scenario.to_string(),
             tally: output.degradation.clone(),
-            duplicates_dropped: output.backend.duplicates_dropped(),
+            duplicates_dropped: output.store.duplicates_dropped(),
         }
     }
 

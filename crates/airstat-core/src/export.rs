@@ -13,7 +13,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::rng::splitmix64;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt::Write as _;
 
 /// A releasable dataset: the three CSVs of the paper's artifact.
@@ -43,7 +44,11 @@ fn band_label(band: Band) -> &'static str {
 ///
 /// `windows` pairs a window with the label it carries in the CSVs
 /// (e.g. `(WINDOW_JAN_2015, "2015-01")`).
-pub fn build_release(backend: &Backend, windows: &[(WindowId, &str)], salt: u64) -> DatasetRelease {
+pub fn build_release<Q: FleetQuery>(
+    backend: &Q,
+    windows: &[(WindowId, &str)],
+    salt: u64,
+) -> DatasetRelease {
     let mut links_csv =
         String::from("window,band,rx_device,tx_device,observation_ts_s,delivery_ratio\n");
     let mut nearby_csv = String::from("window,band,device,channel,networks,hotspots\n");
@@ -116,6 +121,7 @@ impl DatasetRelease {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{
         ChannelScanRecord, LinkRecord, NeighborRecord, Report, ReportPayload,
     };

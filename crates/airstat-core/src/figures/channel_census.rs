@@ -1,7 +1,8 @@
 //! Figure 2: nearby networks by channel number.
 
 use airstat_rf::band::Band;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_bars;
@@ -17,7 +18,7 @@ pub struct ChannelCensusFigure {
 
 impl ChannelCensusFigure {
     /// Computes per-channel totals from all censuses in the window.
-    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId) -> Self {
         ChannelCensusFigure {
             counts_2_4: backend.nearby_per_channel(window, Band::Ghz2_4),
             counts_5: backend.nearby_per_channel(window, Band::Ghz5),
@@ -87,6 +88,7 @@ impl fmt::Display for ChannelCensusFigure {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{NeighborRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

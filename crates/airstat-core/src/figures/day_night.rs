@@ -8,7 +8,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::Ecdf;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_cdfs;
@@ -31,8 +32,8 @@ pub struct DayNightFigure {
 
 impl DayNightFigure {
     /// Splits the window's scan observations by sampling hour.
-    pub fn compute(
-        backend: &Backend,
+    pub fn compute<Q: FleetQuery>(
+        backend: &Q,
         window: WindowId,
         band: Band,
         day_hour: u64,
@@ -95,6 +96,7 @@ impl fmt::Display for DayNightFigure {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ChannelScanRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

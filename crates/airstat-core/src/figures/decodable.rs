@@ -7,7 +7,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::Ecdf;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_cdfs;
@@ -27,7 +28,7 @@ pub struct DecodableFigure {
 
 impl DecodableFigure {
     /// Computes the distributions over all sufficiently busy scan samples.
-    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId) -> Self {
         let collect = |band| {
             Ecdf::new(
                 backend
@@ -84,6 +85,7 @@ impl fmt::Display for DecodableFigure {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ChannelScanRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

@@ -2,7 +2,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::Ecdf;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_cdfs;
@@ -22,7 +23,7 @@ pub struct DeliveryFigure {
 
 impl DeliveryFigure {
     /// Computes the CDFs from each link's mean delivery ratio per window.
-    pub fn compute(backend: &Backend, before: WindowId, now: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, before: WindowId, now: WindowId) -> Self {
         DeliveryFigure {
             now_2_4: Ecdf::new(backend.mean_delivery_ratios(now, Band::Ghz2_4)),
             before_2_4: Ecdf::new(backend.mean_delivery_ratios(before, Band::Ghz2_4)),
@@ -84,6 +85,7 @@ impl fmt::Display for DeliveryFigure {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{LinkRecord, Report, ReportPayload};
 
     const NOW: WindowId = WindowId(1501);

@@ -6,7 +6,8 @@
 //! week-long series.
 
 use airstat_rf::band::Band;
-use airstat_telemetry::backend::{Backend, LinkKey, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::{LinkKey, WindowId};
 use std::fmt;
 
 /// One link's plotted series.
@@ -51,7 +52,7 @@ pub struct LinkTimeseriesFigure {
 impl LinkTimeseriesFigure {
     /// Selects `count` links with mean ratios nearest the given anchors
     /// and extracts their series.
-    pub fn compute(backend: &Backend, window: WindowId, band: Band, count: usize) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId, band: Band, count: usize) -> Self {
         let anchors = [0.5, 0.75, 0.3, 0.9];
         let keys = backend.link_keys(window, band);
         let mut scored: Vec<(LinkKey, f64)> = keys
@@ -125,6 +126,7 @@ impl fmt::Display for LinkTimeseriesFigure {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{LinkRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

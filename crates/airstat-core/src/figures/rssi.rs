@@ -7,7 +7,8 @@
 use airstat_rf::band::Band;
 use airstat_rf::propagation::NOISE_FLOOR_DBM;
 use airstat_stats::{Ecdf, Reservoir, SeedTree};
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_cdfs;
@@ -23,7 +24,7 @@ pub struct RssiFigure {
 
 impl RssiFigure {
     /// Takes the snapshot from every client identity in the window.
-    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId) -> Self {
         let mut r24 = Vec::new();
         let mut r5 = Vec::new();
         for (_, identity) in backend.clients(window) {
@@ -42,8 +43,8 @@ impl RssiFigure {
     /// *currently connected* clients (~309,000 of the week's 5.58M, §3.1),
     /// taken with a uniform reservoir so snapshot cost never scales with
     /// fleet size.
-    pub fn compute_snapshot(
-        backend: &Backend,
+    pub fn compute_snapshot<Q: FleetQuery>(
+        backend: &Q,
         window: WindowId,
         sample_size: usize,
         seed: &SeedTree,
@@ -118,6 +119,7 @@ mod tests {
     use airstat_classify::device::OsFamily;
     use airstat_classify::mac::MacAddress;
     use airstat_rf::phy::{Capabilities, Generation};
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ClientInfoRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

@@ -8,7 +8,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::correlation::{pearson, spearman};
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_scatter;
@@ -28,7 +29,7 @@ pub struct UtilVsApsFigure {
 
 impl UtilVsApsFigure {
     /// Builds the scatter from all scan observations in the window.
-    pub fn compute(backend: &Backend, window: WindowId, band: Band) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId, band: Band) -> Self {
         let points: Vec<(f64, f64)> = backend
             .scan_observations(window, band)
             .iter()
@@ -74,6 +75,7 @@ impl fmt::Display for UtilVsApsFigure {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ChannelScanRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

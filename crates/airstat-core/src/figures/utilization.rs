@@ -7,7 +7,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::Ecdf;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::render_cdfs;
@@ -23,7 +24,7 @@ pub struct UtilizationFigure {
 
 impl UtilizationFigure {
     /// Computes the per-AP utilization distributions.
-    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId) -> Self {
         UtilizationFigure {
             util_2_4: Ecdf::new(backend.serving_utilizations(window, Band::Ghz2_4)),
             util_5: Ecdf::new(backend.serving_utilizations(window, Band::Ghz5)),
@@ -74,6 +75,7 @@ impl fmt::Display for UtilizationFigure {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{AirtimeRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

@@ -1,8 +1,10 @@
 //! # airstat-core — the paper's analysis, as a library
 //!
 //! Everything the paper's evaluation publishes — Tables 2–7 and Figures
-//! 1–11 — is regenerated here as a typed query over an
-//! [`airstat_telemetry::Backend`] loaded by the fleet simulator. Each
+//! 1–11 — is regenerated here as a typed query over any
+//! [`airstat_store::FleetQuery`] source: the sharded store's cached
+//! query engine (the production path, via `SimulationOutput::query()`)
+//! or the legacy [`airstat_telemetry::Backend`]. Each
 //! table/figure is a struct with a `compute(...)` constructor and a
 //! `Display` impl that prints rows in the paper's own format, so the
 //! examples and benches can diff our reproduction against the published

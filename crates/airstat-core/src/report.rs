@@ -10,6 +10,7 @@ use airstat_sim::config::{FleetConfig, WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_
 use airstat_sim::engine::{DAY_SAMPLE_HOUR, NIGHT_SAMPLE_HOUR};
 use airstat_sim::SimulationOutput;
 use airstat_stats::SeedTree;
+use airstat_store::FleetQuery;
 use std::fmt;
 
 use crate::figures::{
@@ -63,8 +64,19 @@ pub struct PaperReport {
 
 impl PaperReport {
     /// Computes the whole report from a finished simulation.
+    ///
+    /// Opens a cached query engine over the run's sealed store (so the
+    /// repeated client/usage lookups below hit the store's result cache)
+    /// and delegates to [`PaperReport::from_query`].
     pub fn from_simulation(output: &SimulationOutput, config: &FleetConfig) -> Self {
-        let backend = &output.backend;
+        PaperReport::from_query(&output.query(), config)
+    }
+
+    /// Computes the whole report from any [`FleetQuery`] source — the
+    /// sharded store's query engine or the legacy backend. Identical
+    /// data yields an identical report either way (differential-tested
+    /// in `tests/store_equivalence.rs`).
+    pub fn from_query<Q: FleetQuery>(backend: &Q, config: &FleetConfig) -> Self {
         let seed = SeedTree::new(config.seed);
         PaperReport {
             table2: IndustryTable::compute(config.usage_networks(), &seed),

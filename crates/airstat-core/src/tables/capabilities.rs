@@ -1,6 +1,7 @@
 //! Table 4: client capabilities advertised at association, year over year.
 
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::TextTable;
@@ -28,7 +29,7 @@ pub struct CapabilityShares {
 
 impl CapabilityShares {
     /// Computes shares over all clients in a window.
-    pub fn compute(backend: &Backend, window: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, window: WindowId) -> Self {
         let mut total = 0u64;
         let mut shares = CapabilityShares::default();
         for (_, identity) in backend.clients(window) {
@@ -82,7 +83,7 @@ pub struct CapabilitiesTable {
 
 impl CapabilitiesTable {
     /// Computes both columns.
-    pub fn compute(backend: &Backend, before: WindowId, after: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, before: WindowId, after: WindowId) -> Self {
         CapabilitiesTable {
             before: CapabilityShares::compute(backend, before),
             after: CapabilityShares::compute(backend, after),
@@ -141,6 +142,7 @@ mod tests {
     use airstat_classify::mac::MacAddress;
     use airstat_rf::band::Band;
     use airstat_rf::phy::{Capabilities, Generation};
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ClientInfoRecord, Report, ReportPayload};
 
     const W: WindowId = WindowId(1501);

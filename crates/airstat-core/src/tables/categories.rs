@@ -5,7 +5,8 @@ use airstat_stats::summary::{
     bytes_in, fmt_bytes, fmt_count, fmt_percent_opt, fmt_quantity, percent_increase, percent_of,
     ByteUnit,
 };
-use airstat_telemetry::backend::{Backend, UsageTotals, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::{UsageTotals, WindowId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -63,7 +64,10 @@ pub struct CategoriesTable {
 /// Client counts are summed over the category's applications, so a client
 /// using two apps of one category counts twice — the same convention the
 /// paper's backend used (it aggregates distinct `(client, app)` pairs).
-fn aggregate(backend: &Backend, window: WindowId) -> BTreeMap<AppCategory, (UsageTotals, u64)> {
+fn aggregate<Q: FleetQuery>(
+    backend: &Q,
+    window: WindowId,
+) -> BTreeMap<AppCategory, (UsageTotals, u64)> {
     let mut agg: BTreeMap<AppCategory, (UsageTotals, u64)> = BTreeMap::new();
     for (app, totals, clients) in backend.usage_by_app(window) {
         let slot = agg.entry(app.category()).or_default();
@@ -76,7 +80,7 @@ fn aggregate(backend: &Backend, window: WindowId) -> BTreeMap<AppCategory, (Usag
 
 impl CategoriesTable {
     /// Computes the table with growth against `previous`.
-    pub fn compute(backend: &Backend, current: WindowId, previous: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, current: WindowId, previous: WindowId) -> Self {
         let now = aggregate(backend, current);
         let before = aggregate(backend, previous);
         let mut rows: Vec<CategoryRow> = now
@@ -155,6 +159,7 @@ mod tests {
     use super::*;
     use airstat_classify::apps::Application;
     use airstat_classify::mac::MacAddress;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 
     const NOW: WindowId = WindowId(1501);

@@ -2,7 +2,8 @@
 
 use airstat_rf::band::Band;
 use airstat_stats::summary::fmt_count;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::WindowId;
 use std::fmt;
 
 use crate::render::TextTable;
@@ -33,7 +34,7 @@ pub struct NearbyTable {
     pub before_5: NearbyCell,
 }
 
-fn cell(backend: &Backend, window: WindowId, band: Band) -> NearbyCell {
+fn cell<Q: FleetQuery>(backend: &Q, window: WindowId, band: Band) -> NearbyCell {
     let (total_networks, per_ap, hotspots) = backend.nearby_summary(window, band);
     NearbyCell {
         total_networks,
@@ -45,7 +46,7 @@ fn cell(backend: &Backend, window: WindowId, band: Band) -> NearbyCell {
 
 impl NearbyTable {
     /// Computes all four cells.
-    pub fn compute(backend: &Backend, before: WindowId, now: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, before: WindowId, now: WindowId) -> Self {
         NearbyTable {
             now_2_4: cell(backend, now, Band::Ghz2_4),
             before_2_4: cell(backend, before, Band::Ghz2_4),
@@ -89,6 +90,7 @@ impl fmt::Display for NearbyTable {
 mod tests {
     use super::*;
     use airstat_rf::band::Channel;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{NeighborRecord, Report, ReportPayload};
 
     const NOW: WindowId = WindowId(1501);

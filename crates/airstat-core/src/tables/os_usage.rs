@@ -4,7 +4,8 @@ use airstat_classify::device::OsFamily;
 use airstat_stats::summary::{
     bytes_in, fmt_count, fmt_percent_opt, fmt_quantity, percent_increase, percent_of, ByteUnit,
 };
-use airstat_telemetry::backend::{Backend, UsageTotals, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::{UsageTotals, WindowId};
 use std::fmt;
 
 use crate::render::TextTable;
@@ -59,7 +60,7 @@ pub struct OsUsageTable {
 impl OsUsageTable {
     /// Computes the table from `current` (2015) with growth against
     /// `previous` (2014).
-    pub fn compute(backend: &Backend, current: WindowId, previous: WindowId) -> Self {
+    pub fn compute<Q: FleetQuery>(backend: &Q, current: WindowId, previous: WindowId) -> Self {
         let now = backend.usage_by_os(current);
         let before = backend.usage_by_os(previous);
         let prior = |os: OsFamily| before.iter().find(|r| r.0 == os);
@@ -183,6 +184,7 @@ mod tests {
     use airstat_classify::mac::MacAddress;
     use airstat_rf::band::Band;
     use airstat_rf::phy::{Capabilities, Generation};
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{ClientInfoRecord, Report, ReportPayload, UsageRecord};
 
     const NOW: WindowId = WindowId(1501);

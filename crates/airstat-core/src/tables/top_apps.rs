@@ -5,7 +5,8 @@ use airstat_stats::summary::{
     bytes_in, fmt_bytes, fmt_count, fmt_percent_opt, fmt_quantity, percent_increase, percent_of,
     ByteUnit,
 };
-use airstat_telemetry::backend::{Backend, UsageTotals, WindowId};
+use airstat_store::FleetQuery;
+use airstat_telemetry::backend::{UsageTotals, WindowId};
 use std::fmt;
 
 use crate::render::TextTable;
@@ -60,7 +61,12 @@ impl TopAppsTable {
     pub const PAPER_LIMIT: usize = 40;
 
     /// Computes the table from `current`, with growth against `previous`.
-    pub fn compute(backend: &Backend, current: WindowId, previous: WindowId, limit: usize) -> Self {
+    pub fn compute<Q: FleetQuery>(
+        backend: &Q,
+        current: WindowId,
+        previous: WindowId,
+        limit: usize,
+    ) -> Self {
         let now = backend.usage_by_app(current);
         let before = backend.usage_by_app(previous);
         let grand_total: u64 = now.iter().map(|r| r.1.total()).sum();
@@ -139,6 +145,7 @@ impl fmt::Display for TopAppsTable {
 mod tests {
     use super::*;
     use airstat_classify::mac::MacAddress;
+    use airstat_telemetry::backend::Backend;
     use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 
     const NOW: WindowId = WindowId(1501);

@@ -71,6 +71,11 @@ pub struct FleetConfig {
     /// the engine merges unit results in deterministic order. Defaults to
     /// [`default_threads`].
     pub threads: usize,
+    /// Shard count for the aggregation store the engine fills. Like
+    /// `threads`, output is byte-identical for every value ≥ 1 — the
+    /// store's query engine merges per-shard partials in a canonical
+    /// order. Defaults to [`airstat_store::DEFAULT_SHARDS`].
+    pub shards: usize,
     /// Optional fault-injection campaign. `None` runs the healthy
     /// pipeline; `Some(schedule)` injects the schedule's per-window
     /// faults during every drain. A [`FaultSchedule::zero`] schedule
@@ -103,6 +108,7 @@ impl FleetConfig {
             scan_window_s: 180,
             poll_drop_probability: 0.01,
             threads: default_threads(),
+            shards: airstat_store::DEFAULT_SHARDS,
             faults: None,
         }
     }
@@ -133,6 +139,11 @@ impl FleetConfig {
     /// Worker threads the engine will actually use (at least 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// Store shards the engine will actually use (at least 1).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
     }
 
     /// Target client count for a measurement year at this scale.
@@ -209,6 +220,18 @@ mod tests {
             ..FleetConfig::smoke()
         };
         assert_eq!(serial.effective_threads(), 1);
+    }
+
+    #[test]
+    fn shard_knob_defaults_sane() {
+        let cfg = FleetConfig::paper(0.01);
+        assert_eq!(cfg.shards, airstat_store::DEFAULT_SHARDS);
+        assert_eq!(cfg.effective_shards(), cfg.shards);
+        let single = FleetConfig {
+            shards: 0,
+            ..FleetConfig::smoke()
+        };
+        assert_eq!(single.effective_shards(), 1);
     }
 
     #[test]

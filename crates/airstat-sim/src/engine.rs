@@ -1,7 +1,10 @@
 //! The discrete-event fleet engine.
 //!
 //! [`FleetSimulation::run`] executes the paper's full measurement campaign
-//! against a synthetic fleet and returns a loaded [`Backend`]:
+//! against a synthetic fleet and returns a loaded [`ShardedStore`]
+//! (campaigns can also fill any other [`ReportSink`] — e.g. the legacy
+//! [`airstat_telemetry::backend::Backend`] — via
+//! [`FleetSimulation::run_into`]):
 //!
 //! * **usage windows** — January 2014 and January 2015 client panels.
 //!   Each year gets its own population model, device-classifier version
@@ -25,8 +28,9 @@
 //! each seeded from its own `SeedTree` node and drained through its own
 //! faulty tunnel. [`crate::exec::run_ordered`] fans the units across
 //! `FleetConfig::threads` workers and merges the resulting report batches
-//! into the [`Backend`] in ascending unit order, so any thread count
-//! reproduces the serial output byte for byte.
+//! into the sink in ascending unit order, so any thread count reproduces
+//! the serial output byte for byte — and so does any shard count, since
+//! the store's query engine merges per-shard partials canonically.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,7 +44,8 @@ use airstat_rf::link::{FadingProcess, LinkModel};
 use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_stats::dist::{Exponential, LogNormal};
 use airstat_stats::SeedTree;
-use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_store::{QueryEngine, ReportSink, ShardedStore, StoreConfig};
+use airstat_telemetry::backend::WindowId;
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
 use airstat_telemetry::poll::{drain_with_policy, PollPolicy};
 use airstat_telemetry::report::{
@@ -57,11 +62,13 @@ use crate::population::PopulationModel;
 use crate::traffic::generate_weekly;
 use crate::world::{ApModel, ApSite, NeighborEpoch, World};
 
-/// Everything a run produces.
+/// Everything a campaign produces besides the sink it filled.
+///
+/// [`FleetSimulation::run_into`] returns this directly; the convenience
+/// [`FleetSimulation::run`] pairs it with the [`ShardedStore`] it filled
+/// as a [`SimulationOutput`].
 #[derive(Debug)]
-pub struct SimulationOutput {
-    /// The loaded backend store — what the analytics crate queries.
-    pub backend: Backend,
+pub struct CampaignRun {
     /// The generated world (for topology-aware analyses and examples).
     pub world: World,
     /// Polls attempted across all tunnels.
@@ -69,7 +76,34 @@ pub struct SimulationOutput {
     /// Polls lost to injected faults (all retransmitted eventually).
     pub polls_lost: u64,
     /// Clients (2015 window) whose usage arrived through more than one AP;
-    /// the backend's MAC-level aggregation (§2.3) merges them.
+    /// the store's MAC-level aggregation (§2.3) merges them.
+    pub roamed_clients: u64,
+    /// Per-panel wall-clock and volume statistics, in execution order.
+    pub panels: Vec<PanelStats>,
+    /// Wire bytes encoded across every tunnel (all panels).
+    pub bytes_encoded: u64,
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// Campaign-wide degradation accounting (completeness, latency,
+    /// fault counters). With `FleetConfig::faults = None` this is the
+    /// healthy baseline: completeness 1.0, no failovers, no crash loss.
+    pub degradation: DegradationTally,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct SimulationOutput {
+    /// The loaded sharded store — what the analytics crate queries
+    /// (through [`SimulationOutput::query`]).
+    pub store: ShardedStore,
+    /// The generated world (for topology-aware analyses and examples).
+    pub world: World,
+    /// Polls attempted across all tunnels.
+    pub polls_attempted: u64,
+    /// Polls lost to injected faults (all retransmitted eventually).
+    pub polls_lost: u64,
+    /// Clients (2015 window) whose usage arrived through more than one AP;
+    /// the store's MAC-level aggregation (§2.3) merges them.
     pub roamed_clients: u64,
     /// Per-panel wall-clock and volume statistics, in execution order.
     pub panels: Vec<PanelStats>,
@@ -84,9 +118,15 @@ pub struct SimulationOutput {
 }
 
 impl SimulationOutput {
-    /// Reports accepted by the backend across all panels.
+    /// Reports accepted by the store across all panels.
     pub fn reports_ingested(&self) -> u64 {
         self.panels.iter().map(|p| p.reports).sum()
+    }
+
+    /// Seals the store and opens a cached parallel query engine over the
+    /// frozen snapshot, using the run's worker-thread count.
+    pub fn query(&self) -> QueryEngine {
+        QueryEngine::new(self.store.seal(), self.threads)
     }
 
     /// A human-readable per-panel throughput table (wall time, report and
@@ -189,11 +229,37 @@ impl FleetSimulation {
         &self.config
     }
 
-    /// Runs the full campaign.
+    /// Runs the full campaign into a [`ShardedStore`] shaped by the
+    /// configuration's `shards`/`threads` knobs.
     pub fn run(&self) -> SimulationOutput {
+        let mut store = ShardedStore::with_config(StoreConfig {
+            shards: self.config.effective_shards(),
+            threads: self.config.effective_threads(),
+        });
+        let run = self.run_into(&mut store);
+        SimulationOutput {
+            store,
+            world: run.world,
+            polls_attempted: run.polls_attempted,
+            polls_lost: run.polls_lost,
+            roamed_clients: run.roamed_clients,
+            panels: run.panels,
+            bytes_encoded: run.bytes_encoded,
+            threads: run.threads,
+            degradation: run.degradation,
+        }
+    }
+
+    /// Runs the full campaign into any [`ReportSink`].
+    ///
+    /// The sink sees identical report batches in identical order no
+    /// matter how it aggregates them — this is what the differential
+    /// store-equivalence tests use to fill a legacy
+    /// [`airstat_telemetry::backend::Backend`] and a
+    /// [`ShardedStore`] from the same campaign.
+    pub fn run_into(&self, sink: &mut dyn ReportSink) -> CampaignRun {
         let seed = SeedTree::new(self.config.seed);
         let world = World::generate(&seed, self.config.mr16_aps(), self.config.mr18_aps());
-        let mut backend = Backend::new();
         let mut polls = PollStats::default();
         let mut degradation = DegradationTally::default();
         let threads = self.config.effective_threads();
@@ -207,14 +273,8 @@ impl FleetSimulation {
                 MeasurementYear::Y2015 => "usage-2015",
             };
             let started = Instant::now();
-            let (roamed, tally) = self.run_usage_window(
-                &seed,
-                year,
-                threads,
-                &mut backend,
-                &mut polls,
-                &mut degradation,
-            );
+            let (roamed, tally) =
+                self.run_usage_window(&seed, year, threads, sink, &mut polls, &mut degradation);
             panels.push(tally.into_stats(label, started));
             if year == MeasurementYear::Y2015 {
                 roamed_clients = roamed;
@@ -232,7 +292,7 @@ impl FleetSimulation {
                 epoch,
                 window,
                 threads,
-                &mut backend,
+                sink,
                 &mut polls,
                 &mut degradation,
             );
@@ -246,15 +306,14 @@ impl FleetSimulation {
             NeighborEpoch::Jan2015,
             WINDOW_JAN_2015,
             threads,
-            &mut backend,
+            sink,
             &mut polls,
             &mut degradation,
         );
         panels.push(tally.into_stats("scan-jan15", started));
 
         let bytes_encoded = panels.iter().map(|p| p.bytes).sum();
-        SimulationOutput {
-            backend,
+        CampaignRun {
             world,
             polls_attempted: polls.attempted,
             polls_lost: polls.lost,
@@ -276,7 +335,7 @@ impl FleetSimulation {
         seed: &SeedTree,
         year: MeasurementYear,
         threads: usize,
-        backend: &mut Backend,
+        sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
     ) -> (u64, PanelTally) {
@@ -440,7 +499,7 @@ impl FleetSimulation {
         let mut roamed_clients = 0u64;
         run_ordered(threads, n_batches, unit, |_, out: UnitOutput| {
             roamed_clients += out.roamed;
-            tally.merge(&out, backend, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation);
         });
         (roamed_clients, tally)
     }
@@ -457,7 +516,7 @@ impl FleetSimulation {
         epoch: NeighborEpoch,
         window: WindowId,
         threads: usize,
-        backend: &mut Backend,
+        sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
     ) -> PanelTally {
@@ -594,7 +653,7 @@ impl FleetSimulation {
 
         let mut tally = PanelTally::default();
         run_ordered(threads, world.aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, backend, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation);
         });
         tally
     }
@@ -611,7 +670,7 @@ impl FleetSimulation {
         epoch: NeighborEpoch,
         window: WindowId,
         threads: usize,
-        backend: &mut Backend,
+        sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
     ) -> PanelTally {
@@ -661,7 +720,7 @@ impl FleetSimulation {
 
         let mut tally = PanelTally::default();
         run_ordered(threads, scan_aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, backend, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation);
         });
         tally
     }
@@ -775,12 +834,12 @@ impl PanelTally {
     fn merge(
         &mut self,
         out: &UnitOutput,
-        backend: &mut Backend,
+        sink: &mut dyn ReportSink,
         window: WindowId,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
     ) {
-        let accepted = backend.ingest_batch(window, &out.reports);
+        let accepted = sink.ingest_batch(window, &out.reports);
         self.reports += accepted;
         self.bytes += out.bytes;
         polls.attempted += out.polls_attempted;
@@ -1112,8 +1171,9 @@ mod tests {
     #[test]
     fn smoke_run_populates_all_windows() {
         let out = tiny_run();
-        let b = &out.backend;
         use crate::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
+        use airstat_store::FleetQuery;
+        let b = out.query();
         assert!(b.client_count(WINDOW_JAN_2014) > 0);
         assert!(b.client_count(WINDOW_JAN_2015) > 0);
         assert!(b.client_count(WINDOW_JAN_2015) > b.client_count(WINDOW_JAN_2014));
@@ -1162,8 +1222,8 @@ mod tests {
         }
         assert_eq!(
             out.reports_ingested(),
-            out.backend.reports_ingested(),
-            "panel tallies must agree with the backend"
+            out.store.reports_ingested(),
+            "panel tallies must agree with the store"
         );
         assert_eq!(
             out.bytes_encoded,
@@ -1221,15 +1281,15 @@ mod tests {
         let a = tiny_run();
         let b = tiny_run();
         use crate::config::WINDOW_JAN_2015;
+        use airstat_store::FleetQuery;
+        let (qa, qb) = (a.query(), b.query());
         assert_eq!(
-            a.backend.usage_by_app(WINDOW_JAN_2015),
-            b.backend.usage_by_app(WINDOW_JAN_2015)
+            qa.usage_by_app(WINDOW_JAN_2015),
+            qb.usage_by_app(WINDOW_JAN_2015)
         );
         assert_eq!(
-            a.backend
-                .latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4),
-            b.backend
-                .latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
+            qa.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4),
+            qb.latest_delivery_ratios(WINDOW_JAN_2015, Band::Ghz2_4)
         );
     }
 

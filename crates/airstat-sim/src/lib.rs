@@ -23,9 +23,11 @@
 //! * [`world`] — topology: networks, APs, channels, neighbour densities,
 //!   probe links, interferers;
 //! * [`engine`] — the discrete-event loop that runs measurement windows
-//!   and pushes reports through the telemetry pipeline into a backend;
+//!   and pushes reports through the telemetry pipeline into a sharded
+//!   store (or any [`airstat_store::ReportSink`]);
 //! * [`exec`] — deterministic ordered fan-out of independent work units
-//!   across a scoped thread pool (the engine's parallel backbone);
+//!   across a scoped thread pool (the engine's parallel backbone; now
+//!   hosted by `airstat-store` and re-exported here);
 //! * [`faults`] — deterministic fault-injection campaigns: scripted
 //!   per-window schedules of tunnel flaps, DC outages, crash/reboot
 //!   cycles, queue pressure and re-poll storms, with campaign-wide
@@ -37,7 +39,7 @@
 pub mod appmix;
 pub mod config;
 pub mod engine;
-pub mod exec;
+pub use airstat_store::exec;
 pub mod faults;
 pub mod industry;
 pub mod population;
@@ -46,5 +48,5 @@ pub mod traffic;
 pub mod world;
 
 pub use config::{FleetConfig, MeasurementYear};
-pub use engine::{FleetSimulation, SimulationOutput};
+pub use engine::{CampaignRun, FleetSimulation, SimulationOutput};
 pub use faults::{DegradationTally, FaultIntensity, FaultSchedule};

@@ -1,9 +1,12 @@
-//! Deterministic fan-out for independent simulation work units.
+//! Deterministic fan-out for independent work units.
 //!
 //! The fleet engine's panels decompose into work units (one usage batch,
 //! one AP's radio week, one AP's scan week) whose randomness descends
 //! from per-unit `SeedTree` nodes — so each unit's result depends only on
-//! its index, never on execution order. [`run_ordered`] exploits that: it
+//! its index, never on execution order. The store reuses the same
+//! discipline for per-shard ingest and per-shard query execution: a
+//! shard's result depends only on the shard's contents, never on which
+//! worker computed it. [`run_ordered`] exploits that: it
 //! fans units out across a scoped thread pool but hands results to the
 //! caller's sink **in ascending unit order**, buffered through a reorder
 //! window. The net effect is that `threads = N` produces byte-identical

@@ -1,0 +1,862 @@
+//! The typed query layer: plans, the parallel engine, and the cache.
+//!
+//! A [`QueryPlan`] names one aggregate from the legacy backend's query
+//! surface; [`QueryEngine::execute`] answers it against a frozen
+//! [`Snapshot`] by fanning the plan out over the shards with
+//! [`crate::exec::run_ordered`] and merging the per-shard partials in a
+//! **globally canonical order** (every multi-shard merge flattens
+//! through a `BTreeMap` keyed by MAC, device or link key). Canonical
+//! merge order is what makes the engine shard-count invariant even for
+//! floating-point consumers — a correlation over `scan_observations` sums
+//! the same values in the same order whether the store has 1 shard or
+//! 50 — and it makes the store *more* deterministic than the legacy
+//! `Backend`, whose `HashMap`-backed queries iterate in per-process
+//! random order.
+//!
+//! Results are memoized in an epoch-keyed LRU [`ResultCache`]; the
+//! hit/miss/eviction counters surface in [`StoreStats`], which the CLI
+//! prints next to the engine's throughput summary.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use airstat_classify::apps::Application;
+use airstat_classify::device::OsFamily;
+use airstat_classify::mac::MacAddress;
+use airstat_rf::band::{Band, Channel};
+use airstat_telemetry::backend::{
+    Backend, ClientIdentity, LinkKey, LinkObservation, ScanObservation, UsageTotals, WindowId,
+};
+use airstat_telemetry::crash::CrashAggregator;
+
+use crate::exec::run_ordered;
+use crate::shard::StoreShard;
+use crate::store::Snapshot;
+
+/// One query against the store, covering the full legacy surface.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QueryPlan {
+    /// Usage totals and distinct clients per application (§3).
+    UsageByApp(WindowId),
+    /// Usage totals and distinct clients per OS family (§3).
+    UsageByOs(WindowId),
+    /// Distinct clients seen in a window.
+    ClientCount(WindowId),
+    /// Every client identity, in MAC order.
+    Clients(WindowId),
+    /// Distinct clients that used an application.
+    AppClientCount(WindowId, Application),
+    /// All link keys on a band, in key order (§4.2).
+    LinkKeys(WindowId, Band),
+    /// The observation series for one link.
+    LinkSeries(WindowId, LinkKey),
+    /// Most recent delivery ratio per link on a band, in key order.
+    LatestDeliveryRatios(WindowId, Band),
+    /// Mean delivery ratio per link on a band, in key order.
+    MeanDeliveryRatios(WindowId, Band),
+    /// Serving-radio utilizations on a band, in `(device, band)` order
+    /// (§4.3).
+    ServingUtilizations(WindowId, Band),
+    /// Devices that filed a neighbour census (§4.1).
+    CensusDeviceCount(WindowId),
+    /// `(total networks, mean per AP, hotspots)` on a band (Table 7).
+    NearbySummary(WindowId, Band),
+    /// Nearby networks summed per channel on a band (Figure 2).
+    NearbyPerChannel(WindowId, Band),
+    /// The crash-triage aggregate, reports in device order (§6.1).
+    Crashes(WindowId),
+    /// All channel-scan observations on a band, in device order (§5).
+    ScanObservations(WindowId, Band),
+}
+
+/// The result of executing a [`QueryPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    /// From [`QueryPlan::UsageByApp`].
+    AppUsage(Vec<(Application, UsageTotals, u64)>),
+    /// From [`QueryPlan::UsageByOs`].
+    OsUsage(Vec<(OsFamily, UsageTotals, u64)>),
+    /// From the counting plans.
+    Count(u64),
+    /// From [`QueryPlan::Clients`].
+    Clients(Vec<(MacAddress, ClientIdentity)>),
+    /// From [`QueryPlan::LinkKeys`].
+    LinkKeys(Vec<LinkKey>),
+    /// From [`QueryPlan::LinkSeries`].
+    Series(Vec<LinkObservation>),
+    /// From the delivery-ratio and utilization plans.
+    Ratios(Vec<f64>),
+    /// From [`QueryPlan::NearbySummary`].
+    NearbySummary {
+        /// Total nearby networks on the band.
+        total: u64,
+        /// Mean nearby networks per reporting AP.
+        mean_per_ap: f64,
+        /// Total nearby hotspots on the band.
+        hotspots: u64,
+    },
+    /// From [`QueryPlan::NearbyPerChannel`].
+    PerChannel(Vec<(u16, u64)>),
+    /// From [`QueryPlan::ScanObservations`].
+    Scans(Vec<ScanObservation>),
+    /// From [`QueryPlan::Crashes`].
+    Crashes(Option<CrashAggregator>),
+}
+
+/// Default result-cache capacity (distinct `(epoch, plan)` entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// An epoch-keyed LRU cache of query results.
+///
+/// Keys are `(epoch, plan)`: a result is valid exactly for the snapshot
+/// epoch it was computed against, so ingesting new data (which bumps the
+/// epoch) naturally invalidates without any explicit flush. Recency is
+/// tracked with a monotone stamp; eviction removes the least recently
+/// used entry.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<(u64, QueryPlan), (u64, QueryValue)>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            ..ResultCache::default()
+        }
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    pub fn get(&mut self, epoch: u64, plan: &QueryPlan) -> Option<QueryValue> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&(epoch, plan.clone())) {
+            Some((stamp, value)) => {
+                *stamp = clock;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least recently used entry if full.
+    pub fn insert(&mut self, epoch: u64, plan: QueryPlan, value: QueryValue) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&(epoch, plan.clone()))
+        {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(key, _)| key.clone())
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert((epoch, plan), (self.clock, value));
+    }
+
+    /// Cached entries right now.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+/// Cache and store shape counters, printed by the CLI next to
+/// `throughput_summary()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Shards in the queried snapshot.
+    pub shards: usize,
+    /// Epoch of the queried snapshot.
+    pub epoch: u64,
+    /// Results currently cached.
+    pub cached_results: u64,
+    /// Result-cache capacity.
+    pub cache_capacity: u64,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Cache misses (results computed).
+    pub misses: u64,
+    /// LRU evictions performed.
+    pub evictions: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.hits + self.misses;
+        let rate = if total > 0 {
+            self.hits as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "store stats ({} shard{}, epoch {}):",
+            self.shards,
+            if self.shards == 1 { "" } else { "s" },
+            self.epoch,
+        )?;
+        write!(
+            f,
+            "  query cache    {:>7} hits  {:>6} misses  {:>4} evictions  ({rate:.1}% hit rate, {}/{} cached)",
+            self.hits, self.misses, self.evictions, self.cached_results, self.cache_capacity,
+        )
+    }
+}
+
+/// The parallel, cached query engine over one snapshot.
+#[derive(Debug)]
+pub struct QueryEngine {
+    snapshot: Snapshot,
+    threads: usize,
+    cache: Mutex<ResultCache>,
+}
+
+impl QueryEngine {
+    /// Creates an engine over `snapshot` using `threads` workers per
+    /// query (1 = serial; results are identical for every value).
+    pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        QueryEngine {
+            snapshot,
+            threads: threads.max(1),
+            cache: Mutex::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
+        }
+    }
+
+    /// The snapshot this engine answers from.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Current cache and shape counters.
+    pub fn stats(&self) -> StoreStats {
+        let cache = self.cache.lock().expect("cache lock");
+        let (hits, misses, evictions) = cache.counters();
+        StoreStats {
+            shards: self.snapshot.shards().len(),
+            epoch: self.snapshot.epoch(),
+            cached_results: cache.len() as u64,
+            cache_capacity: cache.capacity as u64,
+            hits,
+            misses,
+            evictions,
+        }
+    }
+
+    /// Executes a plan, consulting the cache first.
+    ///
+    /// The cache lock is never held while computing, so plans that
+    /// delegate to other plans (`UsageByOs` and the client counts reuse
+    /// the cached `Clients` result) re-enter `execute` freely.
+    pub fn execute(&self, plan: &QueryPlan) -> QueryValue {
+        let epoch = self.snapshot.epoch();
+        if let Some(value) = self.cache.lock().expect("cache lock").get(epoch, plan) {
+            return value;
+        }
+        let value = self.compute(plan);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(epoch, plan.clone(), value.clone());
+        value
+    }
+
+    /// Runs `f` over every shard in parallel and returns the partials in
+    /// shard order. The partials are then merged canonically, so the
+    /// thread count never affects the result.
+    fn shard_map<T: Send>(&self, f: impl Fn(&StoreShard) -> T + Sync) -> Vec<T> {
+        let shards = self.snapshot.shards();
+        let mut partials = Vec::with_capacity(shards.len());
+        run_ordered(
+            self.threads,
+            shards.len(),
+            |i| f(&shards[i]),
+            |_, partial| partials.push(partial),
+        );
+        partials
+    }
+
+    /// Usage cells merged across shards: the same `(MAC, app)` pair may
+    /// accumulate in several shards (a roaming client's bytes arrive via
+    /// different APs), so cells sum at the key level before any per-app
+    /// or per-OS rollup.
+    fn merged_usage(&self, window: WindowId) -> BTreeMap<(MacAddress, Application), UsageTotals> {
+        let partials = self.shard_map(|shard| {
+            shard
+                .window(window)
+                .map(|t| t.usage.clone())
+                .unwrap_or_default()
+        });
+        let mut merged: BTreeMap<(MacAddress, Application), UsageTotals> = BTreeMap::new();
+        for partial in partials {
+            for (key, totals) in partial {
+                let slot = merged.entry(key).or_default();
+                slot.up_bytes = slot.up_bytes.saturating_add(totals.up_bytes);
+                slot.down_bytes = slot.down_bytes.saturating_add(totals.down_bytes);
+            }
+        }
+        merged
+    }
+
+    /// Link map merged across shards. Keys are disjoint (a link's
+    /// `rx_device` pins it to one shard), so this is a pure union.
+    fn merged_links(&self, window: WindowId) -> BTreeMap<LinkKey, Vec<LinkObservation>> {
+        let partials = self.shard_map(|shard| {
+            shard
+                .window(window)
+                .map(|t| t.links.clone())
+                .unwrap_or_default()
+        });
+        partials.into_iter().flatten().collect()
+    }
+
+    fn compute(&self, plan: &QueryPlan) -> QueryValue {
+        match *plan {
+            QueryPlan::UsageByApp(window) => {
+                let mut agg: BTreeMap<Application, (UsageTotals, u64)> = BTreeMap::new();
+                for (&(_, app), totals) in &self.merged_usage(window) {
+                    let slot = agg.entry(app).or_default();
+                    slot.0.up_bytes = slot.0.up_bytes.saturating_add(totals.up_bytes);
+                    slot.0.down_bytes = slot.0.down_bytes.saturating_add(totals.down_bytes);
+                    slot.1 += 1;
+                }
+                QueryValue::AppUsage(agg.into_iter().map(|(app, (t, c))| (app, t, c)).collect())
+            }
+            QueryPlan::UsageByOs(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                let identities: BTreeMap<MacAddress, OsFamily> =
+                    clients.into_iter().map(|(mac, id)| (mac, id.os)).collect();
+                let mut per_mac: BTreeMap<MacAddress, UsageTotals> = BTreeMap::new();
+                for (&(mac, _), totals) in &self.merged_usage(window) {
+                    let slot = per_mac.entry(mac).or_default();
+                    slot.up_bytes = slot.up_bytes.saturating_add(totals.up_bytes);
+                    slot.down_bytes = slot.down_bytes.saturating_add(totals.down_bytes);
+                }
+                let mut agg: BTreeMap<OsFamily, (UsageTotals, u64)> = BTreeMap::new();
+                for (mac, totals) in per_mac {
+                    let os = identities.get(&mac).copied().unwrap_or(OsFamily::Unknown);
+                    let slot = agg.entry(os).or_default();
+                    slot.0.up_bytes = slot.0.up_bytes.saturating_add(totals.up_bytes);
+                    slot.0.down_bytes = slot.0.down_bytes.saturating_add(totals.down_bytes);
+                    slot.1 += 1;
+                }
+                QueryValue::OsUsage(agg.into_iter().map(|(os, (t, c))| (os, t, c)).collect())
+            }
+            QueryPlan::ClientCount(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                QueryValue::Count(clients.len() as u64)
+            }
+            QueryPlan::Clients(window) => {
+                let partials = self.shard_map(|shard| {
+                    shard
+                        .window(window)
+                        .map(|t| t.clients.clone())
+                        .unwrap_or_default()
+                });
+                // The same MAC may surface in several shards (identity
+                // filed via different devices): the largest provenance
+                // wins, matching the single-shard conflict rule.
+                let mut merged: BTreeMap<MacAddress, (crate::shard::ClientMeta, ClientIdentity)> =
+                    BTreeMap::new();
+                for partial in partials {
+                    for (mac, entry) in partial {
+                        match merged.get_mut(&mac) {
+                            Some(existing) if existing.0 >= entry.0 => {}
+                            Some(existing) => *existing = entry,
+                            None => {
+                                merged.insert(mac, entry);
+                            }
+                        }
+                    }
+                }
+                QueryValue::Clients(
+                    merged
+                        .into_iter()
+                        .map(|(mac, (_, identity))| (mac, identity))
+                        .collect(),
+                )
+            }
+            QueryPlan::AppClientCount(window, app) => QueryValue::Count(
+                self.merged_usage(window)
+                    .keys()
+                    .filter(|&&(_, a)| a == app)
+                    .count() as u64,
+            ),
+            QueryPlan::LinkKeys(window, band) => QueryValue::LinkKeys(
+                self.merged_links(window)
+                    .into_keys()
+                    .filter(|k| k.band == band)
+                    .collect(),
+            ),
+            QueryPlan::LinkSeries(window, key) => {
+                QueryValue::Series(self.merged_links(window).remove(&key).unwrap_or_default())
+            }
+            QueryPlan::LatestDeliveryRatios(window, band) => QueryValue::Ratios(
+                self.merged_links(window)
+                    .iter()
+                    .filter(|(k, obs)| k.band == band && !obs.is_empty())
+                    .map(|(_, obs)| obs.last().expect("nonempty").ratio)
+                    .collect(),
+            ),
+            QueryPlan::MeanDeliveryRatios(window, band) => QueryValue::Ratios(
+                self.merged_links(window)
+                    .iter()
+                    .filter(|(k, obs)| k.band == band && !obs.is_empty())
+                    .map(|(_, obs)| obs.iter().map(|o| o.ratio).sum::<f64>() / obs.len() as f64)
+                    .collect(),
+            ),
+            QueryPlan::ServingUtilizations(window, band) => {
+                let partials = self.shard_map(|shard| {
+                    shard.window(window).map_or_else(Vec::new, |t| {
+                        t.airtime
+                            .iter()
+                            .filter(|(&(_, b), _)| b == band)
+                            .filter_map(|(&key, ledger)| ledger.utilization().map(|u| (key, u)))
+                            .collect::<Vec<_>>()
+                    })
+                });
+                // `(device, band)` keys are disjoint across shards;
+                // flatten through a BTreeMap for canonical device order.
+                let merged: BTreeMap<(u64, Band), f64> = partials.into_iter().flatten().collect();
+                QueryValue::Ratios(merged.into_values().collect())
+            }
+            QueryPlan::CensusDeviceCount(window) => QueryValue::Count(
+                self.shard_map(|shard| {
+                    shard.window(window).map_or(0, |t| t.neighbors.len() as u64)
+                })
+                .into_iter()
+                .sum(),
+            ),
+            QueryPlan::NearbySummary(window, band) => {
+                let partials = self.shard_map(|shard| {
+                    let mut total = 0u64;
+                    let mut hotspots = 0u64;
+                    let mut devices = 0u64;
+                    if let Some(t) = shard.window(window) {
+                        for (_, rows) in t.neighbors.values() {
+                            devices += 1;
+                            for &(b, _, networks, hs) in rows {
+                                if b == band {
+                                    total += u64::from(networks);
+                                    hotspots += u64::from(hs);
+                                }
+                            }
+                        }
+                    }
+                    (total, hotspots, devices)
+                });
+                let (mut total, mut hotspots, mut devices) = (0u64, 0u64, 0u64);
+                for (t, h, d) in partials {
+                    total += t;
+                    hotspots += h;
+                    devices += d;
+                }
+                let mean_per_ap = if devices > 0 {
+                    total as f64 / devices as f64
+                } else {
+                    0.0
+                };
+                QueryValue::NearbySummary {
+                    total,
+                    mean_per_ap,
+                    hotspots,
+                }
+            }
+            QueryPlan::NearbyPerChannel(window, band) => {
+                let mut per: BTreeMap<u16, u64> = Channel::all_in(band)
+                    .into_iter()
+                    .map(|ch| (ch.number, 0))
+                    .collect();
+                let partials = self.shard_map(|shard| {
+                    let mut sums: BTreeMap<u16, u64> = BTreeMap::new();
+                    if let Some(t) = shard.window(window) {
+                        for (_, rows) in t.neighbors.values() {
+                            for &(b, number, networks, _) in rows {
+                                if b == band {
+                                    *sums.entry(number).or_default() += u64::from(networks);
+                                }
+                            }
+                        }
+                    }
+                    sums
+                });
+                for partial in partials {
+                    for (number, sum) in partial {
+                        *per.entry(number).or_default() += sum;
+                    }
+                }
+                QueryValue::PerChannel(per.into_iter().collect())
+            }
+            QueryPlan::Crashes(window) => {
+                // Presence mirrors the legacy backend: an aggregator
+                // exists only once a crash payload arrived (even an empty
+                // one), not merely because the window saw other traffic.
+                let partials = self.shard_map(|shard| {
+                    shard
+                        .window(window)
+                        .filter(|t| !t.crashes.is_empty())
+                        .map(|t| {
+                            t.crashes
+                                .iter()
+                                .map(|(&device, reports)| {
+                                    (device, reports.values().cloned().collect::<Vec<_>>())
+                                })
+                                .collect::<BTreeMap<_, _>>()
+                        })
+                });
+                let mut any = false;
+                let mut merged = BTreeMap::new();
+                for partial in partials.into_iter().flatten() {
+                    any = true;
+                    merged.extend(partial);
+                }
+                if !any {
+                    return QueryValue::Crashes(None);
+                }
+                let mut aggregator = CrashAggregator::default();
+                for reports in merged.into_values() {
+                    for report in reports {
+                        aggregator.ingest(report);
+                    }
+                }
+                QueryValue::Crashes(Some(aggregator))
+            }
+            QueryPlan::ScanObservations(window, band) => {
+                let partials = self.shard_map(|shard| {
+                    shard.window(window).map_or_else(Vec::new, |t| {
+                        t.scans
+                            .iter()
+                            .map(|(&device, obs)| {
+                                (
+                                    device,
+                                    obs.values()
+                                        .filter(|o| o.record.channel.band == band)
+                                        .copied()
+                                        .collect::<Vec<_>>(),
+                                )
+                            })
+                            .collect()
+                    })
+                });
+                // Devices are disjoint across shards; flattening the
+                // device-keyed BTreeMap gives one canonical global order.
+                let merged: BTreeMap<u64, Vec<ScanObservation>> =
+                    partials.into_iter().flatten().collect();
+                QueryValue::Scans(merged.into_values().flatten().collect())
+            }
+        }
+    }
+}
+
+/// The query surface shared by the legacy [`Backend`] and the
+/// [`QueryEngine`], with owned returns so analytics code can compute
+/// against either.
+///
+/// The `Backend` impl delegates to its inherent methods; the
+/// `QueryEngine` impl executes the matching [`QueryPlan`] (and so
+/// benefits from the result cache).
+pub trait FleetQuery {
+    /// Total usage per application with distinct clients.
+    fn usage_by_app(&self, window: WindowId) -> Vec<(Application, UsageTotals, u64)>;
+    /// Total usage per OS family with distinct clients.
+    fn usage_by_os(&self, window: WindowId) -> Vec<(OsFamily, UsageTotals, u64)>;
+    /// Number of distinct clients seen in a window.
+    fn client_count(&self, window: WindowId) -> usize;
+    /// Every client identity, in MAC order.
+    fn clients(&self, window: WindowId) -> Vec<(MacAddress, ClientIdentity)>;
+    /// Distinct clients that used a given application.
+    fn app_client_count(&self, window: WindowId, app: Application) -> u64;
+    /// All link keys on a band, in key order.
+    fn link_keys(&self, window: WindowId, band: Band) -> Vec<LinkKey>;
+    /// The observation time series for a link.
+    fn link_series(&self, window: WindowId, key: LinkKey) -> Vec<LinkObservation>;
+    /// Most recent delivery ratio per link on a band.
+    fn latest_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64>;
+    /// Mean delivery ratio per link on a band.
+    fn mean_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64>;
+    /// Per-device serving-radio utilizations on a band.
+    fn serving_utilizations(&self, window: WindowId, band: Band) -> Vec<f64>;
+    /// Devices that filed a neighbour census.
+    fn census_device_count(&self, window: WindowId) -> usize;
+    /// `(total networks, mean per AP, hotspots)` on a band.
+    fn nearby_summary(&self, window: WindowId, band: Band) -> (u64, f64, u64);
+    /// Nearby networks summed per channel.
+    fn nearby_per_channel(&self, window: WindowId, band: Band) -> Vec<(u16, u64)>;
+    /// The crash-triage aggregate, if any crashes arrived.
+    fn crashes(&self, window: WindowId) -> Option<CrashAggregator>;
+    /// All channel-scan observations on a band.
+    fn scan_observations(&self, window: WindowId, band: Band) -> Vec<ScanObservation>;
+}
+
+impl FleetQuery for Backend {
+    fn usage_by_app(&self, window: WindowId) -> Vec<(Application, UsageTotals, u64)> {
+        Backend::usage_by_app(self, window)
+    }
+    fn usage_by_os(&self, window: WindowId) -> Vec<(OsFamily, UsageTotals, u64)> {
+        Backend::usage_by_os(self, window)
+    }
+    fn client_count(&self, window: WindowId) -> usize {
+        Backend::client_count(self, window)
+    }
+    fn clients(&self, window: WindowId) -> Vec<(MacAddress, ClientIdentity)> {
+        Backend::clients(self, window)
+            .map(|(mac, identity)| (*mac, *identity))
+            .collect()
+    }
+    fn app_client_count(&self, window: WindowId, app: Application) -> u64 {
+        Backend::app_client_count(self, window, app)
+    }
+    fn link_keys(&self, window: WindowId, band: Band) -> Vec<LinkKey> {
+        Backend::link_keys(self, window, band)
+    }
+    fn link_series(&self, window: WindowId, key: LinkKey) -> Vec<LinkObservation> {
+        Backend::link_series(self, window, key).to_vec()
+    }
+    fn latest_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64> {
+        Backend::latest_delivery_ratios(self, window, band)
+    }
+    fn mean_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64> {
+        Backend::mean_delivery_ratios(self, window, band)
+    }
+    fn serving_utilizations(&self, window: WindowId, band: Band) -> Vec<f64> {
+        Backend::serving_utilizations(self, window, band)
+    }
+    fn census_device_count(&self, window: WindowId) -> usize {
+        Backend::census_device_count(self, window)
+    }
+    fn nearby_summary(&self, window: WindowId, band: Band) -> (u64, f64, u64) {
+        Backend::nearby_summary(self, window, band)
+    }
+    fn nearby_per_channel(&self, window: WindowId, band: Band) -> Vec<(u16, u64)> {
+        Backend::nearby_per_channel(self, window, band)
+    }
+    fn crashes(&self, window: WindowId) -> Option<CrashAggregator> {
+        Backend::crashes(self, window).cloned()
+    }
+    fn scan_observations(&self, window: WindowId, band: Band) -> Vec<ScanObservation> {
+        Backend::scan_observations(self, window, band)
+    }
+}
+
+impl FleetQuery for QueryEngine {
+    fn usage_by_app(&self, window: WindowId) -> Vec<(Application, UsageTotals, u64)> {
+        match self.execute(&QueryPlan::UsageByApp(window)) {
+            QueryValue::AppUsage(rows) => rows,
+            _ => unreachable!("UsageByApp yields AppUsage"),
+        }
+    }
+    fn usage_by_os(&self, window: WindowId) -> Vec<(OsFamily, UsageTotals, u64)> {
+        match self.execute(&QueryPlan::UsageByOs(window)) {
+            QueryValue::OsUsage(rows) => rows,
+            _ => unreachable!("UsageByOs yields OsUsage"),
+        }
+    }
+    fn client_count(&self, window: WindowId) -> usize {
+        match self.execute(&QueryPlan::ClientCount(window)) {
+            QueryValue::Count(n) => n as usize,
+            _ => unreachable!("ClientCount yields Count"),
+        }
+    }
+    fn clients(&self, window: WindowId) -> Vec<(MacAddress, ClientIdentity)> {
+        match self.execute(&QueryPlan::Clients(window)) {
+            QueryValue::Clients(rows) => rows,
+            _ => unreachable!("Clients yields Clients"),
+        }
+    }
+    fn app_client_count(&self, window: WindowId, app: Application) -> u64 {
+        match self.execute(&QueryPlan::AppClientCount(window, app)) {
+            QueryValue::Count(n) => n,
+            _ => unreachable!("AppClientCount yields Count"),
+        }
+    }
+    fn link_keys(&self, window: WindowId, band: Band) -> Vec<LinkKey> {
+        match self.execute(&QueryPlan::LinkKeys(window, band)) {
+            QueryValue::LinkKeys(keys) => keys,
+            _ => unreachable!("LinkKeys yields LinkKeys"),
+        }
+    }
+    fn link_series(&self, window: WindowId, key: LinkKey) -> Vec<LinkObservation> {
+        match self.execute(&QueryPlan::LinkSeries(window, key)) {
+            QueryValue::Series(obs) => obs,
+            _ => unreachable!("LinkSeries yields Series"),
+        }
+    }
+    fn latest_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64> {
+        match self.execute(&QueryPlan::LatestDeliveryRatios(window, band)) {
+            QueryValue::Ratios(r) => r,
+            _ => unreachable!("LatestDeliveryRatios yields Ratios"),
+        }
+    }
+    fn mean_delivery_ratios(&self, window: WindowId, band: Band) -> Vec<f64> {
+        match self.execute(&QueryPlan::MeanDeliveryRatios(window, band)) {
+            QueryValue::Ratios(r) => r,
+            _ => unreachable!("MeanDeliveryRatios yields Ratios"),
+        }
+    }
+    fn serving_utilizations(&self, window: WindowId, band: Band) -> Vec<f64> {
+        match self.execute(&QueryPlan::ServingUtilizations(window, band)) {
+            QueryValue::Ratios(r) => r,
+            _ => unreachable!("ServingUtilizations yields Ratios"),
+        }
+    }
+    fn census_device_count(&self, window: WindowId) -> usize {
+        match self.execute(&QueryPlan::CensusDeviceCount(window)) {
+            QueryValue::Count(n) => n as usize,
+            _ => unreachable!("CensusDeviceCount yields Count"),
+        }
+    }
+    fn nearby_summary(&self, window: WindowId, band: Band) -> (u64, f64, u64) {
+        match self.execute(&QueryPlan::NearbySummary(window, band)) {
+            QueryValue::NearbySummary {
+                total,
+                mean_per_ap,
+                hotspots,
+            } => (total, mean_per_ap, hotspots),
+            _ => unreachable!("NearbySummary yields NearbySummary"),
+        }
+    }
+    fn nearby_per_channel(&self, window: WindowId, band: Band) -> Vec<(u16, u64)> {
+        match self.execute(&QueryPlan::NearbyPerChannel(window, band)) {
+            QueryValue::PerChannel(rows) => rows,
+            _ => unreachable!("NearbyPerChannel yields PerChannel"),
+        }
+    }
+    fn crashes(&self, window: WindowId) -> Option<CrashAggregator> {
+        match self.execute(&QueryPlan::Crashes(window)) {
+            QueryValue::Crashes(crashes) => crashes,
+            _ => unreachable!("Crashes yields Crashes"),
+        }
+    }
+    fn scan_observations(&self, window: WindowId, band: Band) -> Vec<ScanObservation> {
+        match self.execute(&QueryPlan::ScanObservations(window, band)) {
+            QueryValue::Scans(obs) => obs,
+            _ => unreachable!("ScanObservations yields Scans"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardedStore;
+    use airstat_classify::mac::Oui;
+    use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
+
+    const W: WindowId = WindowId(1501);
+
+    fn usage_report(device: u64, seq: u64, mac_id: u64, up: u64) -> Report {
+        Report {
+            device,
+            seq,
+            timestamp_s: 0,
+            payload: ReportPayload::Usage(vec![UsageRecord {
+                mac: MacAddress::from_id(Oui([0, 80, 194]), mac_id),
+                app: Application::Netflix,
+                up_bytes: up,
+                down_bytes: 2 * up,
+            }]),
+        }
+    }
+
+    fn loaded_engine(shards: usize, threads: usize) -> QueryEngine {
+        let mut store = ShardedStore::new(shards);
+        let reports: Vec<Report> = (0..40).map(|d| usage_report(d, 0, d % 11, d + 1)).collect();
+        store.ingest_batch(W, &reports);
+        QueryEngine::new(store.seal(), threads)
+    }
+
+    #[test]
+    fn results_are_shard_and_thread_invariant() {
+        let baseline = loaded_engine(1, 1).usage_by_app(W);
+        for (shards, threads) in [(4, 1), (4, 3), (7, 2)] {
+            assert_eq!(
+                loaded_engine(shards, threads).usage_by_app(W),
+                baseline,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_lru_evictions_are_counted() {
+        let engine = loaded_engine(3, 1);
+        let first = engine.execute(&QueryPlan::UsageByApp(W));
+        let second = engine.execute(&QueryPlan::UsageByApp(W));
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.cached_results >= 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(0, QueryPlan::ClientCount(W), QueryValue::Count(1));
+        cache.insert(0, QueryPlan::CensusDeviceCount(W), QueryValue::Count(2));
+        // Touch the first entry so the second becomes the LRU victim.
+        assert!(cache.get(0, &QueryPlan::ClientCount(W)).is_some());
+        cache.insert(0, QueryPlan::UsageByApp(W), QueryValue::Count(3));
+        assert!(cache.get(0, &QueryPlan::ClientCount(W)).is_some());
+        assert!(cache.get(0, &QueryPlan::CensusDeviceCount(W)).is_none());
+        assert_eq!(cache.counters().2, 1, "one eviction");
+    }
+
+    #[test]
+    fn epoch_keys_isolate_stale_results() {
+        let mut cache = ResultCache::new(8);
+        cache.insert(1, QueryPlan::ClientCount(W), QueryValue::Count(10));
+        assert!(cache.get(2, &QueryPlan::ClientCount(W)).is_none());
+        assert!(cache.get(1, &QueryPlan::ClientCount(W)).is_some());
+    }
+
+    #[test]
+    fn engine_matches_legacy_backend_on_identical_streams() {
+        let reports: Vec<Report> = (0..60)
+            .map(|i| usage_report(i % 13, i / 13, i % 7, i + 1))
+            .collect();
+        let mut backend = Backend::new();
+        let mut store = ShardedStore::new(5);
+        for r in &reports {
+            backend.ingest(W, r);
+        }
+        store.ingest_batch(W, &reports);
+        let engine = QueryEngine::new(store.seal(), 2);
+        assert_eq!(
+            FleetQuery::usage_by_app(&backend, W),
+            engine.usage_by_app(W)
+        );
+        assert_eq!(FleetQuery::usage_by_os(&backend, W), engine.usage_by_os(W));
+        assert_eq!(backend.duplicates_dropped(), {
+            let mut probe = ShardedStore::new(5);
+            probe.ingest_batch(W, &reports);
+            probe.duplicates_dropped()
+        });
+    }
+}

@@ -1,0 +1,323 @@
+//! The sharded, snapshot-isolated store.
+//!
+//! [`ShardedStore`] routes every report to one [`StoreShard`] by hashing
+//! `(window, device)`, ingests shards in parallel through
+//! [`crate::exec::run_ordered`], and hands out immutable epoch-numbered
+//! [`Snapshot`]s for the query engine. Snapshots are copy-on-write: a
+//! `seal()` is a handful of `Arc` clones, and ingest after a seal lazily
+//! clones only the shards it actually touches (`Arc::make_mut`), so
+//! queries keep running against frozen state while the next epoch fills.
+
+use std::sync::{Arc, Mutex};
+
+use airstat_stats::rng::splitmix64;
+use airstat_telemetry::backend::{Backend, WindowId};
+use airstat_telemetry::report::Report;
+
+use crate::exec::run_ordered;
+use crate::shard::StoreShard;
+
+/// Store shape and ingest parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of shards (at least 1). Results are byte-identical for
+    /// every value; this only controls partitioning.
+    pub shards: usize,
+    /// Worker threads for parallel ingest (at least 1). Byte-identical
+    /// for every value.
+    pub threads: usize,
+}
+
+/// Default shard count: enough partitions that an 8-way host can ingest
+/// and query with full parallelism at paper scale.
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: DEFAULT_SHARDS,
+            threads: 1,
+        }
+    }
+}
+
+/// Batches smaller than this ingest serially: routing a handful of
+/// reports across a thread pool costs more than the ingest itself.
+const PARALLEL_INGEST_MIN: usize = 1024;
+
+/// A sharded aggregation store (the fleet backend at scale).
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    shards: Vec<Arc<StoreShard>>,
+    epoch: u64,
+    config: StoreConfig,
+}
+
+impl Default for ShardedStore {
+    fn default() -> Self {
+        ShardedStore::with_config(StoreConfig::default())
+    }
+}
+
+impl ShardedStore {
+    /// Creates an empty store with `shards` partitions (serial ingest).
+    pub fn new(shards: usize) -> Self {
+        ShardedStore::with_config(StoreConfig {
+            shards,
+            ..StoreConfig::default()
+        })
+    }
+
+    /// Creates an empty store with the given shape.
+    pub fn with_config(config: StoreConfig) -> Self {
+        let shards = config.shards.max(1);
+        ShardedStore {
+            shards: (0..shards)
+                .map(|_| Arc::new(StoreShard::default()))
+                .collect(),
+            epoch: 0,
+            config: StoreConfig {
+                shards,
+                threads: config.threads.max(1),
+            },
+        }
+    }
+
+    /// The store's shape.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current epoch (bumped by every accepted ingest batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Which shard `(window, device)` routes to.
+    pub fn shard_of(&self, window: WindowId, device: u64) -> usize {
+        shard_index(window, device, self.shards.len())
+    }
+
+    /// Reports accepted across all shards (excluding duplicates).
+    pub fn reports_ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.reports_ingested()).sum()
+    }
+
+    /// Duplicate reports rejected across all shards.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.duplicates_dropped()).sum()
+    }
+
+    /// Ingests a batch of reports into `window`, returning how many were
+    /// accepted (non-duplicates).
+    ///
+    /// Reports are routed to their shards in batch order (per-device
+    /// arrival order is preserved) and the shards then ingest
+    /// independently — in parallel via [`run_ordered`] when the batch is
+    /// large enough and `threads > 1`, serially otherwise. Both paths
+    /// produce identical state, so the thread count never changes a
+    /// query answer.
+    pub fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
+        if reports.is_empty() {
+            return 0;
+        }
+        self.epoch += 1;
+        let n = self.shards.len();
+        let mut routed: Vec<Vec<&Report>> = (0..n).map(|_| Vec::new()).collect();
+        for report in reports {
+            routed[shard_index(window, report.device, n)].push(report);
+        }
+        let threads = self.config.threads;
+        let mut accepted = 0u64;
+        if threads > 1 && reports.len() >= PARALLEL_INGEST_MIN {
+            // Each worker takes exclusive ownership of one shard slot; the
+            // mutexes are uncontended (one lock per shard per batch) and
+            // only exist to hand `&mut StoreShard` across the scope.
+            let slots: Vec<Mutex<&mut StoreShard>> = self
+                .shards
+                .iter_mut()
+                .map(|shard| Mutex::new(Arc::make_mut(shard)))
+                .collect();
+            run_ordered(
+                threads,
+                n,
+                |i| {
+                    let mut shard = slots[i].lock().expect("shard lock");
+                    routed[i]
+                        .iter()
+                        .filter(|report| shard.ingest(window, report))
+                        .count() as u64
+                },
+                |_, a| accepted += a,
+            );
+        } else {
+            for (shard, batch) in self.shards.iter_mut().zip(&routed) {
+                let shard = Arc::make_mut(shard);
+                accepted += batch
+                    .iter()
+                    .filter(|report| shard.ingest(window, report))
+                    .count() as u64;
+            }
+        }
+        accepted
+    }
+
+    /// Seals the current state into an immutable snapshot.
+    ///
+    /// Cheap (one `Arc` clone per shard): the shards are shared, not
+    /// copied, and later ingest copies-on-write only what it touches.
+    pub fn seal(&self) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch,
+            shards: self.shards.clone(),
+        }
+    }
+}
+
+/// Routes `(window, device)` to a shard with a splitmix64 hash, so the
+/// partition is stable across runs and independent of HashMap seeds.
+fn shard_index(window: WindowId, device: u64, shards: usize) -> usize {
+    (splitmix64(device ^ (u64::from(window.0) << 48)) % shards as u64) as usize
+}
+
+/// An immutable, epoch-numbered view of the store.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    shards: Vec<Arc<StoreShard>>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot froze.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen shards.
+    pub fn shards(&self) -> &[Arc<StoreShard>] {
+        &self.shards
+    }
+
+    /// Reports accepted across all shards at seal time.
+    pub fn reports_ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.reports_ingested()).sum()
+    }
+
+    /// Duplicates rejected across all shards at seal time.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.duplicates_dropped()).sum()
+    }
+}
+
+/// Anything that can absorb drained report batches.
+///
+/// The engine runs against this trait so the same campaign can fill the
+/// legacy [`Backend`] (differential tests) or a [`ShardedStore`]
+/// (production path) from identical streams.
+pub trait ReportSink {
+    /// Ingests a batch into `window`; returns accepted (non-duplicate)
+    /// report count.
+    fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64;
+}
+
+impl ReportSink for ShardedStore {
+    fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
+        ShardedStore::ingest_batch(self, window, reports)
+    }
+}
+
+impl ReportSink for Backend {
+    fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
+        Backend::ingest_batch(self, window, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_classify::apps::Application;
+    use airstat_classify::mac::{MacAddress, Oui};
+    use airstat_telemetry::report::{ReportPayload, UsageRecord};
+
+    const W: WindowId = WindowId(1501);
+
+    fn usage_report(device: u64, seq: u64, bytes: u64) -> Report {
+        Report {
+            device,
+            seq,
+            timestamp_s: 0,
+            payload: ReportPayload::Usage(vec![UsageRecord {
+                mac: MacAddress::from_id(Oui([2, 4, 6]), device),
+                app: Application::Netflix,
+                up_bytes: bytes,
+                down_bytes: 0,
+            }]),
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let store = ShardedStore::new(7);
+        for device in 0..200u64 {
+            let shard = store.shard_of(W, device);
+            assert!(shard < 7);
+            assert_eq!(shard, store.shard_of(W, device), "stable");
+        }
+        // Different windows may route the same device elsewhere.
+        let moved = (0..200u64).any(|d| store.shard_of(W, d) != store.shard_of(WindowId(1401), d));
+        assert!(moved, "window participates in the hash");
+    }
+
+    #[test]
+    fn accepted_and_duplicate_counts_cross_shards() {
+        let mut store = ShardedStore::new(4);
+        let reports: Vec<Report> = (0..50).map(|d| usage_report(d, 0, 10)).collect();
+        assert_eq!(store.ingest_batch(W, &reports), 50);
+        assert_eq!(store.ingest_batch(W, &reports), 0, "all duplicates");
+        assert_eq!(store.reports_ingested(), 50);
+        assert_eq!(store.duplicates_dropped(), 50);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_ingest() {
+        let mut store = ShardedStore::new(3);
+        store.ingest_batch(W, &[usage_report(1, 0, 10)]);
+        let frozen = store.seal();
+        assert_eq!(frozen.epoch(), 1);
+        store.ingest_batch(W, &[usage_report(2, 0, 10), usage_report(1, 1, 5)]);
+        assert_eq!(frozen.reports_ingested(), 1, "snapshot unchanged");
+        assert_eq!(store.reports_ingested(), 3);
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_ingest_agree() {
+        let reports: Vec<Report> = (0..3000u64)
+            .map(|i| usage_report(i % 97, i / 97, i + 1))
+            .collect();
+        let mut serial = ShardedStore::with_config(StoreConfig {
+            shards: 5,
+            threads: 1,
+        });
+        let mut parallel = ShardedStore::with_config(StoreConfig {
+            shards: 5,
+            threads: 4,
+        });
+        let a = serial.ingest_batch(W, &reports);
+        let b = parallel.ingest_batch(W, &reports);
+        assert_eq!(a, b);
+        assert_eq!(serial.reports_ingested(), parallel.reports_ingested());
+        for (s, p) in serial.seal().shards().iter().zip(parallel.seal().shards()) {
+            assert_eq!(s.reports_ingested(), p.reports_ingested());
+            assert_eq!(
+                s.window(W).map(|t| t.usage.clone()),
+                p.window(W).map(|t| t.usage.clone())
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the sharded store.
+//!
+//! The determinism contract, attacked from proptest's corner: for any
+//! report batch (including wire-level duplicate retransmissions), the
+//! aggregates the paper's tables hang off — `usage_by_os`,
+//! `client_count`, `duplicates_dropped` — are invariant under both the
+//! ingest-order permutation and the shard count. The reference is always
+//! the unsharded store fed in generation order.
+
+use airstat_classify::apps::Application;
+use airstat_classify::device::OsFamily;
+use airstat_classify::mac::MacAddress;
+use airstat_rf::band::Band;
+use airstat_rf::phy::{Capabilities, Generation};
+use airstat_stats::rng::splitmix64;
+use airstat_store::{FleetQuery, QueryEngine, ShardedStore, StoreConfig};
+use airstat_telemetry::backend::WindowId;
+use airstat_telemetry::report::{ClientInfoRecord, LinkRecord, Report, ReportPayload, UsageRecord};
+use proptest::prelude::*;
+
+const W: WindowId = WindowId(1501);
+
+fn any_mac() -> impl Strategy<Value = MacAddress> {
+    // A small MAC space so distinct reports collide on clients, exercising
+    // the cross-shard merge rules rather than pure unions.
+    (0u8..6).prop_map(|i| MacAddress::new([2, 0, 0, 0, 0, i]))
+}
+
+fn any_payload() -> impl Strategy<Value = ReportPayload> {
+    prop_oneof![
+        prop::collection::vec(
+            (any_mac(), 0usize..Application::ALL.len(), any::<u32>()).prop_map(
+                |(mac, app, bytes)| UsageRecord {
+                    mac,
+                    app: Application::ALL[app],
+                    up_bytes: u64::from(bytes),
+                    down_bytes: u64::from(bytes) * 9,
+                }
+            ),
+            0..6
+        )
+        .prop_map(ReportPayload::Usage),
+        prop::collection::vec(
+            (any_mac(), 0usize..OsFamily::ALL.len(), -90.0f64..-30.0).prop_map(
+                |(mac, os, rssi_dbm)| ClientInfoRecord {
+                    mac,
+                    os: OsFamily::ALL[os],
+                    caps: Capabilities::new(Generation::N, true, false, 2),
+                    band: Band::Ghz2_4,
+                    rssi_dbm,
+                }
+            ),
+            0..6
+        )
+        .prop_map(ReportPayload::ClientInfo),
+        prop::collection::vec(
+            (any::<u8>(), 1u32..100).prop_map(|(peer, expected)| LinkRecord {
+                peer_device: u64::from(peer),
+                band: Band::Ghz5,
+                probes_expected: expected,
+                probes_received: expected / 2,
+            }),
+            0..6
+        )
+        .prop_map(ReportPayload::Links),
+    ]
+}
+
+/// Deterministic Fisher–Yates driven by `splitmix64`, so every failing
+/// case shrinks reproducibly (the vendored proptest has no shuffle
+/// strategy).
+fn shuffle(reports: &[Report], salt: u64) -> Vec<Report> {
+    let mut out = reports.to_vec();
+    let mut state = salt;
+    for i in (1..out.len()).rev() {
+        state = splitmix64(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let j = (state % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// The aggregate triple under test, from one ingest of `reports`.
+fn aggregates(
+    reports: &[Report],
+    shards: usize,
+    threads: usize,
+) -> (
+    Vec<(OsFamily, airstat_telemetry::backend::UsageTotals, u64)>,
+    usize,
+    u64,
+) {
+    let mut store = ShardedStore::with_config(StoreConfig { shards, threads });
+    store.ingest_batch(W, reports);
+    let duplicates = store.duplicates_dropped();
+    let engine = QueryEngine::new(store.seal(), threads);
+    (engine.usage_by_os(W), engine.client_count(W), duplicates)
+}
+
+proptest! {
+    #[test]
+    fn aggregates_are_order_and_shard_invariant(
+        payloads in prop::collection::vec(any_payload(), 1..20),
+        dup_salt in any::<u64>(),
+        order_salt in any::<u64>(),
+        shards in 1usize..9,
+        threads in 1usize..4,
+    ) {
+        // Unique (device, seq) per generated report; a pseudo-random
+        // subset is retransmitted verbatim, as the lossy tunnel would.
+        let base: Vec<Report> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| Report {
+                device: (i % 5) as u64,
+                seq: (i / 5) as u64 + 1,
+                timestamp_s: 1_000 + i as u64,
+                payload,
+            })
+            .collect();
+        let mut reports = base.clone();
+        let mut state = dup_salt;
+        for report in &base {
+            state = splitmix64(state);
+            if state % 3 == 0 {
+                reports.push(report.clone());
+            }
+        }
+
+        let reference = aggregates(&reports, 1, 1);
+        let permuted = aggregates(&shuffle(&reports, order_salt), shards, threads);
+        prop_assert_eq!(&reference, &permuted);
+        // And the expected duplicate count is exactly the retransmissions.
+        prop_assert_eq!(reference.2, (reports.len() - base.len()) as u64);
+    }
+}

@@ -178,7 +178,7 @@ pub struct CrashSignature {
 }
 
 /// Fleet-wide crash aggregation (the backend's debugging view).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CrashAggregator {
     reports: Vec<CrashReport>,
 }

@@ -29,9 +29,9 @@ fn main() {
     let baseline = FleetSimulation::new(small_config(None)).run();
     println!(
         "baseline (no faults): {} reports ingested, completeness {:.1}%, {} duplicates\n",
-        baseline.backend.reports_ingested(),
+        baseline.store.reports_ingested(),
         baseline.degradation.completeness() * 100.0,
-        baseline.backend.duplicates_dropped(),
+        baseline.store.duplicates_dropped(),
     );
 
     // The three canned scenarios, mildest first. See docs/EXPERIMENTS.md

@@ -33,7 +33,7 @@ fn main() {
     eprintln!(
         "simulation finished in {:.1?}: {} reports ingested, {} polls lost and retransmitted",
         start.elapsed(),
-        output.backend.reports_ingested(),
+        output.store.reports_ingested(),
         output.polls_lost
     );
     eprintln!("{}", output.throughput_summary());

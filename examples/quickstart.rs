@@ -10,6 +10,7 @@ use airstat::core::tables::OsUsageTable;
 use airstat::rf::band::Band;
 use airstat::sim::config::{WINDOW_JAN_2014, WINDOW_JAN_2015};
 use airstat::sim::{FleetConfig, FleetSimulation};
+use airstat::store::FleetQuery;
 
 fn main() {
     // 0.5% of the paper's fleet: ~100 networks, ~28k clients, runs in
@@ -26,13 +27,15 @@ fn main() {
     let output = FleetSimulation::new(config).run();
     println!(
         "ingested {} reports ({} duplicate retransmissions rejected, {} polls lost in transit)\n",
-        output.backend.reports_ingested(),
-        output.backend.duplicates_dropped(),
+        output.store.reports_ingested(),
+        output.store.duplicates_dropped(),
         output.polls_lost,
     );
+    // One cached query engine over the sealed store serves every lookup.
+    let query = output.query();
 
     // Table 3, the paper's usage-by-OS table.
-    let table = OsUsageTable::compute(&output.backend, WINDOW_JAN_2015, WINDOW_JAN_2014);
+    let table = OsUsageTable::compute(&query, WINDOW_JAN_2015, WINDOW_JAN_2014);
     println!("Usage by operating system (January 2015, growth vs January 2014):\n");
     println!("{table}");
 
@@ -44,9 +47,7 @@ fn main() {
         ios.clients as f64 / win.clients as f64,
         ios.totals.total() as f64 / win.totals.total() as f64,
     );
-    let util = output
-        .backend
-        .serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4);
+    let util = query.serving_utilizations(WINDOW_JAN_2015, Band::Ghz2_4);
     let ecdf = airstat::stats::Ecdf::new(util);
     println!(
         "median 2.4 GHz serving-channel utilization across the fleet: {:.0}%",

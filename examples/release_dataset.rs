@@ -29,7 +29,7 @@ fn main() {
     // but cannot be joined against any other release.
     let salt = config.seed ^ 0x5EC2E7;
     let release = build_release(
-        &output.backend,
+        &output.query(),
         &[(WINDOW_JUL_2014, "2014-07"), (WINDOW_JAN_2015, "2015-01")],
         salt,
     );

@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (includes the store-vs-legacy differential in tests/store_equivalence.rs)"
 cargo test -q --offline
+
+echo "==> cargo test -q -p airstat-store (sharded store: unit, property, and engine-vs-backend tests)"
+cargo test -q --offline -p airstat-store
 
 echo "==> cargo test --doc (telemetry pipeline doctests)"
 cargo test -q --offline -p airstat-telemetry --doc
@@ -17,7 +20,8 @@ cargo test -q --offline -p airstat-telemetry --doc
 echo "==> cargo doc (airstat crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline \
     -p airstat -p airstat-stats -p airstat-rf -p airstat-classify \
-    -p airstat-telemetry -p airstat-sim -p airstat-core -p airstat-bench
+    -p airstat-telemetry -p airstat-store -p airstat-sim -p airstat-core \
+    -p airstat-bench
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,7 +1,7 @@
 //! `airstat` — the command-line front end.
 //!
 //! ```text
-//! airstat report  [--scale 0.01] [--seed N] [--threads T]  # every table and figure
+//! airstat report  [--scale 0.01] [--seed N] [--threads T] [--shards K]
 //! airstat table   <2|3|4|5|6|7>  [--scale ...]             # one table
 //! airstat figure  <1..11>        [--scale ...]             # one figure
 //! airstat release <dir>          [--scale ...]             # the anonymized dataset
@@ -11,6 +11,11 @@
 //! Any simulating command also accepts `--faults <scenario>` to run the
 //! campaign under a deterministic fault-injection schedule; a degradation
 //! report is then printed to stderr next to the throughput summary.
+//!
+//! Reports land in a sharded snapshot store (`--shards`, default 8) and
+//! the analytics run through its parallel cached query engine; stdout is
+//! byte-identical for every `--shards`/`--threads` combination, and the
+//! store's cache statistics print to stderr.
 
 use airstat::core::export::build_release;
 use airstat::core::{DegradationReport, PaperReport};
@@ -35,11 +40,12 @@ struct Options {
     scale: f64,
     seed: Option<u64>,
     threads: Option<usize>,
+    shards: Option<usize>,
     faults: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--faults NAME]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -50,6 +56,8 @@ fn usage() -> &'static str {
      --seed N      root random seed (u64, decimal or 0x-hex)\n\
      --threads T   worker threads (>= 1); output is byte-identical for\n\
                    every value, default = available CPU cores\n\
+     --shards K    snapshot-store shards (>= 1); output is byte-identical\n\
+                   for every value, default 8\n\
      --faults NAME run under a fault-injection campaign and print a\n\
                    degradation report; NAME is one of zero, tunnel-loss,\n\
                    dc-outage, queue-pressure"
@@ -69,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut scale = 0.01f64;
     let mut seed = None;
     let mut threads = None;
+    let mut shards = None;
     let mut faults = None;
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +105,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--threads must be >= 1".into());
                 }
                 threads = Some(t);
+            }
+            "--shards" => {
+                i += 1;
+                let value = args.get(i).ok_or("--shards needs a value")?;
+                let k: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad shard count: {value}"))?;
+                if k == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+                shards = Some(k);
             }
             "--faults" => {
                 i += 1;
@@ -153,6 +173,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scale,
         seed,
         threads,
+        shards,
         faults,
     })
 }
@@ -164,6 +185,9 @@ fn run(options: Options) -> Result<(), String> {
     }
     if let Some(threads) = options.threads {
         config.threads = threads;
+    }
+    if let Some(shards) = options.shards {
+        config.shards = shards;
     }
     if let Some(name) = &options.faults {
         config.faults = FaultSchedule::by_name(name);
@@ -183,9 +207,10 @@ fn run(options: Options) -> Result<(), String> {
     }
 
     eprintln!(
-        "running campaign at {:.2}% scale on {} thread(s)...",
+        "running campaign at {:.2}% scale on {} thread(s), {} store shard(s)...",
         options.scale * 100.0,
-        config.effective_threads()
+        config.effective_threads(),
+        config.effective_shards()
     );
     let output = FleetSimulation::new(config.clone()).run();
     eprintln!("{}", output.throughput_summary());
@@ -195,14 +220,17 @@ fn run(options: Options) -> Result<(), String> {
             DegradationReport::from_simulation(&output, schedule.name())
         );
     }
+    // One engine serves every command below, so repeated lookups (the
+    // report recomputes client panels several times) hit its cache.
+    let engine = output.query();
 
     match options.command {
         Command::Report => {
-            let report = PaperReport::from_simulation(&output, &config);
+            let report = PaperReport::from_query(&engine, &config);
             println!("{report}");
         }
         Command::Table(n) => {
-            let report = PaperReport::from_simulation(&output, &config);
+            let report = PaperReport::from_query(&engine, &config);
             match n {
                 2 => println!("{}", report.table2),
                 3 => println!("{}", report.table3),
@@ -214,7 +242,7 @@ fn run(options: Options) -> Result<(), String> {
             }
         }
         Command::Figure(n) => {
-            let report = PaperReport::from_simulation(&output, &config);
+            let report = PaperReport::from_query(&engine, &config);
             match n {
                 1 => println!("{}", report.figure1),
                 2 => println!("{}", report.figure2),
@@ -235,7 +263,7 @@ fn run(options: Options) -> Result<(), String> {
         }
         Command::Release(dir) => {
             let release = build_release(
-                &output.backend,
+                &engine,
                 &[(WINDOW_JUL_2014, "2014-07"), (WINDOW_JAN_2015, "2015-01")],
                 config.seed ^ 0x5EC2E7,
             );
@@ -252,6 +280,7 @@ fn run(options: Options) -> Result<(), String> {
         }
         Command::Info => unreachable!("handled above"),
     }
+    eprintln!("{}", engine.stats());
     Ok(())
 }
 
@@ -309,12 +338,15 @@ mod tests {
             "0xBEEF",
             "--threads",
             "8",
+            "--shards",
+            "5",
         ])
         .unwrap();
         assert_eq!(o.command, Command::Table(4));
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, Some(0xBEEF));
         assert_eq!(o.threads, Some(8));
+        assert_eq!(o.shards, Some(5));
     }
 
     #[test]
@@ -322,6 +354,7 @@ mod tests {
         assert_eq!(parse(&["report"]).unwrap().scale, 0.01);
         assert_eq!(parse(&["report"]).unwrap().seed, None);
         assert_eq!(parse(&["report"]).unwrap().threads, None);
+        assert_eq!(parse(&["report"]).unwrap().shards, None);
         assert_eq!(parse(&["report"]).unwrap().faults, None);
     }
 
@@ -349,6 +382,8 @@ mod tests {
         assert!(parse(&["report", "--bogus"]).is_err());
         assert!(parse(&["report", "--threads", "0"]).is_err());
         assert!(parse(&["report", "--threads", "many"]).is_err());
+        assert!(parse(&["report", "--shards", "0"]).is_err());
+        assert!(parse(&["report", "--shards", "few"]).is_err());
         assert!(parse(&[]).is_err());
     }
 

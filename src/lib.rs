@@ -6,7 +6,9 @@
 //! * [`stats`] — statistics substrate (histograms, CDFs, samplers, seeds);
 //! * [`rf`] — 802.11 PHY/MAC and RF-environment models;
 //! * [`classify`] — device-OS and application classifiers;
-//! * [`telemetry`] — wire format, faulty transport, backend store;
+//! * [`telemetry`] — wire format, faulty transport, legacy backend store;
+//! * [`store`] — the sharded snapshot store and its parallel cached
+//!   query engine (the production aggregation path);
 //! * [`sim`] — the synthetic fleet and measurement campaign;
 //! * [`core`] — the paper's tables and figures as typed analytics.
 //!
@@ -30,4 +32,5 @@ pub use airstat_core as core;
 pub use airstat_rf as rf;
 pub use airstat_sim as sim;
 pub use airstat_stats as stats;
+pub use airstat_store as store;
 pub use airstat_telemetry as telemetry;

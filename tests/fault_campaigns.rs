@@ -12,6 +12,7 @@ use airstat::rf::band::Band;
 use airstat::sim::config::{WINDOW_JAN_2014, WINDOW_JAN_2015, WINDOW_JUL_2014};
 use airstat::sim::engine::SimulationOutput;
 use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation};
+use airstat::store::FleetQuery;
 
 fn campaign_config(threads: usize, faults: Option<FaultSchedule>) -> FleetConfig {
     FleetConfig {
@@ -29,36 +30,29 @@ fn campaign_config(threads: usize, faults: Option<FaultSchedule>) -> FleetConfig
 /// so two runs can be compared byte for byte.
 fn digest(output: &SimulationOutput) -> String {
     use std::fmt::Write as _;
+    let q = output.query();
     let mut d = String::new();
     for window in [WINDOW_JAN_2014, WINDOW_JUL_2014, WINDOW_JAN_2015] {
-        let _ = writeln!(
-            d,
-            "apps {window:?}: {:?}",
-            output.backend.usage_by_app(window)
-        );
-        let _ = writeln!(
-            d,
-            "oses {window:?}: {:?}",
-            output.backend.usage_by_os(window)
-        );
+        let _ = writeln!(d, "apps {window:?}: {:?}", q.usage_by_app(window));
+        let _ = writeln!(d, "oses {window:?}: {:?}", q.usage_by_os(window));
         for band in [Band::Ghz2_4, Band::Ghz5] {
             let _ = writeln!(
                 d,
                 "delivery {window:?} {band:?}: {:?}",
-                output.backend.mean_delivery_ratios(window, band)
+                q.mean_delivery_ratios(window, band)
             );
             let _ = writeln!(
                 d,
                 "nearby {window:?} {band:?}: {:?}",
-                output.backend.nearby_summary(window, band)
+                q.nearby_summary(window, band)
             );
         }
     }
     let _ = writeln!(
         d,
         "ingested {} duplicates {} bytes {} polls {}/{}",
-        output.backend.reports_ingested(),
-        output.backend.duplicates_dropped(),
+        output.store.reports_ingested(),
+        output.store.duplicates_dropped(),
         output.bytes_encoded,
         output.polls_lost,
         output.polls_attempted,
@@ -109,10 +103,10 @@ fn tunnel_loss_campaign_is_lossless_end_to_end() {
     let t = &output.degradation;
     assert_eq!(t.completeness(), 1.0, "retry + dedup recover every report");
     assert!(
-        output.backend.duplicates_dropped() > 0,
+        output.store.duplicates_dropped() > 0,
         "lost acks must force wire-level retransmissions"
     );
-    assert_eq!(output.backend.duplicates_dropped(), t.redelivered);
+    assert_eq!(output.store.duplicates_dropped(), t.redelivered);
     assert!(t.polls_lost > 0, "the tunnel really was lossy");
     assert!(t.failovers > 0, "flaps must trip the DC failover");
     assert_eq!(t.dropped_overflow + t.lost_to_crash + t.left_queued, 0);
@@ -125,7 +119,7 @@ fn dc_outage_campaign_degrades_gracefully() {
     let t = &output.degradation;
     // The headline acceptance criteria: duplicates appear and
     // completeness drops below 100%.
-    assert!(output.backend.duplicates_dropped() > 0);
+    assert!(output.store.duplicates_dropped() > 0);
     assert!(t.completeness() < 1.0, "outage overflows bounded queues");
     assert!(t.completeness() > 0.5, "but most data still arrives");
     assert!(t.dropped_overflow > 0, "loss is attributed to overflow");
@@ -144,8 +138,8 @@ fn dc_outage_campaign_degrades_gracefully() {
     // The analytics tables are computed from *accepted* reports only, so
     // the faulted backend never sees more clients than the healthy one.
     assert!(
-        output.backend.client_count(WINDOW_JAN_2015)
-            <= healthy.backend.client_count(WINDOW_JAN_2015)
+        output.query().client_count(WINDOW_JAN_2015)
+            <= healthy.query().client_count(WINDOW_JAN_2015)
     );
 }
 

@@ -16,6 +16,7 @@ use airstat::sim::surge::{generate_daily_series, UpdateEvent, WEEKDAY_ACTIVITY};
 use airstat::sim::world::{NeighborEpoch, World};
 use airstat::sim::{FleetConfig, FleetSimulation};
 use airstat::stats::SeedTree;
+use airstat::store::FleetQuery;
 use airstat::telemetry::crash::{CrashSignature, RebootReason};
 
 #[test]
@@ -26,7 +27,7 @@ fn fleet_run_surfaces_the_manhattan_bug() {
     let config = FleetConfig::paper(0.02);
     let output = FleetSimulation::new(config).run();
     let crashes = output
-        .backend
+        .query()
         .crashes(WINDOW_JAN_2015)
         .expect("some APs must crash");
     let signature = CrashSignature {
@@ -199,7 +200,7 @@ fn dataset_release_covers_both_windows() {
     let config = FleetConfig::smoke();
     let output = FleetSimulation::new(config.clone()).run();
     let release = build_release(
-        &output.backend,
+        &output.query(),
         &[(WINDOW_JUL_2014, "2014-07"), (WINDOW_JAN_2015, "2015-01")],
         1,
     );
