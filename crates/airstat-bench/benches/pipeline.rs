@@ -18,7 +18,7 @@ use airstat_classify::mac::MacAddress;
 use airstat_classify::Application;
 use airstat_sim::{FleetConfig, FleetSimulation};
 use airstat_stats::SeedTree;
-use airstat_store::{QueryPlan, ShardedStore, StoreConfig};
+use airstat_store::{QueryBackend, QueryEngine, QueryPlan, ShardedStore, StoreConfig};
 use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
 use std::hint::black_box;
@@ -139,10 +139,20 @@ fn store_query(c: &mut Criterion) {
     let plan = QueryPlan::UsageByOs(airstat_sim::config::WINDOW_JAN_2015);
     let mut group = c.benchmark_group("store_query");
     // Cold: a fresh engine (empty cache) per sample — full per-shard
-    // compute plus the deterministic merge.
+    // compute plus the deterministic merge. The default backend is the
+    // columnar scan kernels; the legacy map-backed path runs alongside
+    // so the layouts are directly comparable.
     group.bench_function("usage_by_os_cold", |b| {
         b.iter_with_setup(|| output.query(), |engine| engine.execute(black_box(&plan)))
     });
+    for backend in [QueryBackend::Columnar, QueryBackend::Legacy] {
+        group.bench_function(format!("usage_by_os_cold_{}", backend.name()), |b| {
+            b.iter_with_setup(
+                || QueryEngine::with_backend(output.store.seal(), output.threads, backend),
+                |engine| engine.execute(black_box(&plan)),
+            )
+        });
+    }
     // Cached: the same engine serves every sample after the first, so
     // this measures an epoch-keyed cache hit.
     let warm = output.query();

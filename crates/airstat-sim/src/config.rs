@@ -7,6 +7,7 @@
 //! pipeline runs in seconds on a laptop while keeping every distribution's
 //! *shape*; `scale = 1.0` reproduces the paper's magnitudes.
 
+use airstat_store::QueryBackend;
 use airstat_telemetry::backend::WindowId;
 
 use crate::faults::FaultSchedule;
@@ -82,6 +83,10 @@ pub struct FleetConfig {
     /// reproduces the `None` output byte for byte (differential-tested),
     /// and campaigns stay byte-identical across thread counts.
     pub faults: Option<FaultSchedule>,
+    /// Physical layout the query engine reads: the columnar scan
+    /// kernels (default) or the legacy map-backed path. Both produce
+    /// byte-identical reports; they differ only in cold-query cost.
+    pub query_backend: QueryBackend,
 }
 
 impl Default for FleetConfig {
@@ -110,6 +115,7 @@ impl FleetConfig {
             threads: default_threads(),
             shards: airstat_store::DEFAULT_SHARDS,
             faults: None,
+            query_backend: QueryBackend::default(),
         }
     }
 

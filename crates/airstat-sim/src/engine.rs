@@ -44,7 +44,7 @@ use airstat_rf::link::{FadingProcess, LinkModel};
 use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_stats::dist::{Exponential, LogNormal};
 use airstat_stats::SeedTree;
-use airstat_store::{QueryEngine, ReportSink, ShardedStore, StoreConfig};
+use airstat_store::{QueryBackend, QueryEngine, ReportSink, ShardedStore, StoreConfig};
 use airstat_telemetry::backend::WindowId;
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
 use airstat_telemetry::poll::{drain_with_policy, PollPolicy};
@@ -111,6 +111,9 @@ pub struct SimulationOutput {
     pub bytes_encoded: u64,
     /// Worker threads the run actually used.
     pub threads: usize,
+    /// Physical query layout the run was configured with; threaded
+    /// through to every engine [`SimulationOutput::query`] opens.
+    pub query_backend: QueryBackend,
     /// Campaign-wide degradation accounting (completeness, latency,
     /// fault counters). With `FleetConfig::faults = None` this is the
     /// healthy baseline: completeness 1.0, no failovers, no crash loss.
@@ -124,9 +127,10 @@ impl SimulationOutput {
     }
 
     /// Seals the store and opens a cached parallel query engine over the
-    /// frozen snapshot, using the run's worker-thread count.
+    /// frozen snapshot, using the run's worker-thread count and
+    /// configured query backend.
     pub fn query(&self) -> QueryEngine {
-        QueryEngine::new(self.store.seal(), self.threads)
+        QueryEngine::with_backend(self.store.seal(), self.threads, self.query_backend)
     }
 
     /// A human-readable per-panel throughput table (wall time, report and
@@ -246,6 +250,7 @@ impl FleetSimulation {
             panels: run.panels,
             bytes_encoded: run.bytes_encoded,
             threads: run.threads,
+            query_backend: self.config.query_backend,
             degradation: run.degradation,
         }
     }

@@ -1,0 +1,390 @@
+//! Columnar (struct-of-arrays) projection of sealed shards.
+//!
+//! The map-backed [`crate::shard::WindowTables`] are the *write*
+//! layout: `BTreeMap`s absorb out-of-order ingest with canonical
+//! iteration. They are a poor *read* layout — a cold query walks
+//! pointer-chased tree nodes and the legacy engine additionally cloned
+//! whole tables per shard before merging. [`ColumnarShard`] is the read
+//! layout built once per sealed epoch: every per-window table is packed
+//! into sorted key columns plus struct-of-arrays value columns, so a
+//! scan kernel touches contiguous memory and a cross-shard merge is a
+//! k-way walk over pre-sorted runs instead of map clones.
+//!
+//! Layout contract (what makes the columnar backend byte-identical to
+//! the map-backed one):
+//!
+//! * key columns are sorted ascending — they are produced by iterating
+//!   the shard's `BTreeMap`s, so the per-shard run order *is* the
+//!   canonical merge order the legacy engine flattens into;
+//! * variadic tables (link series, census rows, scans, crashes) use a
+//!   CSR encoding: one offsets column of `len + 1` positions into flat
+//!   value columns, preserving the per-key order the maps held
+//!   (arrival order for link series, `(seq, slot)` order for scans and
+//!   crashes);
+//! * `merge_runs` combines equal keys in ascending shard order —
+//!   exactly the order in which the legacy engine folded per-shard
+//!   partials into its merge `BTreeMap` — so saturating sums and
+//!   last-writer conflict rules see operands in the same sequence.
+
+use std::collections::BTreeMap;
+
+use airstat_classify::apps::Application;
+use airstat_classify::device::OsFamily;
+use airstat_classify::mac::MacAddress;
+use airstat_rf::band::{Band, Channel};
+use airstat_rf::phy::Capabilities;
+use airstat_telemetry::backend::{
+    ClientIdentity, LinkKey, LinkObservation, ScanObservation, UsageTotals, WindowId,
+};
+use airstat_telemetry::crash::CrashReport;
+
+use crate::shard::{ClientMeta, StoreShard, WindowTables};
+
+/// One shard's columnar projection: a packed, read-optimized copy of
+/// every window the shard holds, built by [`ColumnarShard::build`] at
+/// seal time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnarShard {
+    windows: BTreeMap<WindowId, ColumnarWindow>,
+}
+
+impl ColumnarShard {
+    /// Projects `shard`'s window tables into columnar form.
+    pub fn build(shard: &StoreShard) -> Self {
+        ColumnarShard {
+            windows: shard
+                .windows()
+                .map(|(window, tables)| (window, ColumnarWindow::build(tables)))
+                .collect(),
+        }
+    }
+
+    /// The columnar tables for `window`, if the shard holds any.
+    pub fn window(&self, window: WindowId) -> Option<&ColumnarWindow> {
+        self.windows.get(&window)
+    }
+
+    /// Windows this shard holds, ascending.
+    pub fn window_ids(&self) -> impl Iterator<Item = WindowId> + '_ {
+        self.windows.keys().copied()
+    }
+}
+
+/// The struct-of-arrays tables for one `(shard, window)` pair.
+///
+/// Every `*_mac` / `*_key` / `*_device` column is sorted ascending;
+/// parallel value columns share its indices. CSR tables pair a
+/// `*_offsets` column (`len + 1` entries, starting at 0) with flat
+/// per-observation columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnarWindow {
+    // usage: one row per (client MAC, application) cell.
+    pub(crate) usage_mac: Vec<MacAddress>,
+    pub(crate) usage_app: Vec<Application>,
+    pub(crate) usage_up: Vec<u64>,
+    pub(crate) usage_down: Vec<u64>,
+    // clients: one row per MAC, identity split into SoA columns with the
+    // winning write's provenance (needed for cross-shard conflicts).
+    pub(crate) client_mac: Vec<MacAddress>,
+    pub(crate) client_meta: Vec<ClientMeta>,
+    pub(crate) client_os: Vec<OsFamily>,
+    pub(crate) client_caps: Vec<Capabilities>,
+    pub(crate) client_band: Vec<Band>,
+    pub(crate) client_rssi: Vec<f64>,
+    // links: CSR — observation series per link key, arrival order.
+    pub(crate) link_keys: Vec<LinkKey>,
+    pub(crate) link_offsets: Vec<usize>,
+    pub(crate) link_ts: Vec<u64>,
+    pub(crate) link_ratio: Vec<f64>,
+    // airtime: one row per (device, band) serving radio.
+    pub(crate) airtime_key: Vec<(u64, Band)>,
+    pub(crate) airtime_elapsed: Vec<u64>,
+    pub(crate) airtime_busy: Vec<u64>,
+    // census: flat — latest neighbour rows, grouped by device; the
+    // kernels only need whole-window sums, so no offsets are kept.
+    pub(crate) census_device: Vec<u64>,
+    pub(crate) census_band: Vec<Band>,
+    pub(crate) census_channel: Vec<u16>,
+    pub(crate) census_networks: Vec<u32>,
+    pub(crate) census_hotspots: Vec<u32>,
+    // scans: CSR — channel-scan observations per device, (seq, slot)
+    // order.
+    pub(crate) scan_device: Vec<u64>,
+    pub(crate) scan_offsets: Vec<usize>,
+    pub(crate) scan_ts: Vec<u64>,
+    pub(crate) scan_channel: Vec<Channel>,
+    pub(crate) scan_util_ppm: Vec<u32>,
+    pub(crate) scan_decodable_ppm: Vec<u32>,
+    pub(crate) scan_networks: Vec<u32>,
+    // crashes: CSR — crash reports per device, (seq, slot) order. The
+    // rows stay whole (they carry a firmware string); only the device
+    // key column is packed.
+    pub(crate) crash_device: Vec<u64>,
+    pub(crate) crash_offsets: Vec<usize>,
+    pub(crate) crash_rows: Vec<CrashReport>,
+}
+
+impl ColumnarWindow {
+    fn build(t: &WindowTables) -> Self {
+        let mut w = ColumnarWindow::default();
+
+        w.usage_mac.reserve(t.usage.len());
+        w.usage_app.reserve(t.usage.len());
+        w.usage_up.reserve(t.usage.len());
+        w.usage_down.reserve(t.usage.len());
+        for (&(mac, app), totals) in &t.usage {
+            w.usage_mac.push(mac);
+            w.usage_app.push(app);
+            w.usage_up.push(totals.up_bytes);
+            w.usage_down.push(totals.down_bytes);
+        }
+
+        w.client_mac.reserve(t.clients.len());
+        for (&mac, &(meta, identity)) in &t.clients {
+            w.client_mac.push(mac);
+            w.client_meta.push(meta);
+            w.client_os.push(identity.os);
+            w.client_caps.push(identity.caps);
+            w.client_band.push(identity.band);
+            w.client_rssi.push(identity.rssi_dbm);
+        }
+
+        w.link_offsets.push(0);
+        for (&key, series) in &t.links {
+            w.link_keys.push(key);
+            for obs in series {
+                w.link_ts.push(obs.timestamp_s);
+                w.link_ratio.push(obs.ratio);
+            }
+            w.link_offsets.push(w.link_ts.len());
+        }
+
+        for (&key, ledger) in &t.airtime {
+            w.airtime_key.push(key);
+            w.airtime_elapsed.push(ledger.elapsed_us());
+            w.airtime_busy.push(ledger.busy_us());
+        }
+
+        for (&device, (_, rows)) in &t.neighbors {
+            w.census_device.push(device);
+            for &(band, number, networks, hotspots) in rows {
+                w.census_band.push(band);
+                w.census_channel.push(number);
+                w.census_networks.push(networks);
+                w.census_hotspots.push(hotspots);
+            }
+        }
+
+        w.scan_offsets.push(0);
+        for (&device, obs) in &t.scans {
+            w.scan_device.push(device);
+            for o in obs.values() {
+                w.scan_ts.push(o.timestamp_s);
+                w.scan_channel.push(o.record.channel);
+                w.scan_util_ppm.push(o.record.utilization_ppm);
+                w.scan_decodable_ppm.push(o.record.decodable_ppm);
+                w.scan_networks.push(o.record.networks);
+            }
+            w.scan_offsets.push(w.scan_ts.len());
+        }
+
+        w.crash_offsets.push(0);
+        for (&device, reports) in &t.crashes {
+            w.crash_device.push(device);
+            w.crash_rows.extend(reports.values().cloned());
+            w.crash_offsets.push(w.crash_rows.len());
+        }
+
+        w
+    }
+
+    /// Usage cells `((mac, app), totals)` in key order.
+    pub(crate) fn usage_cells(
+        &self,
+    ) -> impl Iterator<Item = ((MacAddress, Application), UsageTotals)> + '_ {
+        (0..self.usage_mac.len()).map(|i| {
+            (
+                (self.usage_mac[i], self.usage_app[i]),
+                UsageTotals {
+                    up_bytes: self.usage_up[i],
+                    down_bytes: self.usage_down[i],
+                },
+            )
+        })
+    }
+
+    /// Client rows `(mac, (meta, identity))` in MAC order.
+    pub(crate) fn client_rows(
+        &self,
+    ) -> impl Iterator<Item = (MacAddress, (ClientMeta, ClientIdentity))> + '_ {
+        (0..self.client_mac.len()).map(|i| {
+            (
+                self.client_mac[i],
+                (
+                    self.client_meta[i],
+                    ClientIdentity {
+                        os: self.client_os[i],
+                        caps: self.client_caps[i],
+                        band: self.client_band[i],
+                        rssi_dbm: self.client_rssi[i],
+                    },
+                ),
+            )
+        })
+    }
+
+    /// The observation columns for the `i`-th link key, arrival order.
+    pub(crate) fn link_series_at(&self, i: usize) -> (&[u64], &[f64]) {
+        let (lo, hi) = (self.link_offsets[i], self.link_offsets[i + 1]);
+        (&self.link_ts[lo..hi], &self.link_ratio[lo..hi])
+    }
+
+    /// The scan observation range for the `i`-th device.
+    pub(crate) fn scan_rows_at(&self, i: usize) -> std::ops::Range<usize> {
+        self.scan_offsets[i]..self.scan_offsets[i + 1]
+    }
+
+    /// Reconstructs the `j`-th scan observation from its columns.
+    pub(crate) fn scan_observation(&self, j: usize) -> ScanObservation {
+        ScanObservation {
+            timestamp_s: self.scan_ts[j],
+            record: airstat_telemetry::report::ChannelScanRecord {
+                channel: self.scan_channel[j],
+                utilization_ppm: self.scan_util_ppm[j],
+                decodable_ppm: self.scan_decodable_ppm[j],
+                networks: self.scan_networks[j],
+            },
+        }
+    }
+
+    /// The crash-report rows for the `i`-th device, `(seq, slot)` order.
+    pub(crate) fn crash_rows_at(&self, i: usize) -> &[CrashReport] {
+        &self.crash_rows[self.crash_offsets[i]..self.crash_offsets[i + 1]]
+    }
+
+    /// Reconstructs one link observation.
+    pub(crate) fn link_observation(ts: &[u64], ratio: &[f64], j: usize) -> LinkObservation {
+        LinkObservation {
+            timestamp_s: ts[j],
+            ratio: ratio[j],
+        }
+    }
+}
+
+/// K-way merges per-shard runs of `(key, value)` pairs whose keys are
+/// sorted strictly ascending *within* each run.
+///
+/// Equal keys across runs are combined with `combine(acc, next)` in
+/// ascending run (shard) order — the same operand order the legacy
+/// engine produced by folding shard partials into a `BTreeMap` one
+/// shard at a time, which keeps saturating sums and last-writer rules
+/// byte-compatible.
+pub(crate) fn merge_runs<K: Ord + Copy, V>(
+    mut runs: Vec<Vec<(K, V)>>,
+    mut combine: impl FnMut(&mut V, V),
+) -> Vec<(K, V)> {
+    let mut iters: Vec<_> = runs.drain(..).map(|r| r.into_iter().peekable()).collect();
+    let mut out = Vec::new();
+    loop {
+        let mut min_key: Option<K> = None;
+        for it in iters.iter_mut() {
+            if let Some(&(key, _)) = it.peek() {
+                min_key = Some(match min_key {
+                    Some(m) if m <= key => m,
+                    _ => key,
+                });
+            }
+        }
+        let Some(min) = min_key else {
+            return out;
+        };
+        let mut merged: Option<V> = None;
+        for it in iters.iter_mut() {
+            if it.peek().is_some_and(|&(key, _)| key == min) {
+                let (_, value) = it.next().expect("peeked");
+                match merged.as_mut() {
+                    Some(acc) => combine(acc, value),
+                    None => merged = Some(value),
+                }
+            }
+        }
+        out.push((min, merged.expect("at least one run held the min key")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airstat_classify::mac::Oui;
+    use airstat_telemetry::report::{Report, ReportPayload, UsageRecord};
+
+    const W: WindowId = WindowId(1501);
+
+    fn usage_report(device: u64, seq: u64, mac_id: u64, up: u64) -> Report {
+        Report {
+            device,
+            seq,
+            timestamp_s: 0,
+            payload: ReportPayload::Usage(vec![UsageRecord {
+                mac: MacAddress::from_id(Oui([0, 80, 194]), mac_id),
+                app: Application::Netflix,
+                up_bytes: up,
+                down_bytes: 2 * up,
+            }]),
+        }
+    }
+
+    #[test]
+    fn build_packs_usage_in_key_order() {
+        let mut shard = StoreShard::default();
+        for (i, report) in (0..12u64)
+            .map(|d| usage_report(d, 0, 11 - d, d + 1))
+            .enumerate()
+        {
+            assert!(shard.ingest(W, &report), "report {i}");
+        }
+        let cols = ColumnarShard::build(&shard);
+        let w = cols.window(W).expect("window present");
+        assert_eq!(w.usage_mac.len(), 12);
+        let mut sorted = w.usage_mac.clone();
+        sorted.sort();
+        assert_eq!(w.usage_mac, sorted, "key column is sorted");
+        // Cells round-trip exactly against the source map.
+        let from_map: Vec<_> = shard
+            .window(W)
+            .unwrap()
+            .usage
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(w.usage_cells().collect::<Vec<_>>(), from_map);
+    }
+
+    #[test]
+    fn empty_shard_projects_to_no_windows() {
+        let cols = ColumnarShard::build(&StoreShard::default());
+        assert_eq!(cols.window_ids().count(), 0);
+        assert!(cols.window(W).is_none());
+    }
+
+    #[test]
+    fn merge_runs_combines_equal_keys_in_run_order() {
+        let runs = vec![
+            vec![(1u64, vec![0u32]), (3, vec![1])],
+            vec![(1, vec![2]), (2, vec![3])],
+            vec![(3, vec![4])],
+        ];
+        let merged = merge_runs(runs, |acc, next| acc.extend(next));
+        assert_eq!(
+            merged,
+            vec![(1, vec![0, 2]), (2, vec![3]), (3, vec![1, 4]),]
+        );
+    }
+
+    #[test]
+    fn merge_runs_handles_empty_and_disjoint_runs() {
+        let runs: Vec<Vec<(u8, u8)>> = vec![vec![], vec![(5, 50)], vec![(1, 10), (9, 90)]];
+        let merged = merge_runs(runs, |_, _| panic!("no key collides"));
+        assert_eq!(merged, vec![(1, 10), (5, 50), (9, 90)]);
+    }
+}

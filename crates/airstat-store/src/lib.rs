@@ -29,15 +29,20 @@
 //! | [`shard`] | [`shard::StoreShard`] per-shard tables + order-independent dedup |
 //! | [`store`] | [`store::ShardedStore`], [`store::Snapshot`], [`store::ReportSink`] |
 //! | [`query`] | [`query::QueryPlan`], [`query::QueryEngine`], [`query::ResultCache`] |
+//! | [`columnar`] | [`columnar::ColumnarShard`] packed struct-of-arrays read layout |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod exec;
 pub mod query;
 pub mod shard;
 pub mod store;
 
-pub use query::{FleetQuery, QueryEngine, QueryPlan, QueryValue, ResultCache, StoreStats};
+pub use columnar::ColumnarShard;
+pub use query::{
+    FleetQuery, QueryBackend, QueryEngine, QueryPlan, QueryValue, ResultCache, StoreStats,
+};
 pub use shard::StoreShard;
 pub use store::{ReportSink, ShardedStore, Snapshot, StoreConfig, DEFAULT_SHARDS};

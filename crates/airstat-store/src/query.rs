@@ -13,6 +13,18 @@
 //! `Backend`, whose `HashMap`-backed queries iterate in per-process
 //! random order.
 //!
+//! The engine answers every plan through one of two physical layouts,
+//! selected by [`QueryBackend`]:
+//!
+//! * [`QueryBackend::Columnar`] (default) — **scan kernels** over the
+//!   snapshot's packed [`crate::columnar::ColumnarShard`] projection:
+//!   filter → scan → partial-aggregate per shard over contiguous
+//!   struct-of-arrays columns, then a k-way merge of the pre-sorted
+//!   per-shard runs in the same canonical key order;
+//! * [`QueryBackend::Legacy`] — the original map-backed path, kept
+//!   alive so the differential tests can prove the two layouts produce
+//!   byte-identical results for every shard and thread count.
+//!
 //! Results are memoized in an epoch-keyed LRU [`ResultCache`]; the
 //! hit/miss/eviction counters surface in [`StoreStats`], which the CLI
 //! prints next to the engine's throughput summary.
@@ -29,9 +41,44 @@ use airstat_telemetry::backend::{
 };
 use airstat_telemetry::crash::CrashAggregator;
 
+use crate::columnar::{merge_runs, ColumnarWindow};
 use crate::exec::run_ordered;
 use crate::shard::StoreShard;
 use crate::store::Snapshot;
+
+/// Which physical layout the engine's kernels read.
+///
+/// Both backends are proven byte-identical by the differential test
+/// `tests/columnar_equivalence.rs`; they differ only in cold-query cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QueryBackend {
+    /// Sequential scan kernels over the packed struct-of-arrays
+    /// projection built at `seal()` (default — the fast cold path).
+    #[default]
+    Columnar,
+    /// The original map-backed path: clone each shard's `BTreeMap`
+    /// tables and fold them into a merge map.
+    Legacy,
+}
+
+impl QueryBackend {
+    /// Parses a CLI-style backend name (`"columnar"` / `"legacy"`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "columnar" => Some(QueryBackend::Columnar),
+            "legacy" => Some(QueryBackend::Legacy),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryBackend::Columnar => "columnar",
+            QueryBackend::Legacy => "legacy",
+        }
+    }
+}
 
 /// One query against the store, covering the full legacy surface.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -231,16 +278,26 @@ impl std::fmt::Display for StoreStats {
 pub struct QueryEngine {
     snapshot: Snapshot,
     threads: usize,
+    backend: QueryBackend,
     cache: Mutex<ResultCache>,
 }
 
 impl QueryEngine {
     /// Creates an engine over `snapshot` using `threads` workers per
-    /// query (1 = serial; results are identical for every value).
+    /// query (1 = serial; results are identical for every value) and
+    /// the default [`QueryBackend::Columnar`] layout.
     pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        QueryEngine::with_backend(snapshot, threads, QueryBackend::default())
+    }
+
+    /// Creates an engine that answers through the given physical
+    /// layout. Results are byte-identical across backends; only the
+    /// cold-query cost differs.
+    pub fn with_backend(snapshot: Snapshot, threads: usize, backend: QueryBackend) -> Self {
         QueryEngine {
             snapshot,
             threads: threads.max(1),
+            backend,
             cache: Mutex::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
         }
     }
@@ -248,6 +305,11 @@ impl QueryEngine {
     /// The snapshot this engine answers from.
     pub fn snapshot(&self) -> &Snapshot {
         &self.snapshot
+    }
+
+    /// The physical layout this engine reads.
+    pub fn backend(&self) -> QueryBackend {
+        self.backend
     }
 
     /// Current cache and shape counters.
@@ -332,7 +394,325 @@ impl QueryEngine {
         partials.into_iter().flatten().collect()
     }
 
+    /// Computes a plan through the engine's configured layout.
     fn compute(&self, plan: &QueryPlan) -> QueryValue {
+        match self.backend {
+            QueryBackend::Columnar => self.compute_columnar(plan),
+            QueryBackend::Legacy => self.compute_legacy(plan),
+        }
+    }
+
+    /// Runs `f` over every shard's columnar projection of `window` in
+    /// parallel, returning partials in shard order (the columnar twin
+    /// of [`QueryEngine::shard_map`]).
+    fn columnar_map<T: Send>(
+        &self,
+        window: WindowId,
+        f: impl Fn(Option<&ColumnarWindow>) -> T + Sync,
+    ) -> Vec<T> {
+        let shards = self.snapshot.columnar();
+        let mut partials = Vec::with_capacity(shards.len());
+        run_ordered(
+            self.threads,
+            shards.len(),
+            |i| f(shards[i].window(window)),
+            |_, partial| partials.push(partial),
+        );
+        partials
+    }
+
+    /// Columnar twin of [`QueryEngine::merged_usage`]: scans each
+    /// shard's packed usage columns (no map clones) and k-way merges
+    /// the pre-sorted runs, summing roaming clients' cells with the
+    /// same saturating adds in the same shard order.
+    fn merged_usage_columnar(
+        &self,
+        window: WindowId,
+    ) -> Vec<((MacAddress, Application), UsageTotals)> {
+        let runs = self.columnar_map(window, |w| {
+            w.map(|w| w.usage_cells().collect::<Vec<_>>())
+                .unwrap_or_default()
+        });
+        merge_runs(runs, |acc, next: UsageTotals| {
+            acc.up_bytes = acc.up_bytes.saturating_add(next.up_bytes);
+            acc.down_bytes = acc.down_bytes.saturating_add(next.down_bytes);
+        })
+    }
+
+    /// The columnar scan kernels: filter → scan → partial-aggregate per
+    /// shard over contiguous columns, then the deterministic ordered
+    /// merge. Each arm reproduces its legacy twin's canonical order and
+    /// floating-point reduction order exactly.
+    fn compute_columnar(&self, plan: &QueryPlan) -> QueryValue {
+        match *plan {
+            QueryPlan::UsageByApp(window) => {
+                let mut agg: BTreeMap<Application, (UsageTotals, u64)> = BTreeMap::new();
+                for ((_, app), totals) in self.merged_usage_columnar(window) {
+                    let slot = agg.entry(app).or_default();
+                    slot.0.up_bytes = slot.0.up_bytes.saturating_add(totals.up_bytes);
+                    slot.0.down_bytes = slot.0.down_bytes.saturating_add(totals.down_bytes);
+                    slot.1 += 1;
+                }
+                QueryValue::AppUsage(agg.into_iter().map(|(app, (t, c))| (app, t, c)).collect())
+            }
+            QueryPlan::UsageByOs(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                let cells = self.merged_usage_columnar(window);
+                // Cells arrive sorted by (mac, app) and clients sorted by
+                // mac, so the per-MAC rollup is a linear group-by and the
+                // OS lookup a merge-join — no maps on the hot path.
+                let mut agg: BTreeMap<OsFamily, (UsageTotals, u64)> = BTreeMap::new();
+                let mut ci = 0usize;
+                let mut i = 0usize;
+                while i < cells.len() {
+                    let mac = cells[i].0 .0;
+                    let mut totals = UsageTotals::default();
+                    while i < cells.len() && cells[i].0 .0 == mac {
+                        totals.up_bytes = totals.up_bytes.saturating_add(cells[i].1.up_bytes);
+                        totals.down_bytes = totals.down_bytes.saturating_add(cells[i].1.down_bytes);
+                        i += 1;
+                    }
+                    while ci < clients.len() && clients[ci].0 < mac {
+                        ci += 1;
+                    }
+                    let os = match clients.get(ci) {
+                        Some((m, identity)) if *m == mac => identity.os,
+                        _ => OsFamily::Unknown,
+                    };
+                    let slot = agg.entry(os).or_default();
+                    slot.0.up_bytes = slot.0.up_bytes.saturating_add(totals.up_bytes);
+                    slot.0.down_bytes = slot.0.down_bytes.saturating_add(totals.down_bytes);
+                    slot.1 += 1;
+                }
+                QueryValue::OsUsage(agg.into_iter().map(|(os, (t, c))| (os, t, c)).collect())
+            }
+            QueryPlan::ClientCount(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                QueryValue::Count(clients.len() as u64)
+            }
+            QueryPlan::Clients(window) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map(|w| w.client_rows().collect::<Vec<_>>())
+                        .unwrap_or_default()
+                });
+                // Largest provenance wins on cross-shard MAC collisions,
+                // matching the legacy merge's `existing >= entry` rule.
+                let merged = merge_runs(runs, |acc, next: (crate::shard::ClientMeta, _)| {
+                    if next.0 > acc.0 {
+                        *acc = next;
+                    }
+                });
+                QueryValue::Clients(
+                    merged
+                        .into_iter()
+                        .map(|(mac, (_, identity))| (mac, identity))
+                        .collect(),
+                )
+            }
+            QueryPlan::AppClientCount(window, app) => QueryValue::Count(
+                self.merged_usage_columnar(window)
+                    .iter()
+                    .filter(|&&((_, a), _)| a == app)
+                    .count() as u64,
+            ),
+            QueryPlan::LinkKeys(window, band) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map_or_else(Vec::new, |w| {
+                        w.link_keys
+                            .iter()
+                            .filter(|k| k.band == band)
+                            .map(|&k| (k, ()))
+                            .collect()
+                    })
+                });
+                // Link keys are shard-disjoint (rx_device pins the
+                // shard): the merge is a pure union of sorted runs.
+                let merged = merge_runs(runs, |(), ()| {});
+                QueryValue::LinkKeys(merged.into_iter().map(|(k, ())| k).collect())
+            }
+            QueryPlan::LinkSeries(window, key) => {
+                for shard in self.snapshot.columnar() {
+                    if let Some(w) = shard.window(window) {
+                        if let Ok(i) = w.link_keys.binary_search(&key) {
+                            let (ts, ratio) = w.link_series_at(i);
+                            return QueryValue::Series(
+                                (0..ts.len())
+                                    .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+                QueryValue::Series(Vec::new())
+            }
+            QueryPlan::LatestDeliveryRatios(window, band) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map_or_else(Vec::new, |w| {
+                        (0..w.link_keys.len())
+                            .filter(|&i| w.link_keys[i].band == band)
+                            .filter_map(|i| {
+                                let (_, ratio) = w.link_series_at(i);
+                                ratio.last().map(|&r| (w.link_keys[i], r))
+                            })
+                            .collect()
+                    })
+                });
+                let merged = merge_runs(runs, |_, _: f64| {});
+                QueryValue::Ratios(merged.into_iter().map(|(_, r)| r).collect())
+            }
+            QueryPlan::MeanDeliveryRatios(window, band) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map_or_else(Vec::new, |w| {
+                        (0..w.link_keys.len())
+                            .filter(|&i| w.link_keys[i].band == band)
+                            .filter_map(|i| {
+                                let (_, ratio) = w.link_series_at(i);
+                                if ratio.is_empty() {
+                                    return None;
+                                }
+                                // Same left-to-right series order as the
+                                // legacy mean, so the f64 sum is exact.
+                                let sum: f64 = ratio.iter().sum();
+                                Some((w.link_keys[i], sum / ratio.len() as f64))
+                            })
+                            .collect()
+                    })
+                });
+                let merged = merge_runs(runs, |_, _: f64| {});
+                QueryValue::Ratios(merged.into_iter().map(|(_, r)| r).collect())
+            }
+            QueryPlan::ServingUtilizations(window, band) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map_or_else(Vec::new, |w| {
+                        (0..w.airtime_key.len())
+                            .filter(|&i| w.airtime_key[i].1 == band)
+                            .filter_map(|i| {
+                                // busy / elapsed, exactly as
+                                // `AirtimeLedger::utilization`.
+                                let elapsed = w.airtime_elapsed[i];
+                                (elapsed > 0).then(|| {
+                                    (w.airtime_key[i], w.airtime_busy[i] as f64 / elapsed as f64)
+                                })
+                            })
+                            .collect()
+                    })
+                });
+                let merged = merge_runs(runs, |_, _: f64| {});
+                QueryValue::Ratios(merged.into_iter().map(|(_, u)| u).collect())
+            }
+            QueryPlan::CensusDeviceCount(window) => QueryValue::Count(
+                self.columnar_map(window, |w| w.map_or(0, |w| w.census_device.len() as u64))
+                    .into_iter()
+                    .sum(),
+            ),
+            QueryPlan::NearbySummary(window, band) => {
+                let partials = self.columnar_map(window, |w| {
+                    let (mut total, mut hotspots, mut devices) = (0u64, 0u64, 0u64);
+                    if let Some(w) = w {
+                        devices = w.census_device.len() as u64;
+                        for i in 0..w.census_band.len() {
+                            if w.census_band[i] == band {
+                                total += u64::from(w.census_networks[i]);
+                                hotspots += u64::from(w.census_hotspots[i]);
+                            }
+                        }
+                    }
+                    (total, hotspots, devices)
+                });
+                let (mut total, mut hotspots, mut devices) = (0u64, 0u64, 0u64);
+                for (t, h, d) in partials {
+                    total += t;
+                    hotspots += h;
+                    devices += d;
+                }
+                let mean_per_ap = if devices > 0 {
+                    total as f64 / devices as f64
+                } else {
+                    0.0
+                };
+                QueryValue::NearbySummary {
+                    total,
+                    mean_per_ap,
+                    hotspots,
+                }
+            }
+            QueryPlan::NearbyPerChannel(window, band) => {
+                let mut per: BTreeMap<u16, u64> = Channel::all_in(band)
+                    .into_iter()
+                    .map(|ch| (ch.number, 0))
+                    .collect();
+                let partials = self.columnar_map(window, |w| {
+                    let mut sums: BTreeMap<u16, u64> = BTreeMap::new();
+                    if let Some(w) = w {
+                        for i in 0..w.census_band.len() {
+                            if w.census_band[i] == band {
+                                *sums.entry(w.census_channel[i]).or_default() +=
+                                    u64::from(w.census_networks[i]);
+                            }
+                        }
+                    }
+                    sums
+                });
+                for partial in partials {
+                    for (number, sum) in partial {
+                        *per.entry(number).or_default() += sum;
+                    }
+                }
+                QueryValue::PerChannel(per.into_iter().collect())
+            }
+            QueryPlan::Crashes(window) => {
+                // Presence semantics mirror the legacy arm: an
+                // aggregator exists only once a crash payload arrived.
+                let partials = self.columnar_map(window, |w| {
+                    w.filter(|w| !w.crash_device.is_empty()).map(|w| {
+                        (0..w.crash_device.len())
+                            .map(|i| (w.crash_device[i], w.crash_rows_at(i).to_vec()))
+                            .collect::<Vec<_>>()
+                    })
+                });
+                let runs: Vec<_> = partials.into_iter().flatten().collect();
+                if runs.is_empty() {
+                    return QueryValue::Crashes(None);
+                }
+                let merged = merge_runs(runs, |_, _| {});
+                let mut aggregator = CrashAggregator::default();
+                for (_, reports) in merged {
+                    for report in reports {
+                        aggregator.ingest(report);
+                    }
+                }
+                QueryValue::Crashes(Some(aggregator))
+            }
+            QueryPlan::ScanObservations(window, band) => {
+                let runs = self.columnar_map(window, |w| {
+                    w.map_or_else(Vec::new, |w| {
+                        (0..w.scan_device.len())
+                            .map(|i| {
+                                (
+                                    w.scan_device[i],
+                                    w.scan_rows_at(i)
+                                        .filter(|&j| w.scan_channel[j].band == band)
+                                        .map(|j| w.scan_observation(j))
+                                        .collect::<Vec<_>>(),
+                                )
+                            })
+                            .collect()
+                    })
+                });
+                let merged = merge_runs(runs, |_, _| {});
+                QueryValue::Scans(merged.into_iter().flat_map(|(_, obs)| obs).collect())
+            }
+        }
+    }
+
+    /// The original map-backed path: clone each shard's tables, fold
+    /// into merge maps. Kept behind [`QueryBackend::Legacy`] as the
+    /// differential reference for the columnar kernels.
+    fn compute_legacy(&self, plan: &QueryPlan) -> QueryValue {
         match *plan {
             QueryPlan::UsageByApp(window) => {
                 let mut agg: BTreeMap<Application, (UsageTotals, u64)> = BTreeMap::new();

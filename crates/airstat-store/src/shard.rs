@@ -131,6 +131,14 @@ impl StoreShard {
         self.windows.get(&window)
     }
 
+    /// All windows this shard holds, in ascending window order — the
+    /// columnar projection walks this at seal time.
+    pub fn windows(&self) -> impl Iterator<Item = (WindowId, &WindowTables)> {
+        self.windows
+            .iter()
+            .map(|(&window, tables)| (window, tables))
+    }
+
     /// Ingests one report; returns `false` for duplicates.
     ///
     /// The aggregation semantics match `Backend::ingest` record for

@@ -14,6 +14,7 @@ use airstat_stats::rng::splitmix64;
 use airstat_telemetry::backend::{Backend, WindowId};
 use airstat_telemetry::report::Report;
 
+use crate::columnar::ColumnarShard;
 use crate::exec::run_ordered;
 use crate::shard::StoreShard;
 
@@ -46,11 +47,27 @@ impl Default for StoreConfig {
 const PARALLEL_INGEST_MIN: usize = 1024;
 
 /// A sharded aggregation store (the fleet backend at scale).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<Arc<StoreShard>>,
     epoch: u64,
     config: StoreConfig,
+    /// Memoized columnar projection for the current epoch, so repeated
+    /// `seal()` calls against unchanged state (the common read pattern)
+    /// build the read-optimized layout once. Keyed by epoch: any ingest
+    /// bumps the epoch and naturally invalidates it.
+    columnar: Mutex<Option<(u64, Vec<Arc<ColumnarShard>>)>>,
+}
+
+impl Clone for ShardedStore {
+    fn clone(&self) -> Self {
+        ShardedStore {
+            shards: self.shards.clone(),
+            epoch: self.epoch,
+            config: self.config,
+            columnar: Mutex::new(self.columnar.lock().expect("columnar lock").clone()),
+        }
+    }
 }
 
 impl Default for ShardedStore {
@@ -80,6 +97,7 @@ impl ShardedStore {
                 shards,
                 threads: config.threads.max(1),
             },
+            columnar: Mutex::new(None),
         }
     }
 
@@ -169,12 +187,33 @@ impl ShardedStore {
 
     /// Seals the current state into an immutable snapshot.
     ///
-    /// Cheap (one `Arc` clone per shard): the shards are shared, not
-    /// copied, and later ingest copies-on-write only what it touches.
+    /// The row side is cheap (one `Arc` clone per shard): the shards are
+    /// shared, not copied, and later ingest copies-on-write only what it
+    /// touches. Sealing additionally builds each shard's read-optimized
+    /// [`ColumnarShard`] projection — in parallel across shards via
+    /// [`run_ordered`] — and memoizes it by epoch, so only the first
+    /// seal after an ingest pays the projection cost; every later seal
+    /// of the same epoch reuses the packed columns by `Arc` clone.
     pub fn seal(&self) -> Snapshot {
+        let mut cache = self.columnar.lock().expect("columnar lock");
+        let columnar = match cache.as_ref() {
+            Some((epoch, shards)) if *epoch == self.epoch => shards.clone(),
+            _ => {
+                let mut built = Vec::with_capacity(self.shards.len());
+                run_ordered(
+                    self.config.threads,
+                    self.shards.len(),
+                    |i| ColumnarShard::build(&self.shards[i]),
+                    |_, shard| built.push(Arc::new(shard)),
+                );
+                *cache = Some((self.epoch, built.clone()));
+                built
+            }
+        };
         Snapshot {
             epoch: self.epoch,
             shards: self.shards.clone(),
+            columnar,
         }
     }
 }
@@ -185,11 +224,15 @@ fn shard_index(window: WindowId, device: u64, shards: usize) -> usize {
     (splitmix64(device ^ (u64::from(window.0) << 48)) % shards as u64) as usize
 }
 
-/// An immutable, epoch-numbered view of the store.
+/// An immutable, epoch-numbered view of the store, carrying both
+/// physical layouts: the row-oriented shard tables (the write layout)
+/// and their packed columnar projection (the read layout the
+/// [`crate::query::QueryBackend::Columnar`] kernels scan).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,
     shards: Vec<Arc<StoreShard>>,
+    columnar: Vec<Arc<ColumnarShard>>,
 }
 
 impl Snapshot {
@@ -201,6 +244,11 @@ impl Snapshot {
     /// The frozen shards.
     pub fn shards(&self) -> &[Arc<StoreShard>] {
         &self.shards
+    }
+
+    /// The frozen shards' columnar projections, in shard order.
+    pub fn columnar(&self) -> &[Arc<ColumnarShard>] {
+        &self.columnar
     }
 
     /// Reports accepted across all shards at seal time.
@@ -293,6 +341,40 @@ mod tests {
         assert_eq!(frozen.reports_ingested(), 1, "snapshot unchanged");
         assert_eq!(store.reports_ingested(), 3);
         assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn seal_builds_and_memoizes_the_columnar_projection() {
+        let mut store = ShardedStore::new(3);
+        store.ingest_batch(W, &[usage_report(1, 0, 10)]);
+        let first = store.seal();
+        assert_eq!(first.columnar().len(), 3, "one projection per shard");
+        let again = store.seal();
+        for (a, b) in first.columnar().iter().zip(again.columnar()) {
+            assert!(Arc::ptr_eq(a, b), "same epoch reuses the projection");
+        }
+        store.ingest_batch(W, &[usage_report(2, 0, 10)]);
+        let later = store.seal();
+        assert!(
+            first
+                .columnar()
+                .iter()
+                .zip(later.columnar())
+                .all(|(a, b)| !Arc::ptr_eq(a, b)),
+            "ingest invalidates the memoized projection"
+        );
+        // The projection mirrors the row tables cell for cell.
+        for (shard, cols) in later.shards().iter().zip(later.columnar()) {
+            let row_cells: Vec<_> = shard
+                .window(W)
+                .map(|t| t.usage.iter().map(|(&k, &v)| (k, v)).collect())
+                .unwrap_or_default();
+            let col_cells: Vec<_> = cols
+                .window(W)
+                .map(|w| w.usage_cells().collect())
+                .unwrap_or_default();
+            assert_eq!(row_cells, col_cells);
+        }
     }
 
     #[test]

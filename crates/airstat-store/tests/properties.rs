@@ -133,4 +133,34 @@ proptest! {
         // And the expected duplicate count is exactly the retransmissions.
         prop_assert_eq!(reference.2, (reports.len() - base.len()) as u64);
     }
+
+    /// The columnar projection a `seal()` builds is a pure function of
+    /// the aggregate state: feeding the same batch in any order yields
+    /// column-for-column identical `ColumnarShard`s.
+    #[test]
+    fn columnar_projection_is_ingest_order_invariant(
+        payloads in prop::collection::vec(any_payload(), 1..20),
+        order_salt in any::<u64>(),
+        shards in 1usize..9,
+        threads in 1usize..4,
+    ) {
+        let reports: Vec<Report> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| Report {
+                device: (i % 5) as u64,
+                seq: (i / 5) as u64 + 1,
+                timestamp_s: 1_000 + i as u64,
+                payload,
+            })
+            .collect();
+
+        let mut in_order = ShardedStore::with_config(StoreConfig { shards, threads });
+        in_order.ingest_batch(W, &reports);
+        let mut permuted = ShardedStore::with_config(StoreConfig { shards, threads });
+        permuted.ingest_batch(W, &shuffle(&reports, order_salt));
+
+        let (a, b) = (in_order.seal(), permuted.seal());
+        prop_assert_eq!(a.columnar(), b.columnar());
+    }
 }

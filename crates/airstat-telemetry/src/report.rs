@@ -21,9 +21,7 @@ use airstat_classify::mac::MacAddress;
 use airstat_rf::band::{Band, Channel};
 use airstat_rf::phy::{Capabilities, Generation};
 
-use crate::wire::{
-    put_field_bytes, put_field_f64, put_field_str, put_field_u64, Reader, WireError,
-};
+use crate::wire::{put_field_f64, put_field_msg, put_field_str, put_field_u64, Reader, WireError};
 
 /// Stable numeric code for an [`Application`] (index into
 /// [`Application::ALL`]).
@@ -299,88 +297,99 @@ const F_KIND: u32 = 4;
 const F_RECORD: u32 = 5;
 
 impl Report {
-    /// Encodes the report to bytes.
+    /// Encodes the report to a fresh byte vector.
+    ///
+    /// Hot loops should prefer [`Report::encode_into`], which reuses
+    /// caller-owned buffers instead of allocating per report.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.payload.len() * 24);
-        put_field_u64(&mut out, F_DEVICE, self.device);
-        put_field_u64(&mut out, F_SEQ, self.seq);
-        put_field_u64(&mut out, F_TIMESTAMP, self.timestamp_s);
-        put_field_u64(&mut out, F_KIND, self.payload.kind_code());
         let mut scratch = Vec::with_capacity(48);
+        self.encode_into(&mut out, &mut scratch);
+        out
+    }
+
+    /// Appends the report's encoding to `out`, using `scratch` for
+    /// nested record framing. Produces exactly the bytes of
+    /// [`Report::encode`]; neither buffer is cleared first, so a hot
+    /// loop clears and reuses the same pair across reports.
+    pub fn encode_into(&self, out: &mut Vec<u8>, scratch: &mut Vec<u8>) {
+        put_field_u64(out, F_DEVICE, self.device);
+        put_field_u64(out, F_SEQ, self.seq);
+        put_field_u64(out, F_TIMESTAMP, self.timestamp_s);
+        put_field_u64(out, F_KIND, self.payload.kind_code());
         match &self.payload {
             ReportPayload::Usage(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, mac_code(r.mac));
-                    put_field_u64(&mut scratch, 2, app_code(r.app));
-                    put_field_u64(&mut scratch, 3, r.up_bytes);
-                    put_field_u64(&mut scratch, 4, r.down_bytes);
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, mac_code(r.mac));
+                        put_field_u64(msg, 2, app_code(r.app));
+                        put_field_u64(msg, 3, r.up_bytes);
+                        put_field_u64(msg, 4, r.down_bytes);
+                    });
                 }
             }
             ReportPayload::ClientInfo(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, mac_code(r.mac));
-                    put_field_u64(&mut scratch, 2, os_code(r.os));
-                    put_field_u64(&mut scratch, 3, caps_code(r.caps));
-                    put_field_u64(&mut scratch, 4, band_code(r.band));
-                    put_field_f64(&mut scratch, 5, r.rssi_dbm);
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, mac_code(r.mac));
+                        put_field_u64(msg, 2, os_code(r.os));
+                        put_field_u64(msg, 3, caps_code(r.caps));
+                        put_field_u64(msg, 4, band_code(r.band));
+                        put_field_f64(msg, 5, r.rssi_dbm);
+                    });
                 }
             }
             ReportPayload::Links(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, r.peer_device);
-                    put_field_u64(&mut scratch, 2, band_code(r.band));
-                    put_field_u64(&mut scratch, 3, u64::from(r.probes_expected));
-                    put_field_u64(&mut scratch, 4, u64::from(r.probes_received));
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, r.peer_device);
+                        put_field_u64(msg, 2, band_code(r.band));
+                        put_field_u64(msg, 3, u64::from(r.probes_expected));
+                        put_field_u64(msg, 4, u64::from(r.probes_received));
+                    });
                 }
             }
             ReportPayload::Airtime(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, channel_code(r.channel));
-                    put_field_u64(&mut scratch, 2, r.elapsed_us);
-                    put_field_u64(&mut scratch, 3, r.busy_us);
-                    put_field_u64(&mut scratch, 4, r.wifi_us);
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, channel_code(r.channel));
+                        put_field_u64(msg, 2, r.elapsed_us);
+                        put_field_u64(msg, 3, r.busy_us);
+                        put_field_u64(msg, 4, r.wifi_us);
+                    });
                 }
             }
             ReportPayload::Neighbors(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, channel_code(r.channel));
-                    put_field_u64(&mut scratch, 2, u64::from(r.networks));
-                    put_field_u64(&mut scratch, 3, u64::from(r.hotspots));
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, channel_code(r.channel));
+                        put_field_u64(msg, 2, u64::from(r.networks));
+                        put_field_u64(msg, 3, u64::from(r.hotspots));
+                    });
                 }
             }
             ReportPayload::ChannelScan(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_u64(&mut scratch, 1, channel_code(r.channel));
-                    put_field_u64(&mut scratch, 2, u64::from(r.utilization_ppm));
-                    put_field_u64(&mut scratch, 3, u64::from(r.decodable_ppm));
-                    put_field_u64(&mut scratch, 4, u64::from(r.networks));
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_u64(msg, 1, channel_code(r.channel));
+                        put_field_u64(msg, 2, u64::from(r.utilization_ppm));
+                        put_field_u64(msg, 3, u64::from(r.decodable_ppm));
+                        put_field_u64(msg, 4, u64::from(r.networks));
+                    });
                 }
             }
             ReportPayload::Crash(records) => {
                 for r in records {
-                    scratch.clear();
-                    put_field_str(&mut scratch, 1, &r.firmware);
-                    put_field_u64(&mut scratch, 2, u64::from(r.reason));
-                    put_field_u64(&mut scratch, 3, r.program_counter);
-                    put_field_u64(&mut scratch, 4, r.uptime_s);
-                    put_field_u64(&mut scratch, 5, r.free_memory_bytes);
-                    put_field_bytes(&mut out, F_RECORD, &scratch);
+                    put_field_msg(out, F_RECORD, scratch, |msg| {
+                        put_field_str(msg, 1, &r.firmware);
+                        put_field_u64(msg, 2, u64::from(r.reason));
+                        put_field_u64(msg, 3, r.program_counter);
+                        put_field_u64(msg, 4, r.uptime_s);
+                        put_field_u64(msg, 5, r.free_memory_bytes);
+                    });
                 }
             }
         }
-        out
     }
 
     /// Decodes a report from bytes.
@@ -640,6 +649,45 @@ mod tests {
                 payload,
             };
             assert_eq!(Report::decode(&report.encode()).unwrap(), report);
+        }
+    }
+
+    #[test]
+    fn encode_into_reused_buffers_match_encode() {
+        let reports = [
+            Report {
+                device: 7,
+                seq: 3,
+                timestamp_s: 99,
+                payload: ReportPayload::Usage(vec![UsageRecord {
+                    mac: MacAddress([2, 0, 0, 0, 0, 1]),
+                    app: Application::Netflix,
+                    up_bytes: 10,
+                    down_bytes: 4_000,
+                }]),
+            },
+            Report {
+                device: 9,
+                seq: 4,
+                timestamp_s: 777,
+                payload: ReportPayload::Crash(vec![CrashRecord {
+                    firmware: "mr16-25.9".into(),
+                    reason: 0,
+                    program_counter: 0x40_1234,
+                    uptime_s: 5_400,
+                    free_memory_bytes: 12_288,
+                }]),
+            },
+        ];
+        // One long-lived buffer pair across the whole loop, as the
+        // tunnel hot path uses it — bytes must match the allocating
+        // encode exactly, even with leftover scratch from prior reports.
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for report in &reports {
+            out.clear();
+            report.encode_into(&mut out, &mut scratch);
+            assert_eq!(out, report.encode());
         }
     }
 

@@ -211,6 +211,10 @@ pub struct Tunnel {
     polls_attempted: u64,
     polls_lost: u64,
     bytes_transferred: u64,
+    // Per-tunnel wire/record scratch, reused across every report a poll
+    // encodes instead of allocating per record.
+    wire_buf: Vec<u8>,
+    record_scratch: Vec<u8>,
 }
 
 /// The outcome of one poll over a tunnel.
@@ -234,6 +238,8 @@ impl Tunnel {
             polls_attempted: 0,
             polls_lost: 0,
             bytes_transferred: 0,
+            wire_buf: Vec::new(),
+            record_scratch: Vec::new(),
         }
     }
 
@@ -316,13 +322,16 @@ impl Tunnel {
             return PollOutcome::Lost;
         }
         let batch = agent.peek(self.config.poll_batch);
-        // Full wire round-trip: encode on the device, decode at the backend.
+        // Full wire round-trip: encode on the device, decode at the
+        // backend. The tunnel's scratch buffers persist across reports
+        // and polls, so the loop allocates nothing on the wire side.
         let mut delivered = Vec::with_capacity(batch.len());
         let mut max_seq = None;
         for report in &batch {
-            let bytes = report.encode();
-            self.bytes_transferred += bytes.len() as u64;
-            let decoded = Report::decode(&bytes).expect("self-encoded report must decode");
+            self.wire_buf.clear();
+            report.encode_into(&mut self.wire_buf, &mut self.record_scratch);
+            self.bytes_transferred += self.wire_buf.len() as u64;
+            let decoded = Report::decode(&self.wire_buf).expect("self-encoded report must decode");
             max_seq = Some(decoded.seq);
             delivered.push(decoded);
         }

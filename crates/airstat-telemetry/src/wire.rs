@@ -126,6 +126,24 @@ pub fn put_field_str(out: &mut Vec<u8>, field: u32, s: &str) {
     put_field_bytes(out, field, s.as_bytes());
 }
 
+/// Appends a tagged length-delimited nested message through a caller
+/// scratch buffer: `fill` encodes the message body into the cleared
+/// `scratch`, which is then framed into `out` as a bytes field.
+///
+/// Hot encode loops call this with one long-lived scratch instead of
+/// allocating a fresh `Vec` per record — the bytes produced are
+/// identical either way.
+pub fn put_field_msg(
+    out: &mut Vec<u8>,
+    field: u32,
+    scratch: &mut Vec<u8>,
+    fill: impl FnOnce(&mut Vec<u8>),
+) {
+    scratch.clear();
+    fill(scratch);
+    put_field_bytes(out, field, scratch);
+}
+
 /// A cursor over encoded bytes.
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {

@@ -11,8 +11,14 @@ cargo build --release --offline
 echo "==> cargo test -q (includes the store-vs-legacy differential in tests/store_equivalence.rs)"
 cargo test -q --offline
 
+echo "==> cargo test -q --test columnar_equivalence (columnar-vs-legacy query backend differential)"
+cargo test -q --offline --test columnar_equivalence
+
 echo "==> cargo test -q -p airstat-store (sharded store: unit, property, and engine-vs-backend tests)"
 cargo test -q --offline -p airstat-store
+
+echo "==> cargo clippy -p airstat-store (warnings are errors)"
+cargo clippy -q -p airstat-store --all-targets --offline -- -D warnings
 
 echo "==> cargo test --doc (telemetry pipeline doctests)"
 cargo test -q --offline -p airstat-telemetry --doc

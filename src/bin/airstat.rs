@@ -14,14 +14,15 @@
 //!
 //! Reports land in a sharded snapshot store (`--shards`, default 8) and
 //! the analytics run through its parallel cached query engine; stdout is
-//! byte-identical for every `--shards`/`--threads` combination, and the
-//! store's cache statistics print to stderr.
+//! byte-identical for every `--shards`/`--threads`/`--query-backend`
+//! combination, and the store's cache statistics print to stderr.
 
 use airstat::core::export::build_release;
 use airstat::core::{DegradationReport, PaperReport};
 use airstat::sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
 use airstat::sim::faults::SCENARIO_NAMES;
 use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation, MeasurementYear};
+use airstat::store::QueryBackend;
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -42,10 +43,11 @@ struct Options {
     threads: Option<usize>,
     shards: Option<usize>,
     faults: Option<String>,
+    query_backend: Option<QueryBackend>,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME] [--query-backend B]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -60,7 +62,11 @@ fn usage() -> &'static str {
                    for every value, default 8\n\
      --faults NAME run under a fault-injection campaign and print a\n\
                    degradation report; NAME is one of zero, tunnel-loss,\n\
-                   dc-outage, queue-pressure"
+                   dc-outage, queue-pressure\n\
+     --query-backend B\n\
+                   physical query layout: columnar (default, packed\n\
+                   scan kernels) or legacy (map-backed); output is\n\
+                   byte-identical for both"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -79,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut threads = None;
     let mut shards = None;
     let mut faults = None;
+    let mut query_backend = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +135,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 faults = Some(value.clone());
             }
+            "--query-backend" => {
+                i += 1;
+                let value = args.get(i).ok_or("--query-backend needs a value")?;
+                query_backend = Some(QueryBackend::by_name(value).ok_or(format!(
+                    "unknown query backend {value}; valid backends: columnar, legacy"
+                ))?);
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => positional.push(other.to_string()),
@@ -175,6 +189,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads,
         shards,
         faults,
+        query_backend,
     })
 }
 
@@ -191,6 +206,9 @@ fn run(options: Options) -> Result<(), String> {
     }
     if let Some(name) = &options.faults {
         config.faults = FaultSchedule::by_name(name);
+    }
+    if let Some(backend) = options.query_backend {
+        config.query_backend = backend;
     }
     if options.command == Command::Info {
         println!(
@@ -356,6 +374,26 @@ mod tests {
         assert_eq!(parse(&["report"]).unwrap().threads, None);
         assert_eq!(parse(&["report"]).unwrap().shards, None);
         assert_eq!(parse(&["report"]).unwrap().faults, None);
+        assert_eq!(parse(&["report"]).unwrap().query_backend, None);
+    }
+
+    #[test]
+    fn parses_query_backends() {
+        assert_eq!(
+            parse(&["report", "--query-backend", "columnar"])
+                .unwrap()
+                .query_backend,
+            Some(QueryBackend::Columnar)
+        );
+        assert_eq!(
+            parse(&["report", "--query-backend", "legacy"])
+                .unwrap()
+                .query_backend,
+            Some(QueryBackend::Legacy)
+        );
+        let err = parse(&["report", "--query-backend", "rowwise"]).unwrap_err();
+        assert!(err.contains("columnar"), "lists valid backends: {err}");
+        assert!(parse(&["report", "--query-backend"]).is_err());
     }
 
     #[test]

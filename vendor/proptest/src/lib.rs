@@ -487,7 +487,7 @@ pub mod string {
             pattern
         );
         let mut out = String::new();
-        emit_seq(&pick(&branches, rng), rng, &mut out);
+        emit_seq(pick(&branches, rng), rng, &mut out);
         out
     }
 
@@ -513,7 +513,7 @@ pub mod string {
                 let (lo, hi) = ranges[idx];
                 out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap());
             }
-            Node::Alt(branches) => emit_seq(&pick(branches, rng), rng, out),
+            Node::Alt(branches) => emit_seq(pick(branches, rng), rng, out),
             Node::Repeat(inner, lo, hi) => {
                 let n = if lo == hi {
                     *lo
