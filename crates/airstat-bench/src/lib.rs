@@ -10,7 +10,7 @@
 //! reuses one simulation run.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use airstat_core::PaperReport;
 use airstat_sim::{FleetConfig, FleetSimulation, SimulationOutput};
@@ -209,7 +209,12 @@ pub mod harness {
             );
             let mean_ns =
                 times.iter().map(Duration::as_nanos).sum::<u128>() as f64 / times.len() as f64;
-            let min_ns = times.iter().map(Duration::as_nanos).min().unwrap() as f64;
+            let min_ns = times
+                .iter()
+                .map(Duration::as_nanos)
+                .min()
+                .expect("invariant: at least one iteration always runs")
+                as f64;
             let result = BenchResult {
                 group: self.name.clone(),
                 name,

@@ -13,14 +13,17 @@
 //! the table is bounded — eviction picks the least-recently-used flow, a
 //! real constraint on 64 MB devices.
 
-use std::collections::HashMap;
+// airstat::allow(no-hashmap-iter): the flow table is the per-packet hot
+// path; `flows` stays a HashMap (keyed access + a tie-broken min scan),
+// `usage` is a BTreeMap so harvesting is sorted by construction.
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::apps::{Application, FlowMetadata, RuleSet};
 use crate::mac::MacAddress;
 
 /// Identifies one transport flow at the AP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// The client's MAC (flows are accounted per client, §2.1).
     pub client: MacAddress,
@@ -70,8 +73,11 @@ pub struct FlowTable {
     ruleset: Arc<RuleSet>,
     capacity: usize,
     idle_timeout_s: u64,
+    // airstat::allow(no-hashmap-iter): keyed access on the per-packet hot
+    // path; the only scans (expire, flush, evict_lru) are key-sorted or
+    // tie-broken on FlowKey before they touch any aggregate
     flows: HashMap<FlowKey, FlowEntry>,
-    usage: HashMap<(MacAddress, Application), AppUsage>,
+    usage: BTreeMap<(MacAddress, Application), AppUsage>,
     slow_path_packets: u64,
     fast_path_packets: u64,
     evictions: u64,
@@ -93,8 +99,9 @@ impl FlowTable {
             ruleset,
             capacity,
             idle_timeout_s,
+            // airstat::allow(no-hashmap-iter): constructor for the field justified above
             flows: HashMap::new(),
-            usage: HashMap::new(),
+            usage: BTreeMap::new(),
             slow_path_packets: 0,
             fast_path_packets: 0,
             evictions: 0,
@@ -140,11 +147,17 @@ impl FlowTable {
             // Mid-flow packet with no entry: classify from what little the
             // packet shows (ports/transport only in practice).
             self.open(key, fallback, now);
-            let entry = self.flows.get_mut(&key).expect("just inserted");
+            let entry = self
+                .flows
+                .get_mut(&key)
+                .expect("invariant: open() inserted this key two lines up");
             Self::bump(entry, direction, bytes, now);
             return Path::Slow;
         }
-        let entry = self.flows.get_mut(&key).expect("checked");
+        let entry = self
+            .flows
+            .get_mut(&key)
+            .expect("invariant: contains_key checked at function entry");
         Self::bump(entry, direction, bytes, now);
         self.fast_path_packets += 1;
         Path::Fast
@@ -179,7 +192,10 @@ impl FlowTable {
             .map(|(&k, _)| k)
             .collect();
         for key in stale {
-            let entry = self.flows.remove(&key).expect("listed");
+            let entry = self
+                .flows
+                .remove(&key)
+                .expect("invariant: key collected from this map above");
             self.retire(key.client, &entry);
         }
     }
@@ -188,12 +204,15 @@ impl FlowTable {
     pub fn flush(&mut self) -> Vec<((MacAddress, Application), AppUsage)> {
         let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
         for key in keys {
-            let entry = self.flows.remove(&key).expect("listed");
+            let entry = self
+                .flows
+                .remove(&key)
+                .expect("invariant: key collected from this map above");
             self.retire(key.client, &entry);
         }
-        let mut out: Vec<_> = self.usage.drain().collect();
-        out.sort_by_key(|&((mac, app), _)| (mac, app));
-        out
+        // BTreeMap: already sorted by (mac, app); taking it leaves the
+        // table empty for the next harvest interval.
+        std::mem::take(&mut self.usage).into_iter().collect()
     }
 
     fn retire(&mut self, client: MacAddress, entry: &FlowEntry) {
@@ -203,8 +222,15 @@ impl FlowTable {
     }
 
     fn evict_lru(&mut self) {
-        if let Some((&key, _)) = self.flows.iter().min_by_key(|(_, e)| e.last_seen) {
-            let entry = self.flows.remove(&key).expect("listed");
+        // Tie-break equal `last_seen` stamps on the key: `min_by_key` over
+        // a HashMap otherwise picks whichever tied flow hashes first, and
+        // which flow gets evicted decides whose bytes land in the
+        // misc-repunt buckets — a byte-identity leak across processes.
+        if let Some((&key, _)) = self.flows.iter().min_by_key(|(&k, e)| (e.last_seen, k)) {
+            let entry = self
+                .flows
+                .remove(&key)
+                .expect("invariant: key collected from this map above");
             self.retire(key.client, &entry);
             self.evictions += 1;
         }

@@ -26,7 +26,7 @@
 //! caches classifications and aggregates per-client byte counters.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apps;
 pub mod device;

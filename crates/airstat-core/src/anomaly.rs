@@ -35,7 +35,10 @@ fn median(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("invariant: these floats are finite by construction, so partial_cmp is total")
+    });
     let mid = sorted.len() / 2;
     Some(if sorted.len() % 2 == 0 {
         (sorted[mid - 1] + sorted[mid]) / 2.0
@@ -68,7 +71,7 @@ pub fn detect_spikes(series: &[f64], shape: &[f64], threshold: f64) -> Vec<Spike
         return Vec::new();
     }
     let normalized: Vec<f64> = series.iter().zip(shape).map(|(v, s)| v / s).collect();
-    let med = median(&normalized).expect("nonempty");
+    let med = median(&normalized).expect("invariant: series checked non-empty above");
     let sigma = mad_sigma(&normalized, med);
     // When more than half the samples are identical the MAD collapses to
     // zero; floor the scale at 5% of the median so only deviations that
@@ -87,7 +90,11 @@ pub fn detect_spikes(series: &[f64], shape: &[f64], threshold: f64) -> Vec<Spike
             })
         })
         .collect();
-    spikes.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    spikes.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("invariant: these floats are finite by construction, so partial_cmp is total")
+    });
     spikes
 }
 
@@ -113,7 +120,11 @@ pub fn attribute_spike<L: Copy>(
             let excess = series[spike.index] - med * shape[spike.index];
             Some((*label, excess))
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect(
+                "invariant: these floats are finite by construction, so partial_cmp is total",
+            )
+        })
 }
 
 #[cfg(test)]

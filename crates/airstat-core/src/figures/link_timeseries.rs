@@ -25,12 +25,15 @@ impl LinkSeries {
         if self.points.is_empty() {
             return 0.0;
         }
+        // airstat::allow(float-fold-order): points is one link's series in sealed time order, identical for every shard/thread count
         self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
     }
 
     /// Peak-to-trough swing of the series.
     pub fn swing(&self) -> f64 {
+        // airstat::allow(float-fold-order): max is order-insensitive over finite samples
         let max = self.points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+        // airstat::allow(float-fold-order): min is order-insensitive over finite samples
         let min = self.points.iter().map(|p| p.1).fold(f64::MAX, f64::min);
         if self.points.is_empty() {
             0.0
@@ -62,6 +65,7 @@ impl LinkTimeseriesFigure {
                 if obs.len() < 4 {
                     return None;
                 }
+                // airstat::allow(float-fold-order): obs comes back from the store in sealed CSR order, identical for every shard/thread count
                 let mean = obs.iter().map(|o| o.ratio).sum::<f64>() / obs.len() as f64;
                 Some((key, mean))
             })
@@ -80,9 +84,9 @@ impl LinkTimeseriesFigure {
                     (a.1 .1 - anchor)
                         .abs()
                         .partial_cmp(&(b.1 .1 - anchor).abs())
-                        .expect("finite")
+                        .expect("invariant: these floats are finite by construction, so partial_cmp is total")
                 })
-                .expect("nonempty");
+                .expect("invariant: scored checked non-empty by the len() guard above");
             let (key, _) = scored.swap_remove(pos);
             let points = backend
                 .link_series(window, key)

@@ -60,6 +60,7 @@ impl SpectrumFigure {
             for c in 0..cols {
                 let lo = c * bins / cols;
                 let hi = ((c + 1) * bins / cols).max(lo + 1);
+                // airstat::allow(float-fold-order): max is order-insensitive over finite bin powers
                 let peak = frame[lo..hi].iter().cloned().fold(f64::MIN, f64::max);
                 let rel = (peak - BIN_NOISE_FLOOR_DBM) / 50.0;
                 let idx =

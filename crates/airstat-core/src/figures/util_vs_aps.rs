@@ -66,6 +66,7 @@ impl fmt::Display for UtilVsApsFigure {
             self.spearman_rho
                 .map_or("n/a".into(), |r| format!("{r:.3}")),
         )?;
+        // airstat::allow(float-fold-order): max is order-insensitive over finite x coordinates
         let x_hi = self.points.iter().map(|p| p.0).fold(1.0f64, f64::max);
         f.write_str(&render_scatter(&self.points, 60, 14, x_hi, 1.0))
     }

@@ -34,7 +34,7 @@
 //!   quantiles for a simulated collection-layer fault scenario.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anomaly;
 pub mod degradation;

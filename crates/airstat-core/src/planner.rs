@@ -56,7 +56,10 @@ pub fn plan(
 ) -> ChannelPlan {
     let candidates: Vec<Channel> = NON_OVERLAPPING_2_4
         .iter()
-        .map(|&n| Channel::new(Band::Ghz2_4, n).expect("plan channel"))
+        .map(|&n| {
+            Channel::new(Band::Ghz2_4, n)
+                .expect("invariant: NON_OVERLAPPING_2_4 holds valid 2.4 GHz channel numbers")
+        })
         .collect();
     let mut assignments: BTreeMap<u64, Channel> = BTreeMap::new();
     for network in &world.networks {
@@ -76,9 +79,9 @@ pub fn plan(
                     };
                     (ch, metric + siblings * SIBLING_PENALTY * 100.0)
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("invariant: these floats are finite by construction, so partial_cmp is total"))
                 .map(|(ch, _)| ch)
-                .expect("candidates nonempty");
+                .expect("invariant: the candidate channel list is never empty");
             assignments.insert(device, best);
         }
     }

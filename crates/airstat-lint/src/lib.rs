@@ -1,0 +1,34 @@
+//! # airstat-lint — determinism audit for the airstat workspace
+//!
+//! The whole test strategy of this reproduction (store equivalence,
+//! columnar equivalence, fault-campaign byte-identity) rests on one
+//! invariant: **aggregation output is byte-identical for any thread
+//! count, shard count, or query backend**. Differential tests enforce
+//! that dynamically, but only along the code paths a seed happens to
+//! exercise. This crate enforces the discipline *statically*, at the
+//! source level, so a nondeterministic path cannot hide behind an
+//! unexercised branch.
+//!
+//! It is a std-only tool — a small lossless Rust lexer
+//! ([`lexer`]) and a token-pattern rule engine ([`rules`], [`engine`])
+//! — because the build environment has no crates.io access and the
+//! auditor must stay runnable before anything else compiles.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -q -p airstat-lint            # human output
+//! cargo run -q -p airstat-lint -- --json  # pinned machine schema
+//! ```
+//!
+//! The rule catalogue lives in `docs/LINTS.md`; suppressions are inline
+//! `// airstat::allow(rule-name): reason` comments, and a suppression
+//! without a reason is itself a violation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,120 @@
+//! CLI entry point: `cargo run -q -p airstat-lint -- [--json] [--root DIR]`.
+//!
+//! Exit codes: `0` clean tree, `1` at least one unsuppressed finding,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use airstat_lint::engine::audit_tree;
+use airstat_lint::json;
+use airstat_lint::rules::RuleId;
+
+const USAGE: &str = "\
+airstat-lint: determinism audit for the airstat workspace
+
+USAGE:
+    cargo run -q -p airstat-lint -- [OPTIONS]
+
+OPTIONS:
+    --json          machine-readable output (schema pinned by tests/json_schema.rs)
+    --root DIR      workspace root to scan (default: nearest ancestor with a
+                    [workspace] Cargo.toml)
+    --list-rules    print the rule catalogue and exit
+    -h, --help      this text
+
+Suppress a finding inline, reason mandatory:
+    // airstat::allow(rule-name): why this site cannot break byte-identity
+";
+
+fn main() -> ExitCode {
+    let mut json_output = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_output = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{:<18} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("could not find a [workspace] Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match audit_tree(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("audit failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json_output {
+        print!("{}", json::render(&report));
+    } else {
+        for f in &report.findings {
+            println!(
+                "{}:{}:{}: {}: {}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message
+            );
+        }
+        eprintln!(
+            "airstat-lint: {} files, {} findings, {} suppressed",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

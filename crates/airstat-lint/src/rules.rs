@@ -1,0 +1,462 @@
+//! The determinism-audit rule set.
+//!
+//! Every rule guards one facet of the workspace's byte-identity
+//! invariant: reports and query results must be byte-identical for any
+//! thread count, shard count, or query backend. The differential tests
+//! (`store_equivalence`, `columnar_equivalence`, the fault campaigns)
+//! enforce that dynamically for the seeds they run; these rules enforce
+//! the *source-level* discipline that makes it hold for every seed.
+//!
+//! See `docs/LINTS.md` for the full catalogue with examples and the
+//! suppression syntax.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in aggregate-feeding code.
+    NoHashmapIter,
+    /// `Instant`/`SystemTime` in virtual-time code.
+    NoWallClock,
+    /// `thread::spawn` outside the ordered executor.
+    NoRawSpawn,
+    /// `unwrap()`/non-invariant `expect()` in library code.
+    NoUnwrapInLib,
+    /// Unjustified f64 reductions on the merge path.
+    FloatFoldOrder,
+    /// Work-marker comments and `todo!()`/`unimplemented!()`.
+    TodoMarkers,
+    /// An `airstat::allow` directive missing its reason.
+    MalformedAllow,
+}
+
+impl RuleId {
+    /// All rules, in reporting order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::NoHashmapIter,
+        RuleId::NoWallClock,
+        RuleId::NoRawSpawn,
+        RuleId::NoUnwrapInLib,
+        RuleId::FloatFoldOrder,
+        RuleId::TodoMarkers,
+        RuleId::MalformedAllow,
+    ];
+
+    /// The rule's stable kebab-case name (used in `airstat::allow` and
+    /// the JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoHashmapIter => "no-hashmap-iter",
+            RuleId::NoWallClock => "no-wall-clock",
+            RuleId::NoRawSpawn => "no-raw-spawn",
+            RuleId::NoUnwrapInLib => "no-unwrap-in-lib",
+            RuleId::FloatFoldOrder => "float-fold-order",
+            RuleId::TodoMarkers => "todo-markers",
+            RuleId::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses a rule name as written in an `airstat::allow` directive.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--list-rules` and the docs.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::NoHashmapIter => {
+                "HashMap/HashSet in aggregate-feeding crates: iteration order is \
+                 nondeterministic; use BTreeMap/BTreeSet or sort before folding"
+            }
+            RuleId::NoWallClock => {
+                "Instant::now/SystemTime in sim/rf/telemetry/store: wall-clock time \
+                 must never influence aggregation; use virtual time"
+            }
+            RuleId::NoRawSpawn => {
+                "thread::spawn outside exec::run_ordered: unmanaged threads bypass \
+                 the ordered-merge discipline"
+            }
+            RuleId::NoUnwrapInLib => {
+                "unwrap()/expect() in library code: return typed errors, or document \
+                 the invariant with expect(\"invariant: ...\")"
+            }
+            RuleId::FloatFoldOrder => {
+                "f64 sum/fold on the merge path: float addition is non-associative; \
+                 document the ordered-merge justification"
+            }
+            RuleId::TodoMarkers => {
+                "TODO/FIXME/XXX/HACK markers and todo!/unimplemented! must not ship"
+            }
+            RuleId::MalformedAllow => {
+                "airstat::allow directive without a rule name or reason (a \
+                 suppression must say why it is sound)"
+            }
+        }
+    }
+
+    /// Whether findings inside `#[cfg(test)]` regions are reported.
+    /// Test code may unwrap and use hash containers freely; stray work
+    /// markers and broken directives are load-bearing everywhere.
+    pub fn applies_in_tests(self) -> bool {
+        matches!(self, RuleId::TodoMarkers | RuleId::MalformedAllow)
+    }
+}
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Package name (`airstat` for the root crate).
+    pub crate_name: String,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// True for binary targets (`src/bin/**`, `src/main.rs`): a CLI may
+    /// panic at top level, a library must not.
+    pub is_bin: bool,
+}
+
+impl FileContext {
+    /// Derives the context from a workspace-relative path.
+    pub fn from_rel_path(rel_path: &str) -> FileContext {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("airstat")
+            .to_string();
+        let is_bin = rel_path.starts_with("src/bin/")
+            || rel_path.contains("/src/bin/")
+            || rel_path.ends_with("src/main.rs");
+        FileContext {
+            crate_name,
+            rel_path: rel_path.to_string(),
+            is_bin,
+        }
+    }
+
+    /// Whether `rule` is checked at all in this file. The scoping is the
+    /// workspace policy, spelled out in `docs/LINTS.md`.
+    pub fn rule_applies(&self, rule: RuleId) -> bool {
+        match rule {
+            // Every airstat crate feeds aggregation except the bench
+            // harness (which never touches report bytes).
+            RuleId::NoHashmapIter => self.crate_name != "airstat-bench",
+            // The bench harness exists to measure wall time.
+            RuleId::NoWallClock => self.crate_name != "airstat-bench",
+            // The one blessed spawn site: the ordered executor.
+            RuleId::NoRawSpawn => !self.rel_path.ends_with("airstat-store/src/exec.rs"),
+            RuleId::NoUnwrapInLib => !self.is_bin,
+            // Cross-container f64 reductions only happen on the
+            // aggregation/merge path; slice math elsewhere is ordered by
+            // construction.
+            RuleId::FloatFoldOrder => matches!(
+                self.crate_name.as_str(),
+                "airstat-core" | "airstat-store" | "airstat-telemetry"
+            ),
+            RuleId::TodoMarkers | RuleId::MalformedAllow => true,
+        }
+    }
+}
+
+/// One rule hit before suppression is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation, specific to the site.
+    pub message: String,
+}
+
+/// Runs every applicable pattern rule over a token stream.
+///
+/// `in_test` marks, per token index, whether the token sits inside a
+/// `#[cfg(test)]` region (see `engine::test_regions`). The
+/// `malformed-allow` rule is not checked here — it falls out of
+/// directive parsing in the engine.
+pub fn check_tokens(ctx: &FileContext, tokens: &[Token], in_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    // Significant (non-comment) token indices, for pattern matching.
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment() && tokens[i].kind != TokenKind::Error)
+        .collect();
+    let tok = |k: usize| -> &Token { &tokens[sig[k]] };
+    let is_ident = |k: usize, text: &str| tok(k).kind == TokenKind::Ident && tok(k).text == text;
+    let is_punct = |k: usize, text: &str| tok(k).kind == TokenKind::Punct && tok(k).text == text;
+
+    let mut push = |rule: RuleId, t: &Token, message: String| {
+        out.push(RawFinding {
+            rule,
+            line: t.line,
+            col: t.col,
+            message,
+        });
+    };
+
+    // Per-(rule, line) dedup so one declaration line with two mentions
+    // reports (and needs suppressing) once.
+    let mut seen_lines: Vec<(RuleId, u32)> = Vec::new();
+
+    for k in 0..sig.len() {
+        let t = tok(k);
+        let skip_tests = |rule: RuleId| !rule.applies_in_tests() && in_test[sig[k]];
+
+        if ctx.rule_applies(RuleId::NoHashmapIter)
+            && !skip_tests(RuleId::NoHashmapIter)
+            && t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !seen_lines.contains(&(RuleId::NoHashmapIter, t.line))
+        {
+            seen_lines.push((RuleId::NoHashmapIter, t.line));
+            push(
+                RuleId::NoHashmapIter,
+                t,
+                format!(
+                    "`{}` in aggregate-feeding code: iteration order varies per process; \
+                     use `BTreeMap`/`BTreeSet`, or keep it keyed-access-only and say so",
+                    t.text
+                ),
+            );
+        }
+
+        if ctx.rule_applies(RuleId::NoWallClock)
+            && !skip_tests(RuleId::NoWallClock)
+            && t.kind == TokenKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+        {
+            push(
+                RuleId::NoWallClock,
+                t,
+                format!(
+                    "`{}` in virtual-time code: wall-clock readings differ per run and \
+                     must never reach an aggregate",
+                    t.text
+                ),
+            );
+        }
+
+        if ctx.rule_applies(RuleId::NoRawSpawn)
+            && !skip_tests(RuleId::NoRawSpawn)
+            && k + 2 < sig.len()
+            && is_ident(k, "thread")
+            && is_punct(k + 1, ":")
+            && is_punct(k + 2, ":")
+            && k + 3 < sig.len()
+            && (is_ident(k + 3, "spawn") || is_ident(k + 3, "Builder"))
+        {
+            push(
+                RuleId::NoRawSpawn,
+                t,
+                "raw thread creation: all parallelism goes through `exec::run_ordered` \
+                 so results merge in deterministic order"
+                    .to_string(),
+            );
+        }
+
+        if ctx.rule_applies(RuleId::NoUnwrapInLib)
+            && !skip_tests(RuleId::NoUnwrapInLib)
+            && k > 0
+            && is_punct(k - 1, ".")
+            && k + 1 < sig.len()
+            && is_punct(k + 1, "(")
+        {
+            if is_ident(k, "unwrap") {
+                push(
+                    RuleId::NoUnwrapInLib,
+                    t,
+                    "`unwrap()` in library code: return a typed error, or use \
+                     `expect(\"invariant: ...\")` naming the invariant that holds"
+                        .to_string(),
+                );
+            } else if is_ident(k, "expect") {
+                let documented = k + 2 < sig.len()
+                    && tok(k + 2).kind == TokenKind::Str
+                    && tok(k + 2).str_contents().starts_with("invariant:");
+                if !documented {
+                    push(
+                        RuleId::NoUnwrapInLib,
+                        t,
+                        "`expect()` in library code must carry a string literal starting \
+                         with \"invariant: \" naming why it cannot fail"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if ctx.rule_applies(RuleId::FloatFoldOrder) && !skip_tests(RuleId::FloatFoldOrder) {
+            let sum_over_float = (is_ident(k, "sum") || is_ident(k, "product"))
+                && k + 4 < sig.len()
+                && is_punct(k + 1, ":")
+                && is_punct(k + 2, ":")
+                && is_punct(k + 3, "<")
+                && (is_ident(k + 4, "f64") || is_ident(k + 4, "f32"));
+            let fold_over_float = is_ident(k, "fold")
+                && k > 0
+                && is_punct(k - 1, ".")
+                && k + 1 < sig.len()
+                && is_punct(k + 1, "(")
+                && (k + 2..sig.len().min(k + 14)).any(|j| {
+                    (tok(j).kind == TokenKind::Ident
+                        && (tok(j).text == "f64" || tok(j).text == "f32"))
+                        || (tok(j).kind == TokenKind::Num
+                            && (tok(j).text.ends_with("f64") || tok(j).text.ends_with("f32")))
+                });
+            if sum_over_float || fold_over_float {
+                push(
+                    RuleId::FloatFoldOrder,
+                    t,
+                    "float reduction on the merge path: addition order changes the bytes; \
+                     justify the operand order with an airstat::allow reason"
+                        .to_string(),
+                );
+            }
+        }
+
+        if ctx.rule_applies(RuleId::TodoMarkers)
+            && (is_ident(k, "todo") || is_ident(k, "unimplemented"))
+            && k + 1 < sig.len()
+            && is_punct(k + 1, "!")
+        {
+            push(
+                RuleId::TodoMarkers,
+                t,
+                format!("`{}!` must not ship: finish it or file it", t.text),
+            );
+        }
+    }
+
+    // Work markers in comments (directives are parsed separately).
+    if ctx.rule_applies(RuleId::TodoMarkers) {
+        for t in tokens.iter().filter(|t| t.is_comment()) {
+            if let Some(marker) = find_marker(&t.text) {
+                push(
+                    RuleId::TodoMarkers,
+                    t,
+                    format!("`{marker}` marker in comment: finish it or file it"),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Finds the first whole-word work marker in a comment.
+fn find_marker(text: &str) -> Option<&'static str> {
+    for marker in ["TODO", "FIXME", "XXX", "HACK"] {
+        let mut from = 0;
+        while let Some(at) = text[from..].find(marker) {
+            let start = from + at;
+            let end = start + marker.len();
+            let before = text[..start].chars().next_back();
+            let after = text[end..].chars().next();
+            let bounded =
+                |c: Option<char>| !matches!(c, Some(c) if c.is_alphanumeric() || c == '_');
+            if bounded(before) && bounded(after) {
+                return Some(marker);
+            }
+            from = end;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(path: &str, src: &str) -> Vec<RawFinding> {
+        let tokens = lex(src);
+        let in_test = vec![false; tokens.len()];
+        check_tokens(&FileContext::from_rel_path(path), &tokens, &in_test)
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn hashmap_flagged_once_per_line() {
+        let hits = check(
+            "crates/airstat-store/src/x.rs",
+            "use std::collections::{HashMap, HashSet};\nlet m: HashMap<u8, u8>;",
+        );
+        let hm: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == RuleId::NoHashmapIter)
+            .collect();
+        assert_eq!(hm.len(), 2); // one per line, not one per mention
+    }
+
+    #[test]
+    fn bench_crate_exempt_from_clock_and_hash() {
+        let hits = check(
+            "crates/airstat-bench/src/lib.rs",
+            "let t = Instant::now(); let m = HashMap::new();",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn expect_requires_invariant_prefix() {
+        let bad = check("crates/airstat-rf/src/x.rs", "x.expect(\"oops\");");
+        assert_eq!(bad.len(), 1);
+        let good = check(
+            "crates/airstat-rf/src/x.rs",
+            "x.expect(\"invariant: checked above\");",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let hits = check(
+            "crates/airstat-rf/src/x.rs",
+            "x.unwrap_or(0); x.unwrap_or_default(); x.unwrap_or_else(f);",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn bin_targets_may_unwrap() {
+        assert!(check("src/bin/airstat.rs", "x.unwrap();").is_empty());
+        assert!(!check("src/lib.rs", "x.unwrap();").is_empty());
+    }
+
+    #[test]
+    fn float_fold_scoped_to_merge_crates() {
+        let src = "v.iter().sum::<f64>();";
+        assert_eq!(check("crates/airstat-core/src/x.rs", src).len(), 1);
+        assert!(check("crates/airstat-rf/src/x.rs", src).is_empty());
+        // fold seeded with a float counts; integer folds don't.
+        let foldf = "v.iter().fold(0.0f64, |a, b| a + b);";
+        assert_eq!(check("crates/airstat-store/src/x.rs", foldf).len(), 1);
+        let foldu = "v.iter().fold(0u64, |a, b| a + b);";
+        assert!(check("crates/airstat-store/src/x.rs", foldu).is_empty());
+    }
+
+    #[test]
+    fn spawn_matched_through_path() {
+        let hits = check("crates/airstat-sim/src/x.rs", "std::thread::spawn(|| {});");
+        assert_eq!(hits.len(), 1);
+        assert!(check("crates/airstat-store/src/exec.rs", "thread::spawn(f);").is_empty());
+    }
+
+    #[test]
+    fn todo_markers_word_bounded() {
+        let hits = check(
+            "crates/airstat-sim/src/x.rs",
+            "// TODO: later\nlet XXXL = 1;",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("TODO"));
+    }
+}

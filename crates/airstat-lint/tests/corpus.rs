@@ -1,0 +1,186 @@
+//! Known-bad corpus: every fixture under `tests/fixtures/` must produce
+//! exactly the findings (rule, line, col) and suppressions pinned here.
+//!
+//! The fixtures are audited under synthetic workspace-relative paths so the
+//! per-crate rule scoping (e.g. `no-wall-clock` applies in `airstat-sim`)
+//! kicks in exactly as it would on the real tree.
+
+use airstat_lint::engine::audit_source;
+
+type Findings = Vec<(String, u32, u32)>;
+type Suppressions = Vec<(String, u32, String)>;
+
+/// Audits `src` as if it lived at `rel` and returns `(rule, line, col)`
+/// triples sorted by position, plus `(rule, line, reason)` suppressions.
+fn audit(rel: &str, src: &str) -> (Findings, Suppressions) {
+    let report = audit_source(rel, src);
+    let mut findings: Vec<(String, u32, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.name().to_string(), f.line, f.col))
+        .collect();
+    findings.sort();
+    let suppressed: Vec<(String, u32, String)> = report
+        .suppressed
+        .iter()
+        .map(|s| (s.rule.name().to_string(), s.line, s.reason.clone()))
+        .collect();
+    (findings, suppressed)
+}
+
+fn f(rule: &str, line: u32, col: u32) -> (String, u32, u32) {
+    (rule.to_string(), line, col)
+}
+
+#[test]
+fn hashmap_iter_fixture() {
+    let (findings, suppressed) = audit(
+        "crates/airstat-store/src/fx.rs",
+        include_str!("fixtures/hashmap_iter.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![
+            f("no-hashmap-iter", 1, 23),
+            f("no-hashmap-iter", 3, 19),
+            f("no-hashmap-iter", 4, 5),
+        ]
+    );
+    assert_eq!(
+        suppressed,
+        vec![(
+            "no-hashmap-iter".to_string(),
+            9,
+            "keyed access only, never iterated".to_string()
+        )]
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let (findings, suppressed) = audit(
+        "crates/airstat-sim/src/fx.rs",
+        include_str!("fixtures/wall_clock.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![
+            f("no-wall-clock", 1, 16),
+            f("no-wall-clock", 3, 30),
+            f("no-wall-clock", 4, 20),
+            f("no-wall-clock", 5, 16),
+        ]
+    );
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn wall_clock_rule_is_scoped_to_runtime_crates() {
+    // The identical source under a crate outside the rule's scope is clean.
+    let (findings, _) = audit(
+        "crates/airstat-bench/src/fx.rs",
+        include_str!("fixtures/wall_clock.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "bench may read the wall clock: {findings:?}"
+    );
+}
+
+#[test]
+fn raw_spawn_fixture() {
+    let (findings, suppressed) = audit(
+        "crates/airstat-store/src/fx.rs",
+        include_str!("fixtures/raw_spawn.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![f("no-raw-spawn", 2, 23), f("no-raw-spawn", 4, 25)]
+    );
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn raw_spawn_rule_exempts_the_exec_module() {
+    let (findings, _) = audit(
+        "crates/airstat-store/src/exec.rs",
+        include_str!("fixtures/raw_spawn.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "exec.rs owns thread spawning: {findings:?}"
+    );
+}
+
+#[test]
+fn unwrap_in_lib_fixture() {
+    // The bare unwrap and the non-invariant expect fire; the
+    // `expect("invariant: ...")` call and the #[cfg(test)] unwrap do not.
+    let (findings, suppressed) = audit(
+        "crates/airstat-core/src/fx.rs",
+        include_str!("fixtures/unwrap_in_lib.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![f("no-unwrap-in-lib", 2, 7), f("no-unwrap-in-lib", 6, 7)]
+    );
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn float_fold_fixture() {
+    let (findings, suppressed) = audit(
+        "crates/airstat-core/src/fx.rs",
+        include_str!("fixtures/float_fold.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![f("float-fold-order", 2, 15), f("float-fold-order", 6, 15)]
+    );
+    assert_eq!(
+        suppressed,
+        vec![(
+            "float-fold-order".to_string(),
+            11,
+            "inputs arrive in sealed merge order".to_string()
+        )]
+    );
+}
+
+#[test]
+fn todo_markers_fixture() {
+    let (findings, suppressed) = audit(
+        "crates/airstat-core/src/fx.rs",
+        include_str!("fixtures/todo_markers.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![
+            f("todo-markers", 1, 1),
+            f("todo-markers", 3, 5),
+            f("todo-markers", 6, 1),
+            f("todo-markers", 8, 5),
+        ]
+    );
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn bad_allow_fixture() {
+    // A directive without a reason or naming an unknown rule is itself a
+    // finding, and suppresses nothing: the HashMap mentions still fire.
+    let (findings, suppressed) = audit(
+        "crates/airstat-store/src/fx.rs",
+        include_str!("fixtures/bad_allow.rs"),
+    );
+    assert_eq!(
+        findings,
+        vec![
+            f("malformed-allow", 1, 1),
+            f("malformed-allow", 4, 1),
+            f("no-hashmap-iter", 2, 23),
+            f("no-hashmap-iter", 7, 18),
+        ]
+    );
+    assert!(suppressed.is_empty());
+}

@@ -1,0 +1,7 @@
+// airstat::allow(no-hashmap-iter)
+use std::collections::HashMap;
+
+// airstat::allow(not-a-rule): the rule name does not exist
+pub fn nothing() {}
+
+pub type Table = HashMap<u32, u32>;

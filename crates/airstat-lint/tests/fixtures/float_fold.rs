@@ -1,0 +1,12 @@
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn folded(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0f64, |a, b| a + b)
+}
+
+pub fn justified(xs: &[f64]) -> f64 {
+    // airstat::allow(float-fold-order): inputs arrive in sealed merge order
+    xs.iter().sum::<f64>()
+}

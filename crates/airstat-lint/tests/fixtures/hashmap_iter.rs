@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn lookup() -> Option<u32> {
+    // airstat::allow(no-hashmap-iter): keyed access only, never iterated
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.get(&1).copied()
+}

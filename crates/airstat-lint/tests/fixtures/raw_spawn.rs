@@ -1,0 +1,5 @@
+pub fn launch() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+    let _builder = std::thread::Builder::new();
+}

@@ -1,0 +1,9 @@
+// TODO: finish this module
+pub fn pending() -> u32 {
+    todo!()
+}
+
+// FIXME: placeholder below
+pub fn stub() -> u32 {
+    unimplemented!()
+}

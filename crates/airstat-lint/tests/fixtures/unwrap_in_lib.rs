@@ -1,0 +1,19 @@
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn weak(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn good(v: Option<u32>) -> u32 {
+    v.expect("invariant: caller checked is_some above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

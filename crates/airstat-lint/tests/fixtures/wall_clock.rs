@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn stamp() -> std::time::SystemTime {
+    let _started = Instant::now();
+    std::time::SystemTime::now()
+}

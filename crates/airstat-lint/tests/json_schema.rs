@@ -1,0 +1,72 @@
+//! Snapshot tests pinning the `--json` output schema.
+//!
+//! Downstream tooling (tier1.sh, CI dashboards) parses this shape; any field
+//! rename, reorder, or type change must bump `SCHEMA_VERSION` and update
+//! these snapshots deliberately.
+
+use airstat_lint::engine::{AuditReport, Finding, Suppressed};
+use airstat_lint::json::{render, SCHEMA_VERSION};
+use airstat_lint::rules::RuleId;
+
+#[test]
+fn schema_version_is_pinned() {
+    assert_eq!(SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn empty_report_snapshot() {
+    let report = AuditReport {
+        findings: Vec::new(),
+        suppressed: Vec::new(),
+        files_scanned: 89,
+    };
+    assert_eq!(
+        render(&report),
+        concat!(
+            "{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"files_scanned\": 89,\n",
+            "  \"findings\": [],\n",
+            "  \"suppressed\": []\n",
+            "}\n",
+        )
+    );
+}
+
+#[test]
+fn populated_report_snapshot() {
+    let report = AuditReport {
+        findings: vec![Finding {
+            rule: RuleId::NoHashmapIter,
+            file: "crates/airstat-store/src/shard.rs".to_string(),
+            line: 12,
+            col: 5,
+            message: "iteration order is per-instance \"random\"".to_string(),
+        }],
+        suppressed: vec![Suppressed {
+            rule: RuleId::FloatFoldOrder,
+            file: "crates/airstat-core/src/figures/link_timeseries.rs".to_string(),
+            line: 30,
+            reason: "sealed order".to_string(),
+        }],
+        files_scanned: 2,
+    };
+    assert_eq!(
+        render(&report),
+        concat!(
+            "{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"files_scanned\": 2,\n",
+            "  \"findings\": [\n",
+            "    {\"rule\": \"no-hashmap-iter\", \"file\": \"crates/airstat-store/src/shard.rs\", ",
+            "\"line\": 12, \"col\": 5, \"message\": \"iteration order is per-instance \\\"random\\\"\"}\n",
+            "  ],\n",
+            "  \"suppressed\": [\n",
+            "    {\"rule\": \"float-fold-order\", ",
+            "\"file\": \"crates/airstat-core/src/figures/link_timeseries.rs\", ",
+            "\"line\": 30, \"reason\": \"sealed order\"}\n",
+            "  ]\n",
+            "}\n",
+        )
+    );
+}

@@ -16,7 +16,7 @@
 //! Figure 2's near-empty DFS channels are the fleet-level consequence:
 //! operators avoid channels that can evict them mid-shift.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -56,7 +56,7 @@ pub enum DfsEvent {
 /// Per-AP DFS bookkeeping across the 5 GHz plan.
 #[derive(Debug, Clone)]
 pub struct DfsMonitor {
-    states: HashMap<u16, DfsState>,
+    states: BTreeMap<u16, DfsState>,
     /// Probability of a radar detection per monitored second (combines
     /// real radar and the false positives that plague real deployments).
     radar_probability_per_s: f64,
@@ -73,7 +73,7 @@ impl DfsMonitor {
             "probability must be in [0, 1)"
         );
         DfsMonitor {
-            states: HashMap::new(),
+            states: BTreeMap::new(),
             radar_probability_per_s,
         }
     }

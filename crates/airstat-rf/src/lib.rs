@@ -44,7 +44,7 @@
 //! tautology.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod airtime;
 pub mod band;

@@ -127,7 +127,8 @@ impl ChannelPlacement {
         let w5: Vec<f64> = CHANNELS_5
             .iter()
             .map(|&n| {
-                let ch = Channel::new(Band::Ghz5, n).expect("plan channel");
+                let ch = Channel::new(Band::Ghz5, n)
+                    .expect("invariant: CHANNELS_5 holds valid 5 GHz channel numbers");
                 if ch.requires_dfs() {
                     0.03
                 } else if n <= 48 {
@@ -148,11 +149,13 @@ impl ChannelPlacement {
         match band {
             Band::Ghz2_4 => {
                 let idx = self.weights_2_4.sample(rng);
-                Channel::new(Band::Ghz2_4, (idx + 1) as u16).expect("index maps to channel")
+                Channel::new(Band::Ghz2_4, (idx + 1) as u16)
+                    .expect("invariant: the sampler only returns indices inside the channel table")
             }
             Band::Ghz5 => {
                 let idx = self.weights_5.sample(rng);
-                Channel::new(Band::Ghz5, CHANNELS_5[idx]).expect("index maps to channel")
+                Channel::new(Band::Ghz5, CHANNELS_5[idx])
+                    .expect("invariant: the sampler only returns indices inside the channel table")
             }
         }
     }

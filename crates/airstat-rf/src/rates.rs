@@ -144,7 +144,8 @@ pub fn select_rate(caps: &Capabilities, snr_db: f64) -> (Mcs, ChannelWidth, f64)
         // Below MCS0 at the chosen width: drop to 20 MHz MCS0 if audible
         // at all; the MAC's lowest mandatory rate keeps the link alive.
         None => {
-            let rate = phy_rate_mbps(Mcs(0), ChannelWidth::Mhz20, 1, false).expect("MCS0 valid");
+            let rate = phy_rate_mbps(Mcs(0), ChannelWidth::Mhz20, 1, false)
+                .expect("invariant: MCS0 at 20 MHz single-stream is always a defined rate");
             (Mcs(0), ChannelWidth::Mhz20, rate)
         }
     }

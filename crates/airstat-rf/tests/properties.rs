@@ -218,7 +218,7 @@ proptest! {
             offered += bytes;
         }
         let sent: u64 = shaper.drain(budget).iter().map(|(_, b)| b).sum();
-        prop_assert!(sent <= budget.max(0), "budget respected");
+        prop_assert!(sent <= budget, "budget respected");
         prop_assert_eq!(sent + shaper.total_backlog(), offered, "no bytes created or lost");
     }
 

@@ -34,7 +34,7 @@
 //!   degradation accounting.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod appmix;
 pub mod config;

@@ -71,7 +71,11 @@ impl DailySeries {
         self.total
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1).expect(
+                    "invariant: these floats are finite by construction, so partial_cmp is total",
+                )
+            })
             .map(|(i, _)| i)
     }
 }

@@ -206,8 +206,12 @@ impl World {
                     model,
                     network: id,
                     position,
-                    channel_2_4: Channel::new(Band::Ghz2_4, ch24_num).expect("plan channel"),
-                    channel_5: Channel::new(Band::Ghz5, ch5_num).expect("plan channel"),
+                    channel_2_4: Channel::new(Band::Ghz2_4, ch24_num).expect(
+                        "invariant: the placement planner only emits valid channel numbers",
+                    ),
+                    channel_5: Channel::new(Band::Ghz5, ch5_num).expect(
+                        "invariant: the placement planner only emits valid channel numbers",
+                    ),
                     environment,
                     density,
                     data_load_bps: load_dist.sample(&mut rng),

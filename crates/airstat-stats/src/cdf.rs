@@ -15,7 +15,10 @@ impl Ecdf {
     /// Builds an ECDF from samples. NaNs are dropped.
     pub fn new<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("invariant: NaNs were filtered out on the previous line")
+        });
         Ecdf { sorted }
     }
 
@@ -100,7 +103,13 @@ impl Ecdf {
         if self.sorted.is_empty() || points == 0 {
             return Vec::new();
         }
-        let (lo, hi) = (self.sorted[0], *self.sorted.last().unwrap());
+        let (lo, hi) = (
+            self.sorted[0],
+            *self
+                .sorted
+                .last()
+                .expect("invariant: is_empty checked at function entry"),
+        );
         if points == 1 || lo == hi {
             return vec![(hi, 1.0)];
         }

@@ -63,7 +63,11 @@ pub fn spearman(pairs: &[(f64, f64)]) -> Option<f64> {
 /// Assigns fractional (average-of-ties) ranks, 1-based.
 fn fractional_ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("invariant: these floats are finite by construction, so partial_cmp is total")
+    });
     let mut ranks = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {

@@ -219,10 +219,10 @@ impl Zipf {
     /// Draws a rank in `0..n` (0-based; rank 0 is the most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u = rng.gen::<f64>();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
-        {
+        match self.cumulative.binary_search_by(|c| {
+            c.partial_cmp(&u)
+                .expect("invariant: cumulative weights are finite by construction")
+        }) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -282,10 +282,10 @@ impl WeightedIndex {
     /// Draws a category index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u = rng.gen::<f64>();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
-        {
+        match self.cumulative.binary_search_by(|c| {
+            c.partial_cmp(&u)
+                .expect("invariant: cumulative weights are finite by construction")
+        }) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

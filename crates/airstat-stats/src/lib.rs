@@ -27,7 +27,7 @@
 //! so callers control determinism.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cdf;
 pub mod correlation;

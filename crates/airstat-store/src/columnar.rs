@@ -301,14 +301,19 @@ pub(crate) fn merge_runs<K: Ord + Copy, V>(
         let mut merged: Option<V> = None;
         for it in iters.iter_mut() {
             if it.peek().is_some_and(|&(key, _)| key == min) {
-                let (_, value) = it.next().expect("peeked");
+                let (_, value) = it
+                    .next()
+                    .expect("invariant: peek returned Some on this iterator above");
                 match merged.as_mut() {
                     Some(acc) => combine(acc, value),
                     None => merged = Some(value),
                 }
             }
         }
-        out.push((min, merged.expect("at least one run held the min key")));
+        out.push((
+            min,
+            merged.expect("invariant: min was drawn from one of these runs"),
+        ));
     }
 }
 

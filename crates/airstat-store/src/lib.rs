@@ -32,7 +32,7 @@
 //! | [`columnar`] | [`columnar::ColumnarShard`] packed struct-of-arrays read layout |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod columnar;
 pub mod exec;

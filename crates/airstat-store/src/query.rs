@@ -29,6 +29,9 @@
 //! hit/miss/eviction counters surface in [`StoreStats`], which the CLI
 //! prints next to the engine's throughput summary.
 
+// airstat::allow(no-hashmap-iter): the result cache is exact-key lookup
+// only; its one scan (LRU eviction) minimizes a unique monotone stamp,
+// so the chosen victim is identical in every process.
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
@@ -162,6 +165,8 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 /// used entry.
 #[derive(Debug, Default)]
 pub struct ResultCache {
+    // airstat::allow(no-hashmap-iter): exact-key cache; eviction scan is
+    // tie-free (stamps are unique), so iteration order cannot leak out
     entries: HashMap<(u64, QueryPlan), (u64, QueryValue)>,
     capacity: usize,
     clock: u64,
@@ -314,7 +319,10 @@ impl QueryEngine {
 
     /// Current cache and shape counters.
     pub fn stats(&self) -> StoreStats {
-        let cache = self.cache.lock().expect("cache lock");
+        let cache = self
+            .cache
+            .lock()
+            .expect("invariant: cache lock is never poisoned (no code panics while holding it)");
         let (hits, misses, evictions) = cache.counters();
         StoreStats {
             shards: self.snapshot.shards().len(),
@@ -334,13 +342,18 @@ impl QueryEngine {
     /// the cached `Clients` result) re-enter `execute` freely.
     pub fn execute(&self, plan: &QueryPlan) -> QueryValue {
         let epoch = self.snapshot.epoch();
-        if let Some(value) = self.cache.lock().expect("cache lock").get(epoch, plan) {
+        if let Some(value) = self
+            .cache
+            .lock()
+            .expect("invariant: cache lock is never poisoned (no code panics while holding it)")
+            .get(epoch, plan)
+        {
             return value;
         }
         let value = self.compute(plan);
         self.cache
             .lock()
-            .expect("cache lock")
+            .expect("invariant: cache lock is never poisoned (no code panics while holding it)")
             .insert(epoch, plan.clone(), value.clone());
         value
     }
@@ -801,13 +814,18 @@ impl QueryEngine {
                 self.merged_links(window)
                     .iter()
                     .filter(|(k, obs)| k.band == band && !obs.is_empty())
-                    .map(|(_, obs)| obs.last().expect("nonempty").ratio)
+                    .map(|(_, obs)| {
+                        obs.last()
+                            .expect("invariant: filtered to non-empty above")
+                            .ratio
+                    })
                     .collect(),
             ),
             QueryPlan::MeanDeliveryRatios(window, band) => QueryValue::Ratios(
                 self.merged_links(window)
                     .iter()
                     .filter(|(k, obs)| k.band == band && !obs.is_empty())
+                    // airstat::allow(float-fold-order): obs comes from merged_links in sealed CSR order, identical for every shard/thread count
                     .map(|(_, obs)| obs.iter().map(|o| o.ratio).sum::<f64>() / obs.len() as f64)
                     .collect(),
             ),

@@ -16,6 +16,8 @@
 //!   reports: per-device delivery is in order and duplicates are exact
 //!   redeliveries, which the differential tests pin down.
 
+// airstat::allow(no-hashmap-iter): the dedup ledger is keyed-access
+// only (entry per incoming report); aggregates all live in BTreeMaps.
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use airstat_classify::apps::Application;
@@ -109,6 +111,8 @@ pub struct WindowTables {
 /// One shard: an independent store with its own dedup state.
 #[derive(Debug, Clone, Default)]
 pub struct StoreShard {
+    // airstat::allow(no-hashmap-iter): per-(window, device) dedup state,
+    // looked up by exact key on the ingest hot path and never iterated
     seen: HashMap<(WindowId, u64), SeqSet>,
     duplicates_dropped: u64,
     reports_ingested: u64,

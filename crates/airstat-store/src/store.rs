@@ -65,7 +65,7 @@ impl Clone for ShardedStore {
             shards: self.shards.clone(),
             epoch: self.epoch,
             config: self.config,
-            columnar: Mutex::new(self.columnar.lock().expect("columnar lock").clone()),
+            columnar: Mutex::new(self.columnar.lock().expect("invariant: columnar lock is never poisoned (projection code does not panic)").clone()),
         }
     }
 }
@@ -165,7 +165,9 @@ impl ShardedStore {
                 threads,
                 n,
                 |i| {
-                    let mut shard = slots[i].lock().expect("shard lock");
+                    let mut shard = slots[i]
+                        .lock()
+                        .expect("invariant: shard lock is never poisoned (ingest does not panic)");
                     routed[i]
                         .iter()
                         .filter(|report| shard.ingest(window, report))
@@ -195,7 +197,10 @@ impl ShardedStore {
     /// seal after an ingest pays the projection cost; every later seal
     /// of the same epoch reuses the packed columns by `Arc` clone.
     pub fn seal(&self) -> Snapshot {
-        let mut cache = self.columnar.lock().expect("columnar lock");
+        let mut cache = self
+            .columnar
+            .lock()
+            .expect("invariant: columnar lock is never poisoned (projection code does not panic)");
         let columnar = match cache.as_ref() {
             Some((epoch, shards)) if *epoch == self.epoch => shards.clone(),
             _ => {

@@ -10,7 +10,7 @@
 //! All aggregates are grouped by a caller-chosen [`WindowId`] (one per
 //! measurement window: January 2014, July 2014, January 2015, ...).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use airstat_classify::apps::Application;
 use airstat_classify::device::OsFamily;
@@ -90,18 +90,18 @@ type CensusRows = Vec<(Channel, u32, u32)>;
 /// The central store.
 #[derive(Debug, Default)]
 pub struct Backend {
-    last_seq: HashMap<(WindowId, u64), u64>,
+    last_seq: BTreeMap<(WindowId, u64), u64>,
     duplicates_dropped: u64,
     reports_ingested: u64,
-    usage: HashMap<WindowId, HashMap<(MacAddress, Application), UsageTotals>>,
+    usage: BTreeMap<WindowId, BTreeMap<(MacAddress, Application), UsageTotals>>,
     // BTreeMap: snapshot sampling iterates this map, so its order must be
     // deterministic for byte-identical reproductions.
-    clients: HashMap<WindowId, BTreeMap<MacAddress, ClientIdentity>>,
-    links: HashMap<WindowId, BTreeMap<LinkKey, Vec<LinkObservation>>>,
-    airtime: HashMap<WindowId, HashMap<(u64, Band), AirtimeLedger>>,
-    neighbors: HashMap<WindowId, HashMap<u64, CensusRows>>,
-    scans: HashMap<WindowId, HashMap<u64, Vec<ScanObservation>>>,
-    crashes: HashMap<WindowId, CrashAggregator>,
+    clients: BTreeMap<WindowId, BTreeMap<MacAddress, ClientIdentity>>,
+    links: BTreeMap<WindowId, BTreeMap<LinkKey, Vec<LinkObservation>>>,
+    airtime: BTreeMap<WindowId, BTreeMap<(u64, Band), AirtimeLedger>>,
+    neighbors: BTreeMap<WindowId, BTreeMap<u64, CensusRows>>,
+    scans: BTreeMap<WindowId, BTreeMap<u64, Vec<ScanObservation>>>,
+    crashes: BTreeMap<WindowId, CrashAggregator>,
 }
 
 impl Backend {
@@ -277,7 +277,7 @@ impl Backend {
     /// with no identity record is attributed to [`OsFamily::Unknown`].
     pub fn usage_by_os(&self, window: WindowId) -> Vec<(OsFamily, UsageTotals, u64)> {
         let clients = self.clients.get(&window);
-        let mut per_mac: HashMap<MacAddress, UsageTotals> = HashMap::new();
+        let mut per_mac: BTreeMap<MacAddress, UsageTotals> = BTreeMap::new();
         if let Some(usage) = self.usage.get(&window) {
             for (&(mac, _), totals) in usage {
                 let slot = per_mac.entry(mac).or_default();
@@ -346,7 +346,11 @@ impl Backend {
                 links
                     .iter()
                     .filter(|(k, obs)| k.band == band && !obs.is_empty())
-                    .map(|(_, obs)| obs.last().expect("nonempty").ratio)
+                    .map(|(_, obs)| {
+                        obs.last()
+                            .expect("invariant: filtered to non-empty above")
+                            .ratio
+                    })
                     .collect()
             })
             .unwrap_or_default()
@@ -360,6 +364,7 @@ impl Backend {
                 links
                     .iter()
                     .filter(|(k, obs)| k.band == band && !obs.is_empty())
+                    // airstat::allow(float-fold-order): obs is a Vec in arrival order, identical for every backend/shard/thread count
                     .map(|(_, obs)| obs.iter().map(|o| o.ratio).sum::<f64>() / obs.len() as f64)
                     .collect()
             })
@@ -390,7 +395,7 @@ impl Backend {
 
     /// Number of devices that filed a neighbour census in a window.
     pub fn census_device_count(&self, window: WindowId) -> usize {
-        self.neighbors.get(&window).map_or(0, HashMap::len)
+        self.neighbors.get(&window).map_or(0, BTreeMap::len)
     }
 
     /// Total and per-AP-mean nearby networks on a band, plus hotspot count.

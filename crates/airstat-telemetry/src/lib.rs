@@ -34,7 +34,7 @@
 //!   six-month comparison windows the backend keeps.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anonymize;
 pub mod backend;

@@ -29,7 +29,7 @@ pub fn app_code(app: Application) -> u64 {
     Application::ALL
         .iter()
         .position(|&a| a == app)
-        .expect("app is in ALL") as u64
+        .expect("invariant: every Application variant appears in ALL") as u64
 }
 
 /// Inverse of [`app_code`].
@@ -45,7 +45,7 @@ pub fn os_code(os: OsFamily) -> u64 {
     OsFamily::ALL
         .iter()
         .position(|&o| o == os)
-        .expect("os is in ALL") as u64
+        .expect("invariant: every OsFamily variant appears in ALL") as u64
 }
 
 /// Inverse of [`os_code`].

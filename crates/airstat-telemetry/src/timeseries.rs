@@ -193,7 +193,14 @@ impl RollupSeries {
     pub fn range(&self, from_s: u64, to_s: u64) -> (u64, Vec<Bucket>) {
         for level in &self.levels {
             let covers = level.buckets.front().is_some_and(|b| b.start_s <= from_s);
-            if covers || level.step_s == self.levels.last().expect("nonempty").step_s {
+            if covers
+                || level.step_s
+                    == self
+                        .levels
+                        .last()
+                        .expect("invariant: the level pyramid is built non-empty")
+                        .step_s
+            {
                 let buckets = level
                     .buckets
                     .iter()

@@ -331,7 +331,8 @@ impl Tunnel {
             self.wire_buf.clear();
             report.encode_into(&mut self.wire_buf, &mut self.record_scratch);
             self.bytes_transferred += self.wire_buf.len() as u64;
-            let decoded = Report::decode(&self.wire_buf).expect("self-encoded report must decode");
+            let decoded = Report::decode(&self.wire_buf)
+                .expect("invariant: a report encoded by this codec always decodes");
             max_seq = Some(decoded.seq);
             delivered.push(decoded);
         }

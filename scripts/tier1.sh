@@ -17,8 +17,15 @@ cargo test -q --offline --test columnar_equivalence
 echo "==> cargo test -q -p airstat-store (sharded store: unit, property, and engine-vs-backend tests)"
 cargo test -q --offline -p airstat-store
 
-echo "==> cargo clippy -p airstat-store (warnings are errors)"
-cargo clippy -q -p airstat-store --all-targets --offline -- -D warnings
+echo "==> cargo clippy --workspace (warnings are errors; vendored crates excluded)"
+cargo clippy -q --workspace --exclude rand --exclude proptest \
+    --all-targets --offline -- -D warnings
+
+echo "==> airstat-lint (determinism audit: zero unsuppressed findings)"
+cargo run -q -p airstat-lint --offline -- --json > /dev/null
+
+echo "==> cargo test -q -p airstat-lint (lexer, rule, corpus, and JSON schema tests)"
+cargo test -q --offline -p airstat-lint
 
 echo "==> cargo test --doc (telemetry pipeline doctests)"
 cargo test -q --offline -p airstat-telemetry --doc
@@ -27,7 +34,7 @@ echo "==> cargo doc (airstat crates, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline \
     -p airstat -p airstat-stats -p airstat-rf -p airstat-classify \
     -p airstat-telemetry -p airstat-store -p airstat-sim -p airstat-core \
-    -p airstat-bench
+    -p airstat-bench -p airstat-lint
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -25,7 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use airstat_classify as classify;
 pub use airstat_core as core;
