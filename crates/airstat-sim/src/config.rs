@@ -83,8 +83,9 @@ pub struct FleetConfig {
     /// reproduces the `None` output byte for byte (differential-tested),
     /// and campaigns stay byte-identical across thread counts.
     pub faults: Option<FaultSchedule>,
-    /// Physical layout the query engine reads: the columnar scan
-    /// kernels (default) or the legacy map-backed path. Both produce
+    /// Execution strategy the query engine uses: the cost-based
+    /// planner (default, picks vectorized+pruned, columnar, or legacy
+    /// per plan), or one of those paths forced. All produce
     /// byte-identical reports; they differ only in cold-query cost.
     pub query_backend: QueryBackend,
 }

@@ -112,8 +112,9 @@ pub struct SimulationOutput {
     pub bytes_encoded: u64,
     /// Worker threads the run actually used.
     pub threads: usize,
-    /// Physical query layout the run was configured with; threaded
-    /// through to every engine [`SimulationOutput::query`] opens.
+    /// Query execution strategy the run was configured with (the
+    /// cost-based planner by default); threaded through to every engine
+    /// [`SimulationOutput::query`] opens.
     pub query_backend: QueryBackend,
     /// Campaign-wide degradation accounting (completeness, latency,
     /// fault counters). With `FleetConfig::faults = None` this is the

@@ -40,7 +40,7 @@ pub mod query;
 pub mod shard;
 pub mod store;
 
-pub use columnar::ColumnarShard;
+pub use columnar::{ColumnarShard, WindowZoneMap};
 pub use query::{
     FleetQuery, QueryBackend, QueryEngine, QueryPlan, QueryValue, ResultCache, StoreStats,
 };

@@ -33,6 +33,7 @@
 // only; its one scan (LRU eviction) minimizes a unique monotone stamp,
 // so the chosen victim is identical in every process.
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use airstat_classify::apps::Application;
@@ -44,20 +45,30 @@ use airstat_telemetry::backend::{
 };
 use airstat_telemetry::crash::CrashAggregator;
 
-use crate::columnar::{merge_runs, ColumnarWindow};
+use crate::columnar::{
+    kway_groups, merge_runs, select_indices, ColumnarWindow, WindowZoneMap, APP_LANES, OS_LANES,
+};
 use crate::exec::run_ordered;
 use crate::shard::StoreShard;
 use crate::store::Snapshot;
 
-/// Which physical layout the engine's kernels read.
+/// Which physical execution strategy the engine's kernels use.
 ///
-/// Both backends are proven byte-identical by the differential test
+/// All backends are proven byte-identical by the differential test
 /// `tests/columnar_equivalence.rs`; they differ only in cold-query cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum QueryBackend {
-    /// Sequential scan kernels over the packed struct-of-arrays
-    /// projection built at `seal()` (default — the fast cold path).
+    /// Cost-based choice per plan (default): estimates each candidate's
+    /// cost from shard row counts and zone-map selectivity, then runs
+    /// the cheapest of the vectorized, columnar, or legacy paths.
     #[default]
+    Planner,
+    /// Two-pass vectorized kernels (selection vector, then gather +
+    /// partial-aggregate) over the columnar projection, with zone-map
+    /// shard pruning always on.
+    Vectorized,
+    /// Single-pass fused scan kernels over the packed struct-of-arrays
+    /// projection built at `seal()`, scanning every shard.
     Columnar,
     /// The original map-backed path: clone each shard's `BTreeMap`
     /// tables and fold them into a merge map.
@@ -65,9 +76,12 @@ pub enum QueryBackend {
 }
 
 impl QueryBackend {
-    /// Parses a CLI-style backend name (`"columnar"` / `"legacy"`).
+    /// Parses a CLI-style backend name
+    /// (`"planner"` / `"vectorized"` / `"columnar"` / `"legacy"`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
+            "planner" => Some(QueryBackend::Planner),
+            "vectorized" => Some(QueryBackend::Vectorized),
             "columnar" => Some(QueryBackend::Columnar),
             "legacy" => Some(QueryBackend::Legacy),
             _ => None,
@@ -77,6 +91,8 @@ impl QueryBackend {
     /// The CLI-style name of this backend.
     pub fn name(self) -> &'static str {
         match self {
+            QueryBackend::Planner => "planner",
+            QueryBackend::Vectorized => "vectorized",
             QueryBackend::Columnar => "columnar",
             QueryBackend::Legacy => "legacy",
         }
@@ -117,6 +133,132 @@ pub enum QueryPlan {
     Crashes(WindowId),
     /// All channel-scan observations on a band, in device order (§5).
     ScanObservations(WindowId, Band),
+}
+
+/// Cost-model constants, in nanoseconds, calibrated against the bench
+/// harness rows in `BENCH_pipeline.json` on the reference host.
+///
+/// `*_SHARD_SETUP_NS` is the fixed per-shard dispatch cost (closure
+/// dispatch plus the buffers the path allocates per shard: selection
+/// vectors and partial-aggregate lanes for the vectorized kernels, a
+/// partial `Vec` for the fused columnar kernels, table clones and a
+/// merge map for the legacy fold). `*_NS_PER_ROW` is the approximate
+/// marginal scan+merge cost per row. The model only needs to rank the
+/// three paths correctly: the vectorized path wins once enough rows
+/// survive pruning to amortize its extra per-shard buffers, the fused
+/// columnar path wins on tiny inputs where those buffers dominate, and
+/// the legacy path is dominated whenever any rows exist (its clones
+/// cost strictly more per row) — it is costed, not special-cased.
+const VEC_SHARD_SETUP_NS: f64 = 2500.0;
+/// Marginal vectorized cost per admitted row (two linear passes).
+const VEC_NS_PER_ROW: f64 = 30.0;
+/// Fixed per-shard cost of the fused columnar kernels.
+const COL_SHARD_SETUP_NS: f64 = 1500.0;
+/// Marginal fused-kernel cost per row (tuple materialize + peek merge).
+const COL_NS_PER_ROW: f64 = 95.0;
+/// Fixed per-shard cost of the legacy map path (clone + merge map).
+const LEG_SHARD_SETUP_NS: f64 = 2500.0;
+/// Marginal legacy cost per row (tree walks on pointer-chased nodes).
+const LEG_NS_PER_ROW: f64 = 400.0;
+
+/// What the zone maps predict about one plan's execution.
+#[derive(Debug, Default, Clone, Copy)]
+struct PlanZoneStats {
+    /// Shards in the snapshot (admitted or not).
+    total_shards: usize,
+    /// Shards whose zone map admits the plan's filter.
+    admitted_shards: usize,
+    /// Rows the plan's kernels would scan across admitted shards.
+    admitted_rows: u64,
+    /// Rows across all shards holding the window (the unpruned cost).
+    total_rows: u64,
+}
+
+/// Zone-map admission and scanned-row estimate for `plan` against one
+/// shard's window summary — the planner's per-shard selectivity probe.
+fn plan_zone_estimate(plan: &QueryPlan, z: &WindowZoneMap) -> (bool, u64) {
+    let link_keys = (z.link_keys_per_band[0] + z.link_keys_per_band[1]) as u64;
+    match *plan {
+        QueryPlan::UsageByApp(_) | QueryPlan::UsageByOs(_) => {
+            (z.usage_rows > 0, z.usage_rows as u64)
+        }
+        QueryPlan::ClientCount(_) | QueryPlan::Clients(_) => {
+            (z.client_rows > 0, z.client_rows as u64)
+        }
+        QueryPlan::AppClientCount(_, app) => (
+            z.apps_present & (1u64 << (app as usize)) != 0,
+            z.usage_rows as u64,
+        ),
+        QueryPlan::LinkKeys(_, band)
+        | QueryPlan::LatestDeliveryRatios(_, band)
+        | QueryPlan::MeanDeliveryRatios(_, band) => {
+            (z.link_keys_per_band[band as usize] > 0, link_keys)
+        }
+        QueryPlan::LinkSeries(_, key) => (
+            z.link_key_range
+                .is_some_and(|(lo, hi)| lo <= key && key <= hi),
+            link_keys,
+        ),
+        QueryPlan::ServingUtilizations(_, band) => (
+            z.airtime_rows_per_band[band as usize] > 0,
+            (z.airtime_rows_per_band[0] + z.airtime_rows_per_band[1]) as u64,
+        ),
+        // Zone-only: answered without scanning any column.
+        QueryPlan::CensusDeviceCount(_) => (false, 0),
+        QueryPlan::NearbySummary(_, band) | QueryPlan::NearbyPerChannel(_, band) => (
+            z.census_rows_per_band[band as usize] > 0,
+            (z.census_rows_per_band[0] + z.census_rows_per_band[1]) as u64,
+        ),
+        QueryPlan::Crashes(_) => (z.crash_devices > 0, z.crash_devices as u64),
+        QueryPlan::ScanObservations(_, band) => (
+            z.scan_obs_per_band[band as usize] > 0,
+            (z.scan_obs_per_band[0] + z.scan_obs_per_band[1]) as u64,
+        ),
+    }
+}
+
+impl QueryPlan {
+    /// The window this plan reads.
+    pub fn window(&self) -> WindowId {
+        match *self {
+            QueryPlan::UsageByApp(w)
+            | QueryPlan::UsageByOs(w)
+            | QueryPlan::ClientCount(w)
+            | QueryPlan::Clients(w)
+            | QueryPlan::AppClientCount(w, _)
+            | QueryPlan::LinkKeys(w, _)
+            | QueryPlan::LinkSeries(w, _)
+            | QueryPlan::LatestDeliveryRatios(w, _)
+            | QueryPlan::MeanDeliveryRatios(w, _)
+            | QueryPlan::ServingUtilizations(w, _)
+            | QueryPlan::CensusDeviceCount(w)
+            | QueryPlan::NearbySummary(w, _)
+            | QueryPlan::NearbyPerChannel(w, _)
+            | QueryPlan::Crashes(w)
+            | QueryPlan::ScanObservations(w, _) => w,
+        }
+    }
+
+    /// Short plan name, used by the planner's `--explain` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryPlan::UsageByApp(_) => "usage_by_app",
+            QueryPlan::UsageByOs(_) => "usage_by_os",
+            QueryPlan::ClientCount(_) => "client_count",
+            QueryPlan::Clients(_) => "clients",
+            QueryPlan::AppClientCount(..) => "app_client_count",
+            QueryPlan::LinkKeys(..) => "link_keys",
+            QueryPlan::LinkSeries(..) => "link_series",
+            QueryPlan::LatestDeliveryRatios(..) => "latest_delivery_ratios",
+            QueryPlan::MeanDeliveryRatios(..) => "mean_delivery_ratios",
+            QueryPlan::ServingUtilizations(..) => "serving_utilizations",
+            QueryPlan::CensusDeviceCount(_) => "census_device_count",
+            QueryPlan::NearbySummary(..) => "nearby_summary",
+            QueryPlan::NearbyPerChannel(..) => "nearby_per_channel",
+            QueryPlan::Crashes(_) => "crashes",
+            QueryPlan::ScanObservations(..) => "scan_observations",
+        }
+    }
 }
 
 /// The result of executing a [`QueryPlan`].
@@ -253,6 +395,16 @@ pub struct StoreStats {
     pub misses: u64,
     /// LRU evictions performed.
     pub evictions: u64,
+    /// Shard scans dispatched by zone-gated execution.
+    pub shards_scanned: u64,
+    /// Shard scans skipped because the zone map proved them empty.
+    pub shards_pruned: u64,
+    /// Plans the planner routed to the vectorized kernels.
+    pub plans_vectorized: u64,
+    /// Plans the planner routed to the fused columnar kernels.
+    pub plans_columnar: u64,
+    /// Plans the planner routed to the legacy map path.
+    pub plans_legacy: u64,
 }
 
 impl std::fmt::Display for StoreStats {
@@ -270,12 +422,35 @@ impl std::fmt::Display for StoreStats {
             if self.shards == 1 { "" } else { "s" },
             self.epoch,
         )?;
-        write!(
+        writeln!(
             f,
             "  query cache    {:>7} hits  {:>6} misses  {:>4} evictions  ({rate:.1}% hit rate, {}/{} cached)",
             self.hits, self.misses, self.evictions, self.cached_results, self.cache_capacity,
+        )?;
+        writeln!(
+            f,
+            "  zone pruning   {:>7} shards scanned  {:>6} pruned",
+            self.shards_scanned, self.shards_pruned,
+        )?;
+        write!(
+            f,
+            "  plan choices   {:>7} vectorized  {:>6} columnar  {:>4} legacy",
+            self.plans_vectorized, self.plans_columnar, self.plans_legacy,
         )
     }
+}
+
+/// Lock-free execution counters: zone-pruning outcomes and the
+/// planner's per-plan backend choices. Relaxed atomics are enough —
+/// the counters are observability only and never feed back into
+/// results.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    shards_scanned: AtomicU64,
+    shards_pruned: AtomicU64,
+    plans_vectorized: AtomicU64,
+    plans_columnar: AtomicU64,
+    plans_legacy: AtomicU64,
 }
 
 /// The parallel, cached query engine over one snapshot.
@@ -285,18 +460,20 @@ pub struct QueryEngine {
     threads: usize,
     backend: QueryBackend,
     cache: Mutex<ResultCache>,
+    counters: EngineCounters,
+    explain: bool,
 }
 
 impl QueryEngine {
     /// Creates an engine over `snapshot` using `threads` workers per
     /// query (1 = serial; results are identical for every value) and
-    /// the default [`QueryBackend::Columnar`] layout.
+    /// the default [`QueryBackend::Planner`] strategy.
     pub fn new(snapshot: Snapshot, threads: usize) -> Self {
         QueryEngine::with_backend(snapshot, threads, QueryBackend::default())
     }
 
-    /// Creates an engine that answers through the given physical
-    /// layout. Results are byte-identical across backends; only the
+    /// Creates an engine that answers through the given execution
+    /// strategy. Results are byte-identical across backends; only the
     /// cold-query cost differs.
     pub fn with_backend(snapshot: Snapshot, threads: usize, backend: QueryBackend) -> Self {
         QueryEngine {
@@ -304,7 +481,16 @@ impl QueryEngine {
             threads: threads.max(1),
             backend,
             cache: Mutex::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
+            counters: EngineCounters::default(),
+            explain: false,
         }
+    }
+
+    /// Enables (or disables) one-line plan-choice explanations on
+    /// stderr: each planned plan prints its chosen path, the pruning
+    /// outcome, and the row estimate the cost model used.
+    pub fn set_explain(&mut self, explain: bool) {
+        self.explain = explain;
     }
 
     /// The snapshot this engine answers from.
@@ -332,6 +518,11 @@ impl QueryEngine {
             hits,
             misses,
             evictions,
+            shards_scanned: self.counters.shards_scanned.load(Ordering::Relaxed),
+            shards_pruned: self.counters.shards_pruned.load(Ordering::Relaxed),
+            plans_vectorized: self.counters.plans_vectorized.load(Ordering::Relaxed),
+            plans_columnar: self.counters.plans_columnar.load(Ordering::Relaxed),
+            plans_legacy: self.counters.plans_legacy.load(Ordering::Relaxed),
         }
     }
 
@@ -407,12 +598,85 @@ impl QueryEngine {
         partials.into_iter().flatten().collect()
     }
 
-    /// Computes a plan through the engine's configured layout.
+    /// Computes a plan through the engine's configured strategy.
     fn compute(&self, plan: &QueryPlan) -> QueryValue {
         match self.backend {
+            QueryBackend::Planner => self.compute_planned(plan),
+            QueryBackend::Vectorized => self.compute_vectorized(plan),
             QueryBackend::Columnar => self.compute_columnar(plan),
             QueryBackend::Legacy => self.compute_legacy(plan),
         }
+    }
+
+    /// Zone-gated shard windows for the vectorized kernels: `Some` for
+    /// shards whose zone map admits the plan's filter, `None` (pruned)
+    /// otherwise, in shard order. Shards without the window at all are
+    /// counted as pruned — the zone level already proved them empty.
+    ///
+    /// Pruning is byte-transparent because every kernel treats a `None`
+    /// shard exactly as it treats a window with zero matching rows: it
+    /// contributes nothing to the merge.
+    fn admitted_windows(
+        &self,
+        window: WindowId,
+        admit: impl Fn(&WindowZoneMap) -> bool,
+    ) -> Vec<Option<&ColumnarWindow>> {
+        let (mut scanned, mut pruned) = (0u64, 0u64);
+        let out: Vec<Option<&ColumnarWindow>> = self
+            .snapshot
+            .columnar()
+            .iter()
+            .map(|shard| match shard.window(window) {
+                Some(w) if admit(w.zone()) => {
+                    scanned += 1;
+                    Some(w)
+                }
+                _ => {
+                    pruned += 1;
+                    None
+                }
+            })
+            .collect();
+        self.counters
+            .shards_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.counters
+            .shards_pruned
+            .fetch_add(pruned, Ordering::Relaxed);
+        out
+    }
+
+    /// Parallel twin of [`QueryEngine::admitted_windows`]: runs `f`
+    /// over the admitted shards via [`run_ordered`] (pruned shards see
+    /// `None`), returning partials in shard order.
+    fn vectorized_map<T: Send>(
+        &self,
+        window: WindowId,
+        admit: impl Fn(&WindowZoneMap) -> bool,
+        f: impl Fn(Option<&ColumnarWindow>) -> T + Sync,
+    ) -> Vec<T> {
+        let admitted = self.admitted_windows(window, admit);
+        let mut partials = Vec::with_capacity(admitted.len());
+        run_ordered(
+            self.threads,
+            admitted.len(),
+            |i| f(admitted[i]),
+            |_, partial| partials.push(partial),
+        );
+        partials
+    }
+
+    /// Sums `f` over the zone maps of every shard holding `window` —
+    /// the zone-only execution path: no column is touched at all, so
+    /// every shard counts as pruned.
+    fn zone_sum(&self, window: WindowId, f: impl Fn(&WindowZoneMap) -> u64) -> u64 {
+        let mut sum = 0u64;
+        for shard in self.snapshot.columnar() {
+            if let Some(w) = shard.window(window) {
+                sum += f(w.zone());
+            }
+        }
+        sum
     }
 
     /// Runs `f` over every shard's columnar projection of `window` in
@@ -720,6 +984,485 @@ impl QueryEngine {
                 QueryValue::Scans(merged.into_iter().flat_map(|(_, obs)| obs).collect())
             }
         }
+    }
+
+    /// The two-pass vectorized kernels with zone-map pruning.
+    ///
+    /// Pass 1 builds a branch-free selection index vector (or dense
+    /// partial-aggregate lanes) over the flat columns of every
+    /// *admitted* shard; pass 2 gathers through the selections with a
+    /// zero-copy cursor merge ([`kway_groups`]) in the same canonical
+    /// key order the fused columnar kernels and the legacy fold use.
+    /// Every f64 reduction keeps the exact operand order of its legacy
+    /// twin; every u64 rollup that re-associates does so under the
+    /// saturating-add monoid (associative + commutative), so all three
+    /// paths are byte-identical — proven by the differential tests.
+    fn compute_vectorized(&self, plan: &QueryPlan) -> QueryValue {
+        match *plan {
+            QueryPlan::UsageByApp(window) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.usage_rows > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                // Totals: dense per-app lanes, one linear pass per shard.
+                // Re-associating the saturating sums per shard first is
+                // byte-safe (see `ColumnarWindow::add_usage_by_app`).
+                let mut lanes = [UsageTotals::default(); APP_LANES];
+                for w in &wins {
+                    w.add_usage_by_app(&mut lanes);
+                }
+                // Distinct clients: count distinct (mac, app) cells with
+                // a zero-copy cursor walk over the sorted key columns.
+                let mut counts = [0u64; APP_LANES];
+                let lens: Vec<usize> = wins.iter().map(|w| w.usage_mac.len()).collect();
+                kway_groups(
+                    &lens,
+                    |r, i| (wins[r].usage_mac[i], wins[r].usage_app[i]),
+                    |(_, app), _| counts[app as usize] += 1,
+                );
+                // Emit ascending discriminant == ascending `Ord`, matching
+                // the legacy `BTreeMap<Application>` iteration order.
+                let mut app_by_lane = [None; APP_LANES];
+                for &app in Application::ALL {
+                    app_by_lane[app as usize] = Some(app);
+                }
+                QueryValue::AppUsage(
+                    (0..APP_LANES)
+                        .filter(|&lane| counts[lane] > 0)
+                        .map(|lane| {
+                            let app = app_by_lane[lane]
+                                .expect("invariant: counted lanes come from real cells");
+                            (app, lanes[lane], counts[lane])
+                        })
+                        .collect(),
+                )
+            }
+            QueryPlan::UsageByOs(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                // Pass 1 (parallel): per-shard per-MAC rollups over the
+                // sorted mac column — shrinks the cross-shard merge by
+                // the apps-per-MAC factor, byte-safe under the
+                // saturating-add monoid.
+                let runs = self.vectorized_map(
+                    window,
+                    |z| z.usage_rows > 0,
+                    |w| w.map(|w| w.usage_totals_by_mac()).unwrap_or_default(),
+                );
+                // Pass 2: cursor k-way merge + merge-join against the
+                // sorted client list, aggregating into dense OS lanes.
+                let mut os_by_lane = [OsFamily::Unknown; OS_LANES];
+                for &os in &OsFamily::ALL {
+                    os_by_lane[os as usize] = os;
+                }
+                let mut agg = [(UsageTotals::default(), 0u64); OS_LANES];
+                let lens: Vec<usize> = runs.iter().map(|(macs, _)| macs.len()).collect();
+                let mut ci = 0usize;
+                kway_groups(
+                    &lens,
+                    |r, i| runs[r].0[i],
+                    |mac, members| {
+                        let mut totals = UsageTotals::default();
+                        for &(r, i) in members {
+                            let t = runs[r].1[i];
+                            totals.up_bytes = totals.up_bytes.saturating_add(t.up_bytes);
+                            totals.down_bytes = totals.down_bytes.saturating_add(t.down_bytes);
+                        }
+                        while ci < clients.len() && clients[ci].0 < mac {
+                            ci += 1;
+                        }
+                        let os = match clients.get(ci) {
+                            Some((m, identity)) if *m == mac => identity.os,
+                            _ => OsFamily::Unknown,
+                        };
+                        let slot = &mut agg[os as usize];
+                        slot.0.up_bytes = slot.0.up_bytes.saturating_add(totals.up_bytes);
+                        slot.0.down_bytes = slot.0.down_bytes.saturating_add(totals.down_bytes);
+                        slot.1 += 1;
+                    },
+                );
+                // Ascending discriminant == ascending `Ord` (the `ALL`
+                // display order differs — never emit in that order).
+                QueryValue::OsUsage(
+                    (0..OS_LANES)
+                        .filter(|&lane| agg[lane].1 > 0)
+                        .map(|lane| (os_by_lane[lane], agg[lane].0, agg[lane].1))
+                        .collect(),
+                )
+            }
+            QueryPlan::ClientCount(window) => {
+                let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
+                    unreachable!("Clients plan yields Clients");
+                };
+                QueryValue::Count(clients.len() as u64)
+            }
+            QueryPlan::Clients(window) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.client_rows > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let lens: Vec<usize> = wins.iter().map(|w| w.client_mac.len()).collect();
+                let mut out = Vec::with_capacity(lens.iter().sum());
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].client_mac[i],
+                    |mac, members| {
+                        // Largest provenance wins, scanning members in
+                        // shard order with a strict `>` — the same rule
+                        // as the fused merge and the legacy fold.
+                        let (mut br, mut bi) = members[0];
+                        for &(r, i) in &members[1..] {
+                            if wins[r].client_meta[i] > wins[br].client_meta[bi] {
+                                (br, bi) = (r, i);
+                            }
+                        }
+                        out.push((
+                            mac,
+                            ClientIdentity {
+                                os: wins[br].client_os[bi],
+                                caps: wins[br].client_caps[bi],
+                                band: wins[br].client_band[bi],
+                                rssi_dbm: wins[br].client_rssi[bi],
+                            },
+                        ));
+                    },
+                );
+                QueryValue::Clients(out)
+            }
+            QueryPlan::AppClientCount(window, app) => {
+                let bit = 1u64 << (app as usize);
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.apps_present & bit != 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| select_indices(w.usage_app.len(), |i| w.usage_app[i] == app))
+                    .collect();
+                // Cells are unique per shard; distinct MACs fall out of
+                // the k-way walk over the selected mac entries.
+                let lens: Vec<usize> = sels.iter().map(Vec::len).collect();
+                let mut count = 0u64;
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].usage_mac[sels[r][i] as usize],
+                    |_, _| count += 1,
+                );
+                QueryValue::Count(count)
+            }
+            QueryPlan::LinkKeys(window, band) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| select_indices(w.link_keys.len(), |i| w.link_keys[i].band == band))
+                    .collect();
+                let lens: Vec<usize> = sels.iter().map(Vec::len).collect();
+                let mut keys = Vec::with_capacity(lens.iter().sum());
+                // Link keys are shard-disjoint: the walk is a pure union.
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].link_keys[sels[r][i] as usize],
+                    |key, _| keys.push(key),
+                );
+                QueryValue::LinkKeys(keys)
+            }
+            QueryPlan::LinkSeries(window, key) => {
+                let admitted = self.admitted_windows(window, |z| {
+                    z.link_key_range
+                        .is_some_and(|(lo, hi)| lo <= key && key <= hi)
+                });
+                for w in admitted.into_iter().flatten() {
+                    if let Ok(i) = w.link_keys.binary_search(&key) {
+                        let (ts, ratio) = w.link_series_at(i);
+                        return QueryValue::Series(
+                            (0..ts.len())
+                                .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
+                                .collect(),
+                        );
+                    }
+                }
+                QueryValue::Series(Vec::new())
+            }
+            QueryPlan::LatestDeliveryRatios(window, band) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| {
+                        select_indices(w.link_keys.len(), |i| {
+                            w.link_keys[i].band == band && w.link_offsets[i + 1] > w.link_offsets[i]
+                        })
+                    })
+                    .collect();
+                let lens: Vec<usize> = sels.iter().map(Vec::len).collect();
+                let mut ratios = Vec::with_capacity(lens.iter().sum());
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].link_keys[sels[r][i] as usize],
+                    |_, members| {
+                        let (r, i) = members[0];
+                        let w = wins[r];
+                        ratios.push(w.link_ratio[w.link_offsets[sels[r][i] as usize + 1] - 1]);
+                    },
+                );
+                QueryValue::Ratios(ratios)
+            }
+            QueryPlan::MeanDeliveryRatios(window, band) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| {
+                        select_indices(w.link_keys.len(), |i| {
+                            w.link_keys[i].band == band && w.link_offsets[i + 1] > w.link_offsets[i]
+                        })
+                    })
+                    .collect();
+                let lens: Vec<usize> = sels.iter().map(Vec::len).collect();
+                let mut ratios = Vec::with_capacity(lens.iter().sum());
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].link_keys[sels[r][i] as usize],
+                    |_, members| {
+                        let (r, i) = members[0];
+                        let w = wins[r];
+                        let (_, series) = w.link_series_at(sels[r][i] as usize);
+                        // Same left-to-right series order as the legacy
+                        // and fused means, so the f64 sum is exact.
+                        let sum: f64 = series.iter().sum();
+                        ratios.push(sum / series.len() as f64);
+                    },
+                );
+                QueryValue::Ratios(ratios)
+            }
+            QueryPlan::ServingUtilizations(window, band) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.airtime_rows_per_band[band as usize] > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| {
+                        select_indices(w.airtime_key.len(), |i| {
+                            w.airtime_key[i].1 == band && w.airtime_elapsed[i] > 0
+                        })
+                    })
+                    .collect();
+                let lens: Vec<usize> = sels.iter().map(Vec::len).collect();
+                let mut ratios = Vec::with_capacity(lens.iter().sum());
+                kway_groups(
+                    &lens,
+                    |r, i| wins[r].airtime_key[sels[r][i] as usize],
+                    |_, members| {
+                        let (r, i) = members[0];
+                        let w = wins[r];
+                        let j = sels[r][i] as usize;
+                        // busy / elapsed, exactly as `AirtimeLedger::
+                        // utilization` — identical operands, identical
+                        // division.
+                        ratios.push(w.airtime_busy[j] as f64 / w.airtime_elapsed[j] as f64);
+                    },
+                );
+                QueryValue::Ratios(ratios)
+            }
+            QueryPlan::CensusDeviceCount(window) => {
+                // Zone-only: the answer is a sum of zone-map counters,
+                // so every shard is "pruned" (no column scanned).
+                self.counters
+                    .shards_pruned
+                    .fetch_add(self.snapshot.columnar().len() as u64, Ordering::Relaxed);
+                QueryValue::Count(self.zone_sum(window, |z| z.census_devices as u64))
+            }
+            QueryPlan::NearbySummary(window, band) => {
+                // Devices count every census filer regardless of band
+                // (legacy semantics) and comes straight from the zones.
+                let devices = self.zone_sum(window, |z| z.census_devices as u64);
+                let wins =
+                    self.admitted_windows(window, |z| z.census_rows_per_band[band as usize] > 0);
+                let (mut total, mut hotspots) = (0u64, 0u64);
+                for w in wins.into_iter().flatten() {
+                    // Branchless mask-multiply accumulate: non-matching
+                    // rows add exact zeros, so the u64 sums are the
+                    // fused kernel's bytes.
+                    for i in 0..w.census_band.len() {
+                        let m = u64::from(w.census_band[i] == band);
+                        total += m * u64::from(w.census_networks[i]);
+                        hotspots += m * u64::from(w.census_hotspots[i]);
+                    }
+                }
+                let mean_per_ap = if devices > 0 {
+                    total as f64 / devices as f64
+                } else {
+                    0.0
+                };
+                QueryValue::NearbySummary {
+                    total,
+                    mean_per_ap,
+                    hotspots,
+                }
+            }
+            QueryPlan::NearbyPerChannel(window, band) => {
+                let mut per: BTreeMap<u16, u64> = Channel::all_in(band)
+                    .into_iter()
+                    .map(|ch| (ch.number, 0))
+                    .collect();
+                let wins =
+                    self.admitted_windows(window, |z| z.census_rows_per_band[band as usize] > 0);
+                for w in wins.into_iter().flatten() {
+                    let sel = select_indices(w.census_band.len(), |i| w.census_band[i] == band);
+                    for &i in &sel {
+                        *per.entry(w.census_channel[i as usize]).or_default() +=
+                            u64::from(w.census_networks[i as usize]);
+                    }
+                }
+                QueryValue::PerChannel(per.into_iter().collect())
+            }
+            QueryPlan::Crashes(window) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.crash_devices > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                // Presence semantics: a zone with crash_devices > 0 is
+                // exactly a shard whose crash table is non-empty.
+                if wins.is_empty() {
+                    return QueryValue::Crashes(None);
+                }
+                // Devices are shard-disjoint: a sorted index over
+                // (device, shard, row) reproduces the global device
+                // order without materializing per-shard report vectors.
+                let mut index: Vec<(u64, usize, usize)> = Vec::new();
+                for (r, w) in wins.iter().enumerate() {
+                    index.extend((0..w.crash_device.len()).map(|i| (w.crash_device[i], r, i)));
+                }
+                index.sort_unstable();
+                let mut aggregator = CrashAggregator::default();
+                for (_, r, i) in index {
+                    for report in wins[r].crash_rows_at(i) {
+                        aggregator.ingest(report.clone());
+                    }
+                }
+                QueryValue::Crashes(Some(aggregator))
+            }
+            QueryPlan::ScanObservations(window, band) => {
+                let wins: Vec<&ColumnarWindow> = self
+                    .admitted_windows(window, |z| z.scan_obs_per_band[band as usize] > 0)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                // Pass 1: branch-free selection over the flat channel
+                // column of each admitted shard.
+                let sels: Vec<Vec<u32>> = wins
+                    .iter()
+                    .map(|w| {
+                        select_indices(w.scan_channel.len(), |j| w.scan_channel[j].band == band)
+                    })
+                    .collect();
+                // Pass 2: devices are shard-disjoint; a sorted (device,
+                // shard, device-row) index yields the global device
+                // order, and per-shard selection cursors gather each
+                // device's matching observations in (seq, slot) order.
+                let mut index: Vec<(u64, usize, usize)> = Vec::new();
+                for (r, w) in wins.iter().enumerate() {
+                    index.extend((0..w.scan_device.len()).map(|i| (w.scan_device[i], r, i)));
+                }
+                index.sort_unstable();
+                let mut cursors = vec![0usize; wins.len()];
+                let mut out = Vec::with_capacity(sels.iter().map(Vec::len).sum());
+                for (_, r, i) in index {
+                    let w = wins[r];
+                    let range = w.scan_rows_at(i);
+                    let sel = &sels[r];
+                    while cursors[r] < sel.len() && (sel[cursors[r]] as usize) < range.end {
+                        out.push(w.scan_observation(sel[cursors[r]] as usize));
+                        cursors[r] += 1;
+                    }
+                }
+                QueryValue::Scans(out)
+            }
+        }
+    }
+
+    /// The cost-based planner: per plan, estimate the vectorized,
+    /// columnar, and legacy costs from shard row counts plus zone-map
+    /// selectivity, then run the cheapest (the cache was already
+    /// consulted by [`QueryEngine::execute`]). Ties go to the
+    /// vectorized path.
+    fn compute_planned(&self, plan: &QueryPlan) -> QueryValue {
+        let stats = self.plan_stats(plan);
+        let vec_cost = stats.admitted_shards as f64 * VEC_SHARD_SETUP_NS
+            + stats.admitted_rows as f64 * VEC_NS_PER_ROW;
+        let col_cost = stats.total_shards as f64 * COL_SHARD_SETUP_NS
+            + stats.total_rows as f64 * COL_NS_PER_ROW;
+        let leg_cost = stats.total_shards as f64 * LEG_SHARD_SETUP_NS
+            + stats.total_rows as f64 * LEG_NS_PER_ROW;
+        let (choice, est) = if vec_cost <= col_cost && vec_cost <= leg_cost {
+            (QueryBackend::Vectorized, vec_cost)
+        } else if col_cost <= leg_cost {
+            (QueryBackend::Columnar, col_cost)
+        } else {
+            (QueryBackend::Legacy, leg_cost)
+        };
+        let counter = match choice {
+            QueryBackend::Vectorized => &self.counters.plans_vectorized,
+            QueryBackend::Columnar => &self.counters.plans_columnar,
+            _ => &self.counters.plans_legacy,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if self.explain {
+            eprintln!(
+                "plan {:<22} -> {:<10} (zones admit {}/{} shards, ~{} of {} rows, est {:.0} us)",
+                plan.name(),
+                choice.name(),
+                stats.admitted_shards,
+                stats.total_shards,
+                stats.admitted_rows,
+                stats.total_rows,
+                est / 1000.0,
+            );
+        }
+        match choice {
+            QueryBackend::Vectorized => self.compute_vectorized(plan),
+            QueryBackend::Columnar => self.compute_columnar(plan),
+            _ => self.compute_legacy(plan),
+        }
+    }
+
+    /// Zone-map statistics feeding the cost model: how many shards the
+    /// plan's filter admits and how many rows its kernels would touch.
+    fn plan_stats(&self, plan: &QueryPlan) -> PlanZoneStats {
+        let window = plan.window();
+        let mut stats = PlanZoneStats {
+            total_shards: self.snapshot.columnar().len(),
+            ..PlanZoneStats::default()
+        };
+        for shard in self.snapshot.columnar() {
+            let Some(w) = shard.window(window) else {
+                continue;
+            };
+            let (admitted, rows) = plan_zone_estimate(plan, w.zone());
+            stats.total_rows += rows;
+            if admitted {
+                stats.admitted_shards += 1;
+                stats.admitted_rows += rows;
+            }
+        }
+        stats
     }
 
     /// The original map-backed path: clone each shard's tables, fold

@@ -15,6 +15,13 @@
 //!   transport streams the two disciplines accept exactly the same
 //!   reports: per-device delivery is in order and duplicates are exact
 //!   redeliveries, which the differential tests pin down.
+//!
+//! The `(window, device)` routing has a consequence the read side leans
+//! on hard: device-keyed data is **shard-disjoint** (a device's rows for
+//! one window live in exactly one shard), so cross-shard merges of
+//! device-keyed columns are pure unions, and a shard whose seal-time
+//! [`crate::columnar::WindowZoneMap`] shows no rows for a plan's filter
+//! can be skipped without changing a single output byte.
 
 // airstat::allow(no-hashmap-iter): the dedup ledger is keyed-access
 // only (entry per incoming report); aggregates all live in BTreeMaps.

@@ -193,9 +193,12 @@ impl ShardedStore {
     /// shared, not copied, and later ingest copies-on-write only what it
     /// touches. Sealing additionally builds each shard's read-optimized
     /// [`ColumnarShard`] projection — in parallel across shards via
-    /// [`run_ordered`] — and memoizes it by epoch, so only the first
-    /// seal after an ingest pays the projection cost; every later seal
-    /// of the same epoch reuses the packed columns by `Arc` clone.
+    /// [`run_ordered`] — together with its per-window
+    /// [`crate::columnar::WindowZoneMap`]s (row counts and key/time
+    /// ranges the query planner prunes shards with), and memoizes the
+    /// result by epoch, so only the first seal after an ingest pays the
+    /// projection cost; every later seal of the same epoch reuses the
+    /// packed columns by `Arc` clone.
     pub fn seal(&self) -> Snapshot {
         let mut cache = self
             .columnar
@@ -232,7 +235,10 @@ fn shard_index(window: WindowId, device: u64, shards: usize) -> usize {
 /// An immutable, epoch-numbered view of the store, carrying both
 /// physical layouts: the row-oriented shard tables (the write layout)
 /// and their packed columnar projection (the read layout the
-/// [`crate::query::QueryBackend::Columnar`] kernels scan).
+/// [`crate::query::QueryBackend::Columnar`] and
+/// [`crate::query::QueryBackend::Vectorized`] kernels scan, carrying
+/// the zone maps the cost-based planner consults before touching a
+/// shard's columns).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,

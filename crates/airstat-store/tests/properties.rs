@@ -10,15 +10,21 @@
 use airstat_classify::apps::Application;
 use airstat_classify::device::OsFamily;
 use airstat_classify::mac::MacAddress;
-use airstat_rf::band::Band;
+use airstat_rf::band::{Band, Channel};
 use airstat_rf::phy::{Capabilities, Generation};
 use airstat_stats::rng::splitmix64;
-use airstat_store::{FleetQuery, QueryEngine, ShardedStore, StoreConfig};
+use airstat_store::{FleetQuery, QueryBackend, QueryEngine, ShardedStore, StoreConfig};
 use airstat_telemetry::backend::WindowId;
-use airstat_telemetry::report::{ClientInfoRecord, LinkRecord, Report, ReportPayload, UsageRecord};
+use airstat_telemetry::report::{
+    ChannelScanRecord, ClientInfoRecord, LinkRecord, NeighborRecord, Report, ReportPayload,
+    UsageRecord,
+};
 use proptest::prelude::*;
 
 const W: WindowId = WindowId(1501);
+/// A window no generated report ever lands in: zone maps prune every
+/// shard, and the pruned result must still equal the full scan's.
+const W_EMPTY: WindowId = WindowId(1407);
 
 fn any_mac() -> impl Strategy<Value = MacAddress> {
     // A small MAC space so distinct reports collide on clients, exercising
@@ -63,7 +69,38 @@ fn any_payload() -> impl Strategy<Value = ReportPayload> {
             0..6
         )
         .prop_map(ReportPayload::Links),
+        prop::collection::vec(
+            (any_channel(), 0u32..40, 0u32..10).prop_map(|(channel, networks, hotspots)| {
+                NeighborRecord {
+                    channel,
+                    networks,
+                    hotspots: hotspots.min(networks),
+                }
+            }),
+            0..6
+        )
+        .prop_map(ReportPayload::Neighbors),
+        prop::collection::vec(
+            (any_channel(), 0u32..1_000_000, 0u32..1_000_000, 0u32..40).prop_map(
+                |(channel, utilization_ppm, decodable_ppm, networks)| ChannelScanRecord {
+                    channel,
+                    utilization_ppm,
+                    decodable_ppm: decodable_ppm.min(utilization_ppm),
+                    networks,
+                }
+            ),
+            0..6
+        )
+        .prop_map(ReportPayload::ChannelScan),
     ]
+}
+
+fn any_channel() -> impl Strategy<Value = Channel> {
+    (any::<bool>(), any::<u16>()).prop_map(|(five_ghz, pick)| {
+        let band = if five_ghz { Band::Ghz5 } else { Band::Ghz2_4 };
+        let all = Channel::all_in(band);
+        all[usize::from(pick) % all.len()]
+    })
 }
 
 /// Deterministic Fisher–Yates driven by `splitmix64`, so every failing
@@ -162,5 +199,92 @@ proptest! {
 
         let (a, b) = (in_order.seal(), permuted.seal());
         prop_assert_eq!(a.columnar(), b.columnar());
+    }
+
+    /// Zone-map pruning is invisible in results: for any fleet and any
+    /// filter the vectorized path (which skips shards whose zone maps
+    /// cannot match) answers identically to the columnar full scan —
+    /// including on a window no report ever touched, where pruning
+    /// rejects every shard.
+    #[test]
+    fn pruned_execution_matches_unpruned_full_scan(
+        payloads in prop::collection::vec(any_payload(), 1..20),
+        shards in 1usize..9,
+        threads in 1usize..4,
+    ) {
+        let reports: Vec<Report> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| Report {
+                device: (i % 5) as u64,
+                seq: (i / 5) as u64 + 1,
+                timestamp_s: 1_000 + i as u64,
+                payload,
+            })
+            .collect();
+        let mut store = ShardedStore::with_config(StoreConfig { shards, threads });
+        store.ingest_batch(W, &reports);
+        let snapshot = store.seal();
+        let pruned =
+            QueryEngine::with_backend(snapshot.clone(), threads, QueryBackend::Vectorized);
+        let full = QueryEngine::with_backend(snapshot, threads, QueryBackend::Columnar);
+
+        for window in [W, W_EMPTY] {
+            prop_assert_eq!(pruned.usage_by_app(window), full.usage_by_app(window));
+            prop_assert_eq!(pruned.usage_by_os(window), full.usage_by_os(window));
+            prop_assert_eq!(pruned.client_count(window), full.client_count(window));
+            prop_assert_eq!(pruned.clients(window), full.clients(window));
+            for &app in Application::ALL {
+                prop_assert_eq!(
+                    pruned.app_client_count(window, app),
+                    full.app_client_count(window, app)
+                );
+            }
+            prop_assert_eq!(
+                pruned.census_device_count(window),
+                full.census_device_count(window)
+            );
+            for band in [Band::Ghz2_4, Band::Ghz5] {
+                let keys = pruned.link_keys(window, band);
+                prop_assert_eq!(&keys, &full.link_keys(window, band));
+                for key in keys {
+                    prop_assert_eq!(
+                        pruned.link_series(window, key),
+                        full.link_series(window, key)
+                    );
+                }
+                prop_assert_eq!(
+                    pruned.latest_delivery_ratios(window, band),
+                    full.latest_delivery_ratios(window, band)
+                );
+                prop_assert_eq!(
+                    pruned.mean_delivery_ratios(window, band),
+                    full.mean_delivery_ratios(window, band)
+                );
+                prop_assert_eq!(
+                    pruned.serving_utilizations(window, band),
+                    full.serving_utilizations(window, band)
+                );
+                prop_assert_eq!(
+                    pruned.nearby_summary(window, band),
+                    full.nearby_summary(window, band)
+                );
+                prop_assert_eq!(
+                    pruned.nearby_per_channel(window, band),
+                    full.nearby_per_channel(window, band)
+                );
+                prop_assert_eq!(
+                    pruned.scan_observations(window, band),
+                    full.scan_observations(window, band)
+                );
+            }
+            prop_assert_eq!(
+                pruned.crashes(window).is_some(),
+                full.crashes(window).is_some()
+            );
+        }
+        // The pruned engine must actually have pruned something on the
+        // empty window sweep (every shard's zone map rejects it).
+        prop_assert!(pruned.stats().shards_pruned > 0, "zone maps never fired");
     }
 }

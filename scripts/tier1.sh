@@ -11,11 +11,14 @@ cargo build --release --offline
 echo "==> cargo test -q (includes the store-vs-legacy differential in tests/store_equivalence.rs)"
 cargo test -q --offline
 
-echo "==> cargo test -q --test columnar_equivalence (columnar-vs-legacy query backend differential)"
+echo "==> cargo test -q --test columnar_equivalence (columnar/vectorized/planner-vs-legacy query backend differential)"
 cargo test -q --offline --test columnar_equivalence
 
 echo "==> cargo test -q -p airstat-store (sharded store: unit, property, and engine-vs-backend tests)"
 cargo test -q --offline -p airstat-store
+
+echo "==> cargo test -q -p airstat-store --test properties pruned_execution (zone-map pruning differential proptest)"
+cargo test -q --offline -p airstat-store --test properties pruned_execution_matches_unpruned_full_scan
 
 echo "==> cargo clippy --workspace (warnings are errors; vendored crates excluded)"
 cargo clippy -q --workspace --exclude rand --exclude proptest \

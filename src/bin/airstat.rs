@@ -15,7 +15,8 @@
 //! Reports land in a sharded snapshot store (`--shards`, default 8) and
 //! the analytics run through its parallel cached query engine; stdout is
 //! byte-identical for every `--shards`/`--threads`/`--query-backend`
-//! combination, and the store's cache statistics print to stderr.
+//! combination, and the store's cache/pruning/plan-choice statistics
+//! print to stderr (`--explain` adds the planner's per-plan choices).
 
 use airstat::core::export::build_release;
 use airstat::core::{DegradationReport, PaperReport};
@@ -44,10 +45,11 @@ struct Options {
     shards: Option<usize>,
     faults: Option<String>,
     query_backend: Option<QueryBackend>,
+    explain: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME] [--query-backend B]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME] [--query-backend B] [--explain]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -64,9 +66,13 @@ fn usage() -> &'static str {
                    degradation report; NAME is one of zero, tunnel-loss,\n\
                    dc-outage, queue-pressure\n\
      --query-backend B\n\
-                   physical query layout: columnar (default, packed\n\
-                   scan kernels) or legacy (map-backed); output is\n\
-                   byte-identical for both"
+                   query execution strategy: planner (default; picks a\n\
+                   path per plan from zone-map cost estimates),\n\
+                   vectorized (two-pass kernels + zone pruning),\n\
+                   columnar (packed scan kernels), or legacy\n\
+                   (map-backed); output is byte-identical for all\n\
+     --explain     print the planner's per-plan path choice and zone-map\n\
+                   estimates to stderr"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -86,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shards = None;
     let mut faults = None;
     let mut query_backend = None;
+    let mut explain = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,9 +146,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 let value = args.get(i).ok_or("--query-backend needs a value")?;
                 query_backend = Some(QueryBackend::by_name(value).ok_or(format!(
-                    "unknown query backend {value}; valid backends: columnar, legacy"
+                    "unknown query backend {value}; valid backends: planner, vectorized, columnar, legacy"
                 ))?);
             }
+            "--explain" => explain = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => positional.push(other.to_string()),
@@ -190,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards,
         faults,
         query_backend,
+        explain,
     })
 }
 
@@ -240,7 +249,9 @@ fn run(options: Options) -> Result<(), String> {
     }
     // One engine serves every command below, so repeated lookups (the
     // report recomputes client panels several times) hit its cache.
-    let engine = output.query();
+    let mut engine = output.query();
+    engine.set_explain(options.explain);
+    let engine = engine;
 
     match options.command {
         Command::Report => {
@@ -375,25 +386,37 @@ mod tests {
         assert_eq!(parse(&["report"]).unwrap().shards, None);
         assert_eq!(parse(&["report"]).unwrap().faults, None);
         assert_eq!(parse(&["report"]).unwrap().query_backend, None);
+        assert!(!parse(&["report"]).unwrap().explain);
     }
 
     #[test]
     fn parses_query_backends() {
-        assert_eq!(
-            parse(&["report", "--query-backend", "columnar"])
-                .unwrap()
-                .query_backend,
-            Some(QueryBackend::Columnar)
-        );
-        assert_eq!(
-            parse(&["report", "--query-backend", "legacy"])
-                .unwrap()
-                .query_backend,
-            Some(QueryBackend::Legacy)
-        );
+        for (name, backend) in [
+            ("planner", QueryBackend::Planner),
+            ("vectorized", QueryBackend::Vectorized),
+            ("columnar", QueryBackend::Columnar),
+            ("legacy", QueryBackend::Legacy),
+        ] {
+            assert_eq!(
+                parse(&["report", "--query-backend", name])
+                    .unwrap()
+                    .query_backend,
+                Some(backend)
+            );
+        }
         let err = parse(&["report", "--query-backend", "rowwise"]).unwrap_err();
+        assert!(err.contains("planner"), "lists valid backends: {err}");
         assert!(err.contains("columnar"), "lists valid backends: {err}");
         assert!(parse(&["report", "--query-backend"]).is_err());
+    }
+
+    #[test]
+    fn parses_explain_flag() {
+        assert!(parse(&["report", "--explain"]).unwrap().explain);
+        assert!(
+            parse(&["--explain", "table", "4"]).unwrap().explain,
+            "flag position should not matter"
+        );
     }
 
     #[test]

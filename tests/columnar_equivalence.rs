@@ -1,11 +1,13 @@
-//! Differential tests: the columnar scan kernels against the legacy
-//! map-backed query path.
+//! Differential tests: every execution path of the query engine against
+//! the legacy map-backed one.
 //!
-//! Both backends read the same sealed snapshot, so every [`FleetQuery`]
-//! method must match **exactly** — including the float-valued ones,
-//! because the columnar kernels reproduce the legacy canonical merge
-//! order and therefore the legacy floating-point reduction order. The
-//! surface is swept across two seeds and shard counts {1, 4, 7}.
+//! All backends — columnar scan kernels, vectorized two-pass kernels
+//! with zone-map pruning, and the cost-based planner that picks among
+//! them — read the same sealed snapshot, so every [`FleetQuery`] method
+//! must match **exactly** — including the float-valued ones, because
+//! each kernel reproduces the legacy canonical merge order and
+//! therefore the legacy floating-point reduction order. The surface is
+//! swept across two seeds and shard counts {1, 4, 7}.
 //!
 //! A second test pins the acceptance contract: the full rendered
 //! [`PaperReport`] is byte-identical across backends, shard counts
@@ -22,10 +24,10 @@ use airstat::telemetry::backend::WindowId;
 const WINDOWS: [WindowId; 3] = [WINDOW_JAN_2014, WINDOW_JUL_2014, WINDOW_JAN_2015];
 const BANDS: [Band; 2] = [Band::Ghz2_4, Band::Ghz5];
 
-/// Compares the full [`FleetQuery`] surface of the two backends, bit
-/// for bit.
+/// Compares the full [`FleetQuery`] surface of a candidate backend
+/// against the legacy baseline, bit for bit.
 fn assert_backends_identical(columnar: &QueryEngine, legacy: &QueryEngine, label: &str) {
-    assert_eq!(columnar.backend(), QueryBackend::Columnar, "{label}");
+    assert_ne!(columnar.backend(), QueryBackend::Legacy, "{label}");
     assert_eq!(legacy.backend(), QueryBackend::Legacy, "{label}");
     for window in WINDOWS {
         assert_eq!(
@@ -150,14 +152,24 @@ fn every_query_plan_matches_across_backends() {
             };
             let output = FleetSimulation::new(config).run();
             let snapshot = output.store.seal();
-            let columnar =
-                QueryEngine::with_backend(snapshot.clone(), output.threads, QueryBackend::Columnar);
-            let legacy = QueryEngine::with_backend(snapshot, output.threads, QueryBackend::Legacy);
-            assert_backends_identical(
-                &columnar,
-                &legacy,
-                &format!("seed {seed:#x}, shards {shards}"),
-            );
+            let legacy =
+                QueryEngine::with_backend(snapshot.clone(), output.threads, QueryBackend::Legacy);
+            for backend in [
+                QueryBackend::Columnar,
+                QueryBackend::Vectorized,
+                QueryBackend::Planner,
+            ] {
+                let candidate =
+                    QueryEngine::with_backend(snapshot.clone(), output.threads, backend);
+                assert_backends_identical(
+                    &candidate,
+                    &legacy,
+                    &format!(
+                        "seed {seed:#x}, shards {shards}, backend {}",
+                        backend.name()
+                    ),
+                );
+            }
         }
     }
 }
@@ -183,6 +195,11 @@ fn report_is_byte_identical_across_backends_shards_and_threads() {
                 baseline,
                 render(QueryBackend::Columnar, threads, shards),
                 "columnar report diverged at t{threads} s{shards}"
+            );
+            assert_eq!(
+                baseline,
+                render(QueryBackend::Planner, threads, shards),
+                "planner report diverged at t{threads} s{shards}"
             );
             if threads != 1 || shards != 1 {
                 assert_eq!(
