@@ -2,8 +2,9 @@
 //!
 //! The criterion-style benches in `benches/pipeline.rs` need `cargo bench`;
 //! this harness runs under plain `cargo test` and records the thread-scaling
-//! numbers for the full campaign — plus the sharded store's ingest and
-//! cold-vs-cached query latency — into `BENCH_pipeline.json` at the repo
+//! numbers for the full campaign — plus the sharded store's ingest,
+//! cold-vs-cached query latency, and segment persist/reload wall times
+//! (docs/SEGMENT_FORMAT.md) — into `BENCH_pipeline.json` at the repo
 //! root, so the perf trajectory is versioned alongside the code.
 //!
 //! Speedup caveat: the JSON records whatever the host actually delivers.
@@ -234,6 +235,58 @@ fn record_pipeline_bench() {
             usage_by_os_speedup = Some(columnar_cold_ns as f64 / vectorized_cold_ns.max(1) as f64);
         }
     }
+    // Persistence (docs/SEGMENT_FORMAT.md): time a full persist of the
+    // campaign store and a full reload, and record the on-disk
+    // footprint. The payoff claim — reopening a persisted store beats
+    // re-running the campaign — is asserted right here.
+    let store_dir =
+        std::env::temp_dir().join(format!("airstat-bench-persist-{}", std::process::id()));
+    let mut persist_store = output.store.clone();
+    persist_store.persist(&store_dir).expect("warm-up persist"); // warm-up
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        std::hint::black_box(persist_store.persist(&store_dir).expect("persist"));
+    }
+    let persist_ns = (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64;
+    let bytes_on_disk: u64 = std::fs::read_dir(&store_dir)
+        .expect("store dir listable")
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum();
+    store_rows.push(format!(
+        "    {{ \"case\": \"store_persist\", \"mean_ns\": {persist_ns}, \
+         \"bytes_on_disk\": {bytes_on_disk}, \"iters\": {TIMED_ITERS}, \
+         \"host_cores\": {host_cores} }}",
+    ));
+
+    std::hint::black_box(
+        ShardedStore::open(&store_dir, StoreConfig::default()).expect("warm-up reload"),
+    );
+    let started = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        std::hint::black_box(
+            ShardedStore::open(&store_dir, StoreConfig::default()).expect("reload"),
+        );
+    }
+    let reload_ns = (started.elapsed().as_nanos() / TIMED_ITERS as u128) as u64;
+    let campaign_ns = t1_ns.expect("serial campaign was timed");
+    store_rows.push(format!(
+        "    {{ \"case\": \"store_reload\", \"mean_ns\": {reload_ns}, \
+         \"bytes_on_disk\": {bytes_on_disk}, \"speedup_vs_resimulate\": {:.1}, \
+         \"iters\": {TIMED_ITERS}, \"host_cores\": {host_cores} }}",
+        campaign_ns as f64 / reload_ns.max(1) as f64,
+    ));
+    // Reloading segments is pure decode; re-simulating replays every
+    // poll cycle. If decode is not clearly faster, persistence has no
+    // reason to exist — gate it.
+    assert!(
+        reload_ns < campaign_ns,
+        "reloading the persisted store ({reload_ns} ns) must beat re-running \
+         the campaign ({campaign_ns} ns)"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     // The headline perf target: >= 2x on the flagship cold query. A
     // 1-core host times both paths under scheduler interference from
     // the host itself, so there the ratio is recorded but not gated.

@@ -32,6 +32,7 @@
 //! the serial output byte for byte — and so does any shard count, since
 //! the store's query engine merges per-shard partials canonically.
 
+use std::path::Path;
 use std::sync::Arc;
 // airstat::allow(no-wall-clock): wall time here only feeds PanelStats throughput diagnostics for the operator; it never reaches report bytes
 use std::time::Instant;
@@ -45,7 +46,10 @@ use airstat_rf::link::{FadingProcess, LinkModel};
 use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_stats::dist::{Exponential, LogNormal};
 use airstat_stats::SeedTree;
-use airstat_store::{QueryBackend, QueryEngine, ReportSink, ShardedStore, StoreConfig};
+use airstat_store::{
+    DurableStore, PersistenceStats, QueryBackend, QueryEngine, ReportSink, SegmentError,
+    ShardedStore, StoreConfig,
+};
 use airstat_telemetry::backend::WindowId;
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
 use airstat_telemetry::poll::{drain_with_policy, PollPolicy};
@@ -238,11 +242,37 @@ impl FleetSimulation {
     /// Runs the full campaign into a [`ShardedStore`] shaped by the
     /// configuration's `shards`/`threads` knobs.
     pub fn run(&self) -> SimulationOutput {
-        let mut store = ShardedStore::with_config(StoreConfig {
+        let mut store = ShardedStore::with_config(self.store_config());
+        let run = self.run_into(&mut store);
+        self.finish_output(store, run)
+    }
+
+    /// Runs the full campaign into a fresh [`DurableStore`] rooted at
+    /// `dir`: every drained batch is written to the store's tail log
+    /// before it reaches the in-memory shards (so a crash mid-campaign
+    /// recovers via [`ShardedStore::open`] to the exact batches ingested
+    /// so far), and the final state is persisted as a committed segment
+    /// set a later `--resume` run reloads instead of re-simulating.
+    ///
+    /// Returns the usual output plus what the final persist wrote.
+    pub fn run_durable(
+        &self,
+        dir: &Path,
+    ) -> Result<(SimulationOutput, PersistenceStats), SegmentError> {
+        let mut durable = DurableStore::create(dir, self.store_config())?;
+        let run = self.run_into(&mut durable);
+        let (store, persisted) = durable.into_store()?;
+        Ok((self.finish_output(store, run), persisted))
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig {
             shards: self.config.effective_shards(),
             threads: self.config.effective_threads(),
-        });
-        let run = self.run_into(&mut store);
+        }
+    }
+
+    fn finish_output(&self, store: ShardedStore, run: CampaignRun) -> SimulationOutput {
         SimulationOutput {
             store,
             world: run.world,

@@ -30,6 +30,7 @@
 //! | [`store`] | [`store::ShardedStore`], [`store::Snapshot`], [`store::ReportSink`] |
 //! | [`query`] | [`query::QueryPlan`], [`query::QueryEngine`], [`query::ResultCache`] |
 //! | [`columnar`] | [`columnar::ColumnarShard`] packed struct-of-arrays read layout |
+//! | [`segment`] | on-disk segments, manifest, tail log, [`segment::DurableStore`] |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -37,12 +38,16 @@
 pub mod columnar;
 pub mod exec;
 pub mod query;
+pub mod segment;
 pub mod shard;
 pub mod store;
 
 pub use columnar::{ColumnarShard, WindowZoneMap};
 pub use query::{
     FleetQuery, QueryBackend, QueryEngine, QueryPlan, QueryValue, ResultCache, StoreStats,
+};
+pub use segment::{
+    DurableStore, PersistenceStats, RecoveryStats, SegmentError, SEGMENT_SCHEMA_VERSION,
 };
 pub use shard::StoreShard;
 pub use store::{ReportSink, ShardedStore, Snapshot, StoreConfig, DEFAULT_SHARDS};

@@ -49,6 +49,7 @@ use crate::columnar::{
     kway_groups, merge_runs, select_indices, ColumnarWindow, WindowZoneMap, APP_LANES, OS_LANES,
 };
 use crate::exec::run_ordered;
+use crate::segment::PersistenceStats;
 use crate::shard::StoreShard;
 use crate::store::Snapshot;
 
@@ -405,6 +406,9 @@ pub struct StoreStats {
     pub plans_columnar: u64,
     /// Plans the planner routed to the legacy map path.
     pub plans_legacy: u64,
+    /// On-disk persistence counters carried over from the snapshot
+    /// (segments written/loaded, bytes, CRC checks, tail-log replays).
+    pub persistence: PersistenceStats,
 }
 
 impl std::fmt::Display for StoreStats {
@@ -436,7 +440,23 @@ impl std::fmt::Display for StoreStats {
             f,
             "  plan choices   {:>7} vectorized  {:>6} columnar  {:>4} legacy",
             self.plans_vectorized, self.plans_columnar, self.plans_legacy,
-        )
+        )?;
+        // Persistence is opt-in (`--store-dir`); keep the stderr block
+        // unchanged for purely in-memory runs.
+        if self.persistence.any() {
+            let p = self.persistence;
+            write!(
+                f,
+                "\n  persistence    {:>7} seg written  {:>6} seg loaded  {} B out  {} B in  {} CRC checks  {} tail records replayed",
+                p.segments_written,
+                p.segments_loaded,
+                p.bytes_written,
+                p.bytes_read,
+                p.crc_checks,
+                p.wal_records_replayed,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -523,6 +543,7 @@ impl QueryEngine {
             plans_vectorized: self.counters.plans_vectorized.load(Ordering::Relaxed),
             plans_columnar: self.counters.plans_columnar.load(Ordering::Relaxed),
             plans_legacy: self.counters.plans_legacy.load(Ordering::Relaxed),
+            persistence: self.snapshot.persistence(),
         }
     }
 

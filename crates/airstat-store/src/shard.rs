@@ -68,6 +68,23 @@ impl SeqSet {
     pub fn contains(&self, seq: u64) -> bool {
         seq < self.contiguous_below || self.sparse.contains(&seq)
     }
+
+    /// The dense-prefix watermark and sparse tail, in segment-encoding
+    /// order (docs/SEGMENT_FORMAT.md, dedup block).
+    pub(crate) fn parts(&self) -> (u64, &BTreeSet<u64>) {
+        (self.contiguous_below, &self.sparse)
+    }
+
+    /// Rebuilds a set from its persisted parts. Segment decode verifies
+    /// every sparse member is `> contiguous_below` before calling this,
+    /// so the compaction invariant (the watermark is never itself in the
+    /// sparse tail) holds by construction.
+    pub(crate) fn from_parts(contiguous_below: u64, sparse: BTreeSet<u64>) -> SeqSet {
+        SeqSet {
+            contiguous_below,
+            sparse,
+        }
+    }
 }
 
 /// Provenance of a client-identity record, used to break write conflicts
@@ -148,6 +165,37 @@ impl StoreShard {
         self.windows
             .iter()
             .map(|(&window, tables)| (window, tables))
+    }
+
+    /// The dedup ledger in canonical `(window, device)` order, for
+    /// segment encoding. The backing map is hash-ordered (keyed access
+    /// on the ingest hot path), so this sorts a snapshot of the entries
+    /// to make the persisted bytes independent of the map's seed.
+    pub(crate) fn dedup_entries(&self) -> Vec<((WindowId, u64), &SeqSet)> {
+        let mut entries: Vec<_> = self.seen.iter().map(|(&key, set)| (key, set)).collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        entries
+    }
+
+    /// Rebuilds a shard from its persisted parts (segment decode). The
+    /// caller is responsible for internal consistency: the counters and
+    /// dedup ledger must describe the same ingest history that produced
+    /// `windows`, which holds whenever the parts come from one decoded
+    /// segment (the CRC guards reject mixed or tampered inputs).
+    pub(crate) fn from_parts(
+        // airstat::allow(no-hashmap-iter): rebuilt dedup ledger; keyed
+        // access only after reconstruction, never iterated for output
+        seen: HashMap<(WindowId, u64), SeqSet>,
+        duplicates_dropped: u64,
+        reports_ingested: u64,
+        windows: BTreeMap<WindowId, WindowTables>,
+    ) -> StoreShard {
+        StoreShard {
+            seen,
+            duplicates_dropped,
+            reports_ingested,
+            windows,
+        }
     }
 
     /// Ingests one report; returns `false` for duplicates.

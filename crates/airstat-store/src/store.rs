@@ -8,6 +8,7 @@
 //! clones only the shards it actually touches (`Arc::make_mut`), so
 //! queries keep running against frozen state while the next epoch fills.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use airstat_stats::rng::splitmix64;
@@ -16,6 +17,7 @@ use airstat_telemetry::report::Report;
 
 use crate::columnar::ColumnarShard;
 use crate::exec::run_ordered;
+use crate::segment::{self, PersistenceStats, RecoveryStats, SegmentError};
 use crate::shard::StoreShard;
 
 /// Store shape and ingest parallelism.
@@ -57,6 +59,9 @@ pub struct ShardedStore {
     /// build the read-optimized layout once. Keyed by epoch: any ingest
     /// bumps the epoch and naturally invalidates it.
     columnar: Mutex<Option<(u64, Vec<Arc<ColumnarShard>>)>>,
+    /// Cumulative on-disk activity ([`ShardedStore::persist`] /
+    /// [`ShardedStore::open`]), carried into snapshots for `StoreStats`.
+    persistence: PersistenceStats,
 }
 
 impl Clone for ShardedStore {
@@ -66,6 +71,7 @@ impl Clone for ShardedStore {
             epoch: self.epoch,
             config: self.config,
             columnar: Mutex::new(self.columnar.lock().expect("invariant: columnar lock is never poisoned (projection code does not panic)").clone()),
+            persistence: self.persistence,
         }
     }
 }
@@ -98,7 +104,89 @@ impl ShardedStore {
                 threads: config.threads.max(1),
             },
             columnar: Mutex::new(None),
+            persistence: PersistenceStats::default(),
         }
+    }
+
+    /// Persists the current state into `dir` as a committed segment set
+    /// (one segment file per shard plus a manifest) and resets the tail
+    /// log, returning what this call wrote. The write order makes the
+    /// manifest rename the single commit point — see
+    /// [`crate::segment`] and docs/SEGMENT_FORMAT.md §6.
+    pub fn persist(&mut self, dir: &Path) -> Result<PersistenceStats, SegmentError> {
+        let stats = segment::write_store(&self.shards, self.epoch, dir)?;
+        self.persistence.absorb(stats);
+        Ok(stats)
+    }
+
+    /// Opens the store persisted in `dir`, replaying any tail-log
+    /// records appended after the last persist (docs/SEGMENT_FORMAT.md
+    /// §7) so a crashed run recovers to its exact pre-crash query
+    /// surface.
+    ///
+    /// The manifest's shard count is authoritative — `config.shards` is
+    /// ignored when a committed store exists (partitioning is baked into
+    /// the segment files); `config.threads` still applies. A directory
+    /// with no manifest yields a fresh empty store shaped by `config`
+    /// (plus any tail-log records, for a run that crashed before its
+    /// first persist).
+    pub fn open(
+        dir: &Path,
+        config: StoreConfig,
+    ) -> Result<(ShardedStore, RecoveryStats), SegmentError> {
+        let mut recovery = RecoveryStats::default();
+        let mut store = match segment::read_store(dir)? {
+            Some(loaded) => {
+                recovery.segments_loaded = loaded.shards.len() as u64;
+                recovery.bytes_read = loaded.bytes_read;
+                recovery.crc_checks = loaded.crc_checks;
+                let shards: Vec<Arc<StoreShard>> =
+                    loaded.shards.into_iter().map(Arc::new).collect();
+                ShardedStore {
+                    config: StoreConfig {
+                        shards: shards.len(),
+                        threads: config.threads.max(1),
+                    },
+                    shards,
+                    epoch: loaded.epoch,
+                    columnar: Mutex::new(None),
+                    persistence: PersistenceStats::default(),
+                }
+            }
+            None => ShardedStore::with_config(config),
+        };
+        // Replaying through `ingest_batch` bumps the epoch once per
+        // record — exactly as the original ingest did — so the
+        // recovered store resumes on the pre-crash epoch trajectory.
+        let replay = segment::read_wal(dir, store.epoch)?;
+        for (window, reports) in &replay.batches {
+            store.ingest_batch(*window, reports);
+        }
+        recovery.epoch = store.epoch;
+        if replay.valid_len > 0 {
+            // Tail-log header + one check per replayed record.
+            recovery.crc_checks += 1 + replay.batches.len() as u64;
+        }
+        recovery.wal_records_replayed = replay.batches.len() as u64;
+        recovery.wal_reports_recovered = replay.reports;
+        recovery.wal_bytes_discarded = replay.bytes_discarded;
+        recovery.wal_stale = replay.stale;
+        recovery.wal_valid_len = replay.valid_len;
+        store.persistence = PersistenceStats {
+            segments_written: 0,
+            segments_loaded: recovery.segments_loaded,
+            bytes_written: 0,
+            bytes_read: recovery.bytes_read,
+            crc_checks: recovery.crc_checks,
+            wal_records_replayed: recovery.wal_records_replayed,
+        };
+        Ok((store, recovery))
+    }
+
+    /// Cumulative persistence counters (zero unless this store was
+    /// opened from disk or has been persisted).
+    pub fn persistence(&self) -> PersistenceStats {
+        self.persistence
     }
 
     /// The store's shape.
@@ -222,6 +310,7 @@ impl ShardedStore {
             epoch: self.epoch,
             shards: self.shards.clone(),
             columnar,
+            persistence: self.persistence,
         }
     }
 }
@@ -244,6 +333,7 @@ pub struct Snapshot {
     epoch: u64,
     shards: Vec<Arc<StoreShard>>,
     columnar: Vec<Arc<ColumnarShard>>,
+    persistence: PersistenceStats,
 }
 
 impl Snapshot {
@@ -270,6 +360,11 @@ impl Snapshot {
     /// Duplicates rejected across all shards at seal time.
     pub fn duplicates_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.duplicates_dropped()).sum()
+    }
+
+    /// The store's cumulative persistence counters at seal time.
+    pub fn persistence(&self) -> PersistenceStats {
+        self.persistence
     }
 }
 

@@ -20,6 +20,12 @@ cargo test -q --offline -p airstat-store
 echo "==> cargo test -q -p airstat-store --test properties pruned_execution (zone-map pruning differential proptest)"
 cargo test -q --offline -p airstat-store --test properties pruned_execution_matches_unpruned_full_scan
 
+echo "==> cargo test -q --test persistence (persist/reopen differential + tail-log crash recovery)"
+cargo test -q --offline --test persistence
+
+echo "==> cargo test -q -p airstat-store segment (segment format: corruption sweep, schema pin, doc example)"
+cargo test -q --offline -p airstat-store segment
+
 echo "==> cargo clippy --workspace (warnings are errors; vendored crates excluded)"
 cargo clippy -q --workspace --exclude rand --exclude proptest \
     --all-targets --offline -- -D warnings

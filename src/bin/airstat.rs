@@ -17,13 +17,20 @@
 //! byte-identical for every `--shards`/`--threads`/`--query-backend`
 //! combination, and the store's cache/pruning/plan-choice statistics
 //! print to stderr (`--explain` adds the planner's per-plan choices).
+//!
+//! `--store-dir DIR` makes the run durable: batches stream into a
+//! crash-safe tail log and the final store is committed as columnar
+//! segment files (docs/SEGMENT_FORMAT.md). `--resume` reloads that
+//! store — replaying any tail-log records a crashed run left behind —
+//! and answers byte-identically without re-simulating.
 
 use airstat::core::export::build_release;
 use airstat::core::{DegradationReport, PaperReport};
 use airstat::sim::config::{WINDOW_JAN_2015, WINDOW_JUL_2014};
 use airstat::sim::faults::SCENARIO_NAMES;
 use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation, MeasurementYear};
-use airstat::store::QueryBackend;
+use airstat::store::{QueryBackend, QueryEngine, ShardedStore, StoreConfig};
+use std::path::Path;
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -46,10 +53,12 @@ struct Options {
     faults: Option<String>,
     query_backend: Option<QueryBackend>,
     explain: bool,
+    store_dir: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME] [--query-backend B] [--explain]\n\
+    "usage: airstat <report | table N | figure N | release DIR | info> [--scale S] [--seed N] [--threads T] [--shards K] [--faults NAME] [--query-backend B] [--explain] [--store-dir DIR [--resume]]\n\
      \n\
      report        print every table and figure of the paper\n\
      table N       print table N (2-7)\n\
@@ -72,7 +81,15 @@ fn usage() -> &'static str {
                    columnar (packed scan kernels), or legacy\n\
                    (map-backed); output is byte-identical for all\n\
      --explain     print the planner's per-plan path choice and zone-map\n\
-                   estimates to stderr"
+                   estimates to stderr\n\
+     --store-dir DIR\n\
+                   persist the store into DIR (docs/SEGMENT_FORMAT.md):\n\
+                   every batch hits a crash-safe tail log during the run\n\
+                   and the final state is committed as columnar segments\n\
+     --resume      skip the simulation and answer from the store\n\
+                   persisted in --store-dir (tail-log records from a\n\
+                   crashed run are replayed); stdout is byte-identical\n\
+                   to the run that wrote it"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -93,6 +110,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut faults = None;
     let mut query_backend = None;
     let mut explain = false;
+    let mut store_dir = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +169,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 ))?);
             }
             "--explain" => explain = true,
+            "--store-dir" => {
+                i += 1;
+                let value = args.get(i).ok_or("--store-dir needs a directory")?;
+                store_dir = Some(value.clone());
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => positional.push(other.to_string()),
@@ -190,6 +215,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         Some(other) => return Err(format!("unknown command {other}")),
         None => return Err(String::new()),
     };
+    if resume && store_dir.is_none() {
+        return Err("--resume requires --store-dir".into());
+    }
+    if resume && command == Command::Info {
+        return Err("--resume does not apply to info (nothing is simulated)".into());
+    }
     Ok(Options {
         command,
         scale,
@@ -199,6 +230,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         faults,
         query_backend,
         explain,
+        store_dir,
+        resume,
     })
 }
 
@@ -233,23 +266,57 @@ fn run(options: Options) -> Result<(), String> {
         return Ok(());
     }
 
-    eprintln!(
-        "running campaign at {:.2}% scale on {} thread(s), {} store shard(s)...",
-        options.scale * 100.0,
-        config.effective_threads(),
-        config.effective_shards()
-    );
-    let output = FleetSimulation::new(config.clone()).run();
-    eprintln!("{}", output.throughput_summary());
-    if let Some(schedule) = &config.faults {
-        eprintln!(
-            "{}",
-            DegradationReport::from_simulation(&output, schedule.name())
-        );
-    }
     // One engine serves every command below, so repeated lookups (the
     // report recomputes client panels several times) hit its cache.
-    let mut engine = output.query();
+    let mut engine = if options.resume {
+        let dir = options.store_dir.as_deref().unwrap_or_default();
+        let store_config = StoreConfig {
+            shards: config.effective_shards(),
+            threads: config.effective_threads(),
+        };
+        let (store, recovery) = ShardedStore::open(Path::new(dir), store_config)
+            .map_err(|e| format!("open store {dir}: {e}"))?;
+        if recovery.segments_loaded == 0 && recovery.wal_records_replayed == 0 {
+            return Err(format!(
+                "no persisted store in {dir}; run once with --store-dir {dir} (and no --resume) first"
+            ));
+        }
+        eprintln!("resuming from {dir}: {recovery}");
+        QueryEngine::with_backend(
+            store.seal(),
+            config.effective_threads(),
+            config.query_backend,
+        )
+    } else {
+        eprintln!(
+            "running campaign at {:.2}% scale on {} thread(s), {} store shard(s)...",
+            options.scale * 100.0,
+            config.effective_threads(),
+            config.effective_shards()
+        );
+        let simulation = FleetSimulation::new(config.clone());
+        let output = match &options.store_dir {
+            Some(dir) => {
+                let (output, persisted) = simulation
+                    .run_durable(Path::new(dir))
+                    .map_err(|e| format!("persist store to {dir}: {e}"))?;
+                eprintln!(
+                    "persisted {} segment(s), {} bytes to {dir}",
+                    persisted.segments_written, persisted.bytes_written
+                );
+                output
+            }
+            None => simulation.run(),
+        };
+        eprintln!("{}", output.throughput_summary());
+        if let Some(schedule) = &config.faults {
+            eprintln!(
+                "{}",
+                DegradationReport::from_simulation(&output, schedule.name())
+            );
+        }
+        output.query()
+    };
     engine.set_explain(options.explain);
     let engine = engine;
 
@@ -387,6 +454,22 @@ mod tests {
         assert_eq!(parse(&["report"]).unwrap().faults, None);
         assert_eq!(parse(&["report"]).unwrap().query_backend, None);
         assert!(!parse(&["report"]).unwrap().explain);
+        assert_eq!(parse(&["report"]).unwrap().store_dir, None);
+        assert!(!parse(&["report"]).unwrap().resume);
+    }
+
+    #[test]
+    fn parses_store_dir_and_resume() {
+        let o = parse(&["report", "--store-dir", "/tmp/store"]).unwrap();
+        assert_eq!(o.store_dir.as_deref(), Some("/tmp/store"));
+        assert!(!o.resume);
+        let o = parse(&["--store-dir", "/tmp/store", "table", "4", "--resume"]).unwrap();
+        assert_eq!(o.store_dir.as_deref(), Some("/tmp/store"));
+        assert!(o.resume);
+        let err = parse(&["report", "--resume"]).unwrap_err();
+        assert!(err.contains("--store-dir"), "names the missing flag: {err}");
+        assert!(parse(&["report", "--store-dir"]).is_err());
+        assert!(parse(&["info", "--store-dir", "/tmp/s", "--resume"]).is_err());
     }
 
     #[test]
