@@ -56,8 +56,13 @@ impl fmt::Display for DegradationReport {
         )?;
         writeln!(
             f,
-            "  lost reports   {:>7} overflow  {:>6} crash  {:>6} unpolled",
-            t.dropped_overflow, t.lost_to_crash, t.left_queued,
+            "  lost reports   {:>7} overflow  {:>6} crash  {:>6} unpolled  {:>6} evicted",
+            t.dropped_overflow, t.lost_to_crash, t.left_queued, t.lost_to_eviction,
+        )?;
+        writeln!(
+            f,
+            "  evicted APs    high {}  normal {}  low {}  (only LOW is ever evicted)",
+            t.evicted_high, t.evicted_normal, t.evicted_low,
         )?;
         writeln!(
             f,
@@ -121,6 +126,8 @@ mod tests {
                 secondary_served: 80,
                 redelivered: 90,
                 crash_reboots: 3,
+                lost_to_eviction: 7,
+                evicted_low: 4,
                 latency,
                 ..DegradationTally::default()
             },
@@ -140,6 +147,8 @@ mod tests {
         assert!(text.contains("scenario: dc-outage"));
         assert!(text.contains("94.000%"));
         assert!(text.contains("50 overflow"));
+        assert!(text.contains("7 evicted"));
+        assert!(text.contains("high 0  normal 0  low 4"));
         assert!(text.contains("85 dropped by seq dedup"));
         assert!(text.contains("failovers"));
         assert!(text.contains("p50 60 s"));

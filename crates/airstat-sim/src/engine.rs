@@ -52,15 +52,18 @@ use airstat_store::{
 };
 use airstat_telemetry::backend::WindowId;
 use airstat_telemetry::crash::{DeviceMemory, RebootReason};
-use airstat_telemetry::poll::{drain_with_policy, PollPolicy};
+use airstat_telemetry::poll::{drain_flat_reference, drain_scheduled, PollPolicy};
 use airstat_telemetry::report::{
     AirtimeRecord, ChannelScanRecord, ClientInfoRecord, CrashRecord, LinkRecord, NeighborRecord,
     Report, ReportPayload, UsageRecord,
 };
+use airstat_telemetry::sched::SchedStats;
 use airstat_telemetry::transport::{DeviceAgent, Tunnel, TunnelConfig};
 use rand::Rng;
 
-use crate::config::{FleetConfig, MeasurementYear, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014};
+use crate::config::{
+    FleetConfig, MeasurementYear, PollPath, WEEK_S, WINDOW_JAN_2015, WINDOW_JUL_2014,
+};
 use crate::exec::run_ordered;
 use crate::faults::{self, DegradationTally};
 use crate::population::PopulationModel;
@@ -93,6 +96,9 @@ pub struct CampaignRun {
     /// fault counters). With `FleetConfig::faults = None` this is the
     /// healthy baseline: completeness 1.0, no failovers, no crash loss.
     pub degradation: DegradationTally,
+    /// Scheduler counters merged across every drain (zeroed when the run
+    /// used [`PollPath::FlatReference`]).
+    pub sched: SchedStats,
 }
 
 /// Everything a run produces.
@@ -124,6 +130,9 @@ pub struct SimulationOutput {
     /// fault counters). With `FleetConfig::faults = None` this is the
     /// healthy baseline: completeness 1.0, no failovers, no crash loss.
     pub degradation: DegradationTally,
+    /// Scheduler counters merged across every drain (zeroed when the run
+    /// used [`PollPath::FlatReference`]).
+    pub sched: SchedStats,
 }
 
 impl SimulationOutput {
@@ -284,6 +293,7 @@ impl FleetSimulation {
             threads: run.threads,
             query_backend: self.config.query_backend,
             degradation: run.degradation,
+            sched: run.sched,
         }
     }
 
@@ -299,6 +309,7 @@ impl FleetSimulation {
         let world = World::generate(&seed, self.config.mr16_aps(), self.config.mr18_aps());
         let mut polls = PollStats::default();
         let mut degradation = DegradationTally::default();
+        let mut sched = SchedStats::default();
         let threads = self.config.effective_threads();
         let mut panels = Vec::new();
 
@@ -311,8 +322,15 @@ impl FleetSimulation {
             };
             // airstat::allow(no-wall-clock): wall time here only feeds PanelStats throughput diagnostics for the operator; it never reaches report bytes
             let started = Instant::now();
-            let (roamed, tally) =
-                self.run_usage_window(&seed, year, threads, sink, &mut polls, &mut degradation);
+            let (roamed, tally) = self.run_usage_window(
+                &seed,
+                year,
+                threads,
+                sink,
+                &mut polls,
+                &mut degradation,
+                &mut sched,
+            );
             panels.push(tally.into_stats(label, started));
             if year == MeasurementYear::Y2015 {
                 roamed_clients = roamed;
@@ -334,6 +352,7 @@ impl FleetSimulation {
                 sink,
                 &mut polls,
                 &mut degradation,
+                &mut sched,
             );
             panels.push(tally.into_stats(label, started));
         }
@@ -349,6 +368,7 @@ impl FleetSimulation {
             sink,
             &mut polls,
             &mut degradation,
+            &mut sched,
         );
         panels.push(tally.into_stats("scan-jan15", started));
 
@@ -362,6 +382,7 @@ impl FleetSimulation {
             bytes_encoded,
             threads,
             degradation,
+            sched,
         }
     }
 
@@ -378,6 +399,7 @@ impl FleetSimulation {
         sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
+        sched: &mut SchedStats,
     ) -> (u64, PanelTally) {
         let window = year.window();
         let year_label = match year {
@@ -539,7 +561,7 @@ impl FleetSimulation {
         let mut roamed_clients = 0u64;
         run_ordered(threads, n_batches, unit, |_, out: UnitOutput| {
             roamed_clients += out.roamed;
-            tally.merge(&out, sink, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation, sched);
         });
         (roamed_clients, tally)
     }
@@ -559,6 +581,7 @@ impl FleetSimulation {
         sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
+        sched: &mut SchedStats,
     ) -> PanelTally {
         let model24 = LinkModel::for_band(Band::Ghz2_4);
         let model5 = LinkModel::for_band(Band::Ghz5);
@@ -693,7 +716,7 @@ impl FleetSimulation {
 
         let mut tally = PanelTally::default();
         run_ordered(threads, world.aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, sink, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation, sched);
         });
         tally
     }
@@ -713,6 +736,7 @@ impl FleetSimulation {
         sink: &mut dyn ReportSink,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
+        sched: &mut SchedStats,
     ) -> PanelTally {
         let diurnal_table = diurnal_table();
         let scan_aps: Vec<&ApSite> = world
@@ -760,7 +784,7 @@ impl FleetSimulation {
 
         let mut tally = PanelTally::default();
         run_ordered(threads, scan_aps.len(), unit, |_, out: UnitOutput| {
-            tally.merge(&out, sink, window, polls, degradation);
+            tally.merge(&out, sink, window, polls, degradation, sched);
         });
         tally
     }
@@ -783,11 +807,14 @@ impl FleetSimulation {
     ///
     /// Without a fault schedule this is the healthy path: one tunnel,
     /// the default [`PollPolicy`], and a drain that must empty the queue.
-    /// With a schedule, [`faults::drain_faulted`] drives a [`DualTunnel`]
-    /// (`airstat_telemetry::failover`) through the window's scripted
-    /// faults instead. Both paths consume the same `child("tunnel")` RNG
-    /// stream per poll, so a zero-intensity schedule reproduces the
-    /// no-schedule output byte for byte.
+    /// With a schedule, the window's scripted faults drive a
+    /// [`DualTunnel`] (`airstat_telemetry::failover`) instead. Either
+    /// way the drain runs on the configured [`PollPath`]: the scheduler
+    /// (default) or the retained flat reference loop. All four paths
+    /// consume the same `child("tunnel")` RNG stream per poll and each
+    /// agent's drain runs on its own virtual-time session, so a zero
+    /// intensity schedule reproduces the no-schedule output byte for
+    /// byte — and both poll paths produce identical reports.
     fn drain_agent_collect(
         &self,
         node: &SeedTree,
@@ -803,8 +830,17 @@ impl FleetSimulation {
             None => {
                 let mut tunnel = Tunnel::new(base);
                 let mut rng = node.child("tunnel").rng();
-                let (reports, stats) =
-                    drain_with_policy(PollPolicy::default(), &mut tunnel, agent, &mut rng);
+                let (reports, stats) = match self.config.poll_path {
+                    PollPath::Scheduler => {
+                        let (reports, stats, sched) =
+                            drain_scheduled(PollPolicy::default(), &mut tunnel, agent, &mut rng);
+                        out.sched.merge(&sched);
+                        (reports, stats)
+                    }
+                    PollPath::FlatReference => {
+                        drain_flat_reference(PollPolicy::default(), &mut tunnel, agent, &mut rng)
+                    }
+                };
                 out.reports.extend(reports);
                 out.polls_attempted += stats.polls;
                 out.polls_lost += stats.lost;
@@ -814,14 +850,28 @@ impl FleetSimulation {
             }
             Some(schedule) => {
                 let intensity = schedule.intensity(window);
-                let drained = faults::drain_faulted(
-                    intensity,
-                    schedule.policy(),
-                    base,
-                    node,
-                    firmware_for(window),
-                    agent,
-                );
+                let drained = match self.config.poll_path {
+                    PollPath::Scheduler => {
+                        let (drained, sched) = faults::drain_faulted_scheduled(
+                            intensity,
+                            schedule.policy(),
+                            base,
+                            node,
+                            firmware_for(window),
+                            agent,
+                        );
+                        out.sched.merge(&sched);
+                        drained
+                    }
+                    PollPath::FlatReference => faults::drain_faulted(
+                        intensity,
+                        schedule.policy(),
+                        base,
+                        node,
+                        firmware_for(window),
+                        agent,
+                    ),
+                };
                 out.reports.extend(drained.reports);
                 out.polls_attempted += drained.stats.polls;
                 out.polls_lost += drained.stats.lost;
@@ -859,6 +909,8 @@ struct UnitOutput {
     roamed: u64,
     /// Degradation accounting for this unit's drains.
     tally: DegradationTally,
+    /// Scheduler counters for this unit's drains.
+    sched: SchedStats,
 }
 
 /// Running totals for one panel, merged on the driver thread.
@@ -878,6 +930,7 @@ impl PanelTally {
         window: WindowId,
         polls: &mut PollStats,
         degradation: &mut DegradationTally,
+        sched: &mut SchedStats,
     ) {
         let accepted = sink.ingest_batch(window, &out.reports);
         self.reports += accepted;
@@ -886,6 +939,8 @@ impl PanelTally {
         polls.lost += out.polls_lost;
         degradation.merge(&out.tally);
         degradation.accepted += accepted;
+        degradation.record_evictions(&out.sched);
+        sched.merge(&out.sched);
     }
 
     // airstat::allow(no-wall-clock): wall time here only feeds PanelStats throughput diagnostics for the operator; it never reaches report bytes

@@ -30,7 +30,11 @@ use airstat_telemetry::crash::RebootReason;
 use airstat_telemetry::failover::{DataCenter, DualTunnel};
 use airstat_telemetry::poll::{DrainStats, LatencyHistogram, PollPolicy, PollSession};
 use airstat_telemetry::report::{CrashRecord, Report, ReportPayload};
+use airstat_telemetry::sched::{
+    Admission, PollEndpoint, Priority, RoundOutcome, SchedConfig, SchedStats, Scheduler,
+};
 use airstat_telemetry::transport::{DeviceAgent, PollOutcome, TunnelConfig};
+use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Consecutive primary failures before a campaign drain fails over.
@@ -72,6 +76,13 @@ pub struct FaultIntensity {
     /// more rounds so faults and backlogs interact. `None` keeps the
     /// engine default.
     pub poll_batch: Option<usize>,
+    /// Heterogeneous-fleet cohorts: `(weight, intensity)` pairs an agent
+    /// resolves *once*, up front, from its fault stream — weights are
+    /// cumulative probabilities over `[0, 1)`, any remainder falling back
+    /// to this intensity's own knobs. Empty (the default) draws nothing,
+    /// which keeps zero schedules byte-identical to no schedule at all.
+    /// One level deep: a cohort's own `cohorts` list is ignored.
+    pub cohorts: Vec<(f64, FaultIntensity)>,
 }
 
 impl FaultIntensity {
@@ -89,12 +100,53 @@ impl FaultIntensity {
             crash_probability: 0.0,
             queue_capacity: None,
             poll_batch: None,
+            cohorts: Vec::new(),
         }
     }
 
     /// Whether this intensity injects nothing.
     pub fn is_zero(&self) -> bool {
         *self == FaultIntensity::zero()
+    }
+
+    /// Resolves the cohort this agent belongs to. With no cohorts the
+    /// intensity itself is returned **without consuming any randomness**
+    /// — the byte-identity contract for homogeneous schedules. With
+    /// cohorts, exactly one `f64` is drawn and matched against the
+    /// cumulative weights; leftover probability mass falls back to the
+    /// base intensity.
+    pub fn resolve_cohort<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> &'a FaultIntensity {
+        if self.cohorts.is_empty() {
+            return self;
+        }
+        let draw = rng.gen::<f64>();
+        let mut cumulative = 0.0;
+        for (weight, intensity) in &self.cohorts {
+            cumulative += weight;
+            if draw < cumulative {
+                return intensity;
+            }
+        }
+        self
+    }
+
+    /// The scheduler class this intensity's agents drain at: APs riding
+    /// out a DC outage are [`Priority::High`] (oldest backlog, drain
+    /// first), any other degradation is [`Priority::Normal`], and a fully
+    /// healthy AP is [`Priority::Low`] — the only evictable class.
+    pub fn priority_class(&self) -> Priority {
+        if self.dc_outage_probability > 0.0 {
+            Priority::High
+        } else if self.extra_drop_probability > 0.0
+            || self.ack_loss_probability > 0.0
+            || self.flap_probability > 0.0
+            || self.storm_probability > 0.0
+            || self.crash_probability > 0.0
+        {
+            Priority::Normal
+        } else {
+            Priority::Low
+        }
     }
 }
 
@@ -115,7 +167,13 @@ pub struct FaultSchedule {
 }
 
 /// The canned scenario names [`FaultSchedule::by_name`] accepts.
-pub const SCENARIO_NAMES: [&str; 4] = ["zero", "tunnel-loss", "dc-outage", "queue-pressure"];
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "zero",
+    "tunnel-loss",
+    "dc-outage",
+    "queue-pressure",
+    "queue-pressure-fleet",
+];
 
 impl FaultSchedule {
     /// A schedule from parts.
@@ -216,6 +274,45 @@ impl FaultSchedule {
         )
     }
 
+    /// Scenario 4 — a heterogeneous fleet under the scheduler: ~70% of
+    /// agents resolve to a healthy cohort ([`Priority::Low`]), ~20% to a
+    /// degraded cohort with loss, lost acks, and crashes
+    /// ([`Priority::Normal`]), and ~10% to an outage-recovering cohort
+    /// ([`Priority::High`]) whose backlog drains first. This is the
+    /// scenario the 100k-AP fairness and eviction campaigns run
+    /// (`airstat_sim::fleet::run_fleet_campaign`), and under the engine
+    /// it exercises cohort resolution with per-class drain priorities.
+    pub fn queue_pressure_fleet() -> Self {
+        let degraded = FaultIntensity {
+            extra_drop_probability: 0.20,
+            ack_loss_probability: 0.10,
+            flap_probability: 0.05,
+            flap_rounds: 2,
+            crash_probability: 0.10,
+            storm_probability: 0.10,
+            repoll_burst: 2,
+            poll_batch: Some(8),
+            ..FaultIntensity::zero()
+        };
+        let recovering = FaultIntensity {
+            extra_drop_probability: 0.10,
+            dc_outage_probability: 1.0,
+            dc_outage_rounds: 4,
+            repoll_burst: 2,
+            poll_batch: Some(8),
+            ..FaultIntensity::zero()
+        };
+        FaultSchedule::new(
+            "queue-pressure-fleet",
+            PollPolicy::default(),
+            FaultIntensity {
+                cohorts: vec![(0.20, degraded), (0.10, recovering)],
+                ..FaultIntensity::zero()
+            },
+            Vec::new(),
+        )
+    }
+
     /// Looks a canned scenario up by its CLI name.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
@@ -223,6 +320,7 @@ impl FaultSchedule {
             "tunnel-loss" => Some(FaultSchedule::tunnel_loss()),
             "dc-outage" => Some(FaultSchedule::dc_outage()),
             "queue-pressure" => Some(FaultSchedule::queue_pressure()),
+            "queue-pressure-fleet" => Some(FaultSchedule::queue_pressure_fleet()),
             _ => None,
         }
     }
@@ -266,6 +364,16 @@ pub struct DegradationTally {
     pub lost_to_crash: u64,
     /// Reports still queued when a drain's poll budget ran out.
     pub left_queued: u64,
+    /// Never-delivered reports destroyed when the scheduler evicted (or
+    /// rejected) their AP under queue pressure.
+    pub lost_to_eviction: u64,
+    /// HIGH-priority APs evicted (always 0: the scheduler never evicts
+    /// this class — rendered so the report proves it).
+    pub evicted_high: u64,
+    /// NORMAL-priority APs evicted (always 0, as above).
+    pub evicted_normal: u64,
+    /// LOW-priority APs evicted or rejected under queue pressure.
+    pub evicted_low: u64,
     /// Crash/reboot cycles injected.
     pub crash_reboots: u64,
     /// Poll rounds across all agents.
@@ -305,6 +413,10 @@ impl DegradationTally {
         self.dropped_overflow += other.dropped_overflow;
         self.lost_to_crash += other.lost_to_crash;
         self.left_queued += other.left_queued;
+        self.lost_to_eviction += other.lost_to_eviction;
+        self.evicted_high += other.evicted_high;
+        self.evicted_normal += other.evicted_normal;
+        self.evicted_low += other.evicted_low;
         self.crash_reboots += other.crash_reboots;
         self.polls += other.polls;
         self.polls_lost += other.polls_lost;
@@ -324,6 +436,14 @@ impl DegradationTally {
         } else {
             self.accepted as f64 / self.submitted as f64
         }
+    }
+
+    /// Folds a scheduler's eviction counters in.
+    pub fn record_evictions(&mut self, sched: &SchedStats) {
+        self.evicted_high += sched.evicted_aps[Priority::High.index()];
+        self.evicted_normal += sched.evicted_aps[Priority::Normal.index()];
+        self.evicted_low += sched.evicted_aps[Priority::Low.index()];
+        self.lost_to_eviction += sched.evicted_reports;
     }
 }
 
@@ -362,6 +482,10 @@ pub fn drain_faulted(
 ) -> FaultedDrain {
     let mut fault_rng = node.child("faults").rng();
     let mut tunnel_rng = node.child("tunnel").rng();
+    // Cohort membership is the very first draw (none for homogeneous
+    // schedules), exactly as `FaultedEndpoint::new` does it, so flat and
+    // scheduled drains see identical fault streams.
+    let intensity = intensity.resolve_cohort(&mut fault_rng);
     let config = TunnelConfig {
         drop_probability: (base.drop_probability + intensity.extra_drop_probability).min(0.95),
         poll_batch: intensity.poll_batch.unwrap_or(base.poll_batch),
@@ -505,6 +629,323 @@ pub fn drain_faulted(
         failovers,
         secondary_served: dual.served_by(DataCenter::Secondary),
     }
+}
+
+/// A fault-injecting AP endpoint the scheduler can drain: the exact
+/// round-by-round machinery of [`drain_faulted`], with the loop inverted
+/// so [`Scheduler::tick`](airstat_telemetry::sched::Scheduler::tick)
+/// drives the rounds instead of a private `while`.
+///
+/// The endpoint owns its tunnels, its fault stream, and its transport
+/// stream, so *when* the scheduler polls it cannot change *what* any
+/// round does — the interleaving-invariance the zero-pressure
+/// byte-identity test relies on. Cohort membership (and with it the
+/// drain [`Priority`]) is resolved at construction, from the same first
+/// fault-stream draw the flat path uses.
+#[derive(Debug)]
+pub struct FaultedEndpoint {
+    intensity: FaultIntensity,
+    agent: DeviceAgent,
+    dual: DualTunnel,
+    fault_rng: SmallRng,
+    tunnel_rng: SmallRng,
+    firmware: String,
+    priority: Priority,
+    outage: Option<(u64, u64)>,
+    crash_round: Option<u64>,
+    storm_round: Option<u64>,
+    highest_delivered: Option<u64>,
+    crash_lost: u64,
+    crash_reboots: u64,
+    failovers: u64,
+    last_dc: DataCenter,
+    in_outage: bool,
+    flap_left: u32,
+    pending_burst: u32,
+    round: u64,
+}
+
+impl FaultedEndpoint {
+    /// Builds the endpoint, consuming the fault stream exactly as
+    /// [`drain_faulted`] does up front: cohort draw first, then the
+    /// one-shot outage/crash/storm plans.
+    pub fn new(
+        intensity: &FaultIntensity,
+        base: TunnelConfig,
+        node: &SeedTree,
+        firmware: &str,
+        agent: DeviceAgent,
+    ) -> Self {
+        let mut fault_rng = node.child("faults").rng();
+        let tunnel_rng = node.child("tunnel").rng();
+        let intensity = intensity.resolve_cohort(&mut fault_rng).clone();
+        let config = TunnelConfig {
+            drop_probability: (base.drop_probability + intensity.extra_drop_probability).min(0.95),
+            poll_batch: intensity.poll_batch.unwrap_or(base.poll_batch),
+        };
+        let dual = DualTunnel::new(config, FAILOVER_THRESHOLD);
+        let outage = if intensity.dc_outage_probability > 0.0
+            && fault_rng.gen::<f64>() < intensity.dc_outage_probability
+        {
+            let start = fault_rng.gen_range(0u64..2);
+            Some((start, start + u64::from(intensity.dc_outage_rounds.max(1))))
+        } else {
+            None
+        };
+        let crash_round = if intensity.crash_probability > 0.0
+            && fault_rng.gen::<f64>() < intensity.crash_probability
+        {
+            Some(fault_rng.gen_range(0u64..4))
+        } else {
+            None
+        };
+        let storm_round = if intensity.storm_probability > 0.0
+            && fault_rng.gen::<f64>() < intensity.storm_probability
+        {
+            Some(fault_rng.gen_range(0u64..3))
+        } else {
+            None
+        };
+        let priority = intensity.priority_class();
+        FaultedEndpoint {
+            intensity,
+            agent,
+            dual,
+            fault_rng,
+            tunnel_rng,
+            firmware: firmware.to_string(),
+            priority,
+            outage,
+            crash_round,
+            storm_round,
+            highest_delivered: None,
+            crash_lost: 0,
+            crash_reboots: 0,
+            failovers: 0,
+            last_dc: DataCenter::Primary,
+            in_outage: false,
+            flap_left: 0,
+            pending_burst: 0,
+            round: 0,
+        }
+    }
+
+    /// The scheduler class the resolved cohort drains at.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Never-delivered reports destroyed by the injected crash. Unlike
+    /// [`FaultedDrain::crash_lost`] (a raw cleared-queue count), this
+    /// excludes delivered-but-unacked reports the backend already
+    /// accepted, so the eviction-era accounting identity balances.
+    pub fn crash_lost(&self) -> u64 {
+        self.crash_lost
+    }
+
+    /// Crash/reboot cycles injected (0 or 1).
+    pub fn crash_reboots(&self) -> u64 {
+        self.crash_reboots
+    }
+
+    /// Primary→secondary failover transitions observed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Delivered polls served by the secondary data center.
+    pub fn secondary_served(&self) -> u64 {
+        self.dual.served_by(DataCenter::Secondary)
+    }
+
+    /// Read access to the wrapped agent.
+    pub fn agent(&self) -> &DeviceAgent {
+        &self.agent
+    }
+
+    /// Hands the agent back once the drain is finished.
+    pub fn into_agent(self) -> DeviceAgent {
+        self.agent
+    }
+
+    fn undelivered_count(&self) -> u64 {
+        let queued = self.agent.queued();
+        if queued == 0 {
+            return 0;
+        }
+        match self.highest_delivered {
+            None => queued as u64,
+            Some(h) => self.agent.peek(queued).iter().filter(|r| r.seq > h).count() as u64,
+        }
+    }
+}
+
+impl PollEndpoint for FaultedEndpoint {
+    fn poll_round(&mut self, now_s: u64) -> RoundOutcome {
+        let round = self.round;
+        // --- scripted fault events for this round (drain_faulted order) ---
+        if let Some((start, end)) = self.outage {
+            if round == start {
+                self.dual.outage(DataCenter::Primary);
+                self.in_outage = true;
+                self.flap_left = 0;
+            }
+            if round == end && self.in_outage {
+                self.dual.restore(DataCenter::Primary);
+                self.in_outage = false;
+                self.pending_burst += self.intensity.repoll_burst;
+            }
+        }
+        if self.crash_round == Some(round) && self.agent.queued() > 0 {
+            self.crash_lost += self.undelivered_count();
+            self.crash_reboots += 1;
+            self.agent.crash_reboot();
+            // A reboot wipes delivery state along with the queue: the
+            // next sequence numbers restart above what was acked, and the
+            // crash report itself is a fresh, undelivered submission.
+            self.agent.submit(
+                now_s,
+                ReportPayload::Crash(vec![CrashRecord {
+                    firmware: self.firmware.clone(),
+                    reason: RebootReason::Watchdog.code(),
+                    program_counter: 0x40_0000 + self.fault_rng.gen_range(0u64..0x8_0000),
+                    uptime_s: now_s,
+                    free_memory_bytes: 4096,
+                }]),
+            );
+        }
+        if self.storm_round == Some(round) {
+            self.pending_burst += self.intensity.repoll_burst.max(1);
+        }
+        if self.flap_left > 0 {
+            self.flap_left -= 1;
+            if self.flap_left == 0 && !self.in_outage {
+                self.dual.restore(DataCenter::Primary);
+            }
+        } else if !self.in_outage
+            && self.intensity.flap_probability > 0.0
+            && self.fault_rng.gen::<f64>() < self.intensity.flap_probability
+        {
+            self.dual.outage(DataCenter::Primary);
+            self.flap_left = self.intensity.flap_rounds.max(1);
+        }
+        // --- the poll itself ---
+        let ack = if self.pending_burst > 0 {
+            self.pending_burst -= 1;
+            false
+        } else {
+            !(self.intensity.ack_loss_probability > 0.0
+                && self.fault_rng.gen::<f64>() < self.intensity.ack_loss_probability)
+        };
+        let (outcome, dc) = self
+            .dual
+            .poll_mode(&mut self.agent, &mut self.tunnel_rng, ack);
+        self.round += 1;
+        match outcome {
+            PollOutcome::Delivered(batch) => {
+                if dc != self.last_dc && dc == DataCenter::Secondary {
+                    self.failovers += 1;
+                }
+                self.last_dc = dc;
+                let mut redelivered = 0u64;
+                for report in &batch {
+                    if self.highest_delivered.is_some_and(|h| report.seq <= h) {
+                        redelivered += 1;
+                    }
+                }
+                if let Some(max) = batch.iter().map(|r| r.seq).max() {
+                    self.highest_delivered =
+                        Some(self.highest_delivered.map_or(max, |h| h.max(max)));
+                }
+                RoundOutcome::Delivered {
+                    reports: batch,
+                    redelivered,
+                }
+            }
+            PollOutcome::Lost => RoundOutcome::Lost,
+            PollOutcome::Disconnected => RoundOutcome::Disconnected,
+        }
+    }
+
+    fn pending(&self) -> bool {
+        self.agent.queued() > 0 || self.pending_burst > 0
+    }
+
+    fn continue_after_failure(&self) -> bool {
+        // The flat faulted loop's `while queued > 0 || burst > 0` guard
+        // also exits after a failed round once nothing is left.
+        self.pending()
+    }
+
+    fn queued(&self) -> u64 {
+        self.agent.queued() as u64
+    }
+
+    fn undelivered(&self) -> u64 {
+        self.undelivered_count()
+    }
+
+    fn polls_attempted(&self) -> u64 {
+        self.dual.polls_attempted()
+    }
+
+    fn bytes_transferred(&self) -> u64 {
+        self.dual.bytes_transferred()
+    }
+}
+
+/// Drains one faulted agent through a solo zero-pressure scheduler —
+/// what the engine's default [`crate::config::PollPath::Scheduler`]
+/// runs per agent. Returns the same
+/// [`FaultedDrain`] shape as the flat path plus the scheduler's own
+/// counters.
+pub fn drain_faulted_scheduled(
+    intensity: &FaultIntensity,
+    policy: PollPolicy,
+    base: TunnelConfig,
+    node: &SeedTree,
+    firmware: &str,
+    agent: &mut DeviceAgent,
+) -> (FaultedDrain, SchedStats) {
+    if agent.queued() == 0 {
+        // The flat loop's guard never runs a round for an empty agent;
+        // mirror that before involving the scheduler.
+        return (
+            FaultedDrain {
+                reports: Vec::new(),
+                stats: DrainStats::default(),
+                crash_lost: 0,
+                crash_reboots: 0,
+                failovers: 0,
+                secondary_served: 0,
+            },
+            SchedStats::default(),
+        );
+    }
+    let key = agent.device_id();
+    let owned_agent = std::mem::replace(agent, DeviceAgent::new(0));
+    let endpoint = FaultedEndpoint::new(intensity, base, node, firmware, owned_agent);
+    let mut sched = Scheduler::new(SchedConfig::solo(policy));
+    match sched.admit(key, endpoint.priority(), endpoint) {
+        Admission::Admitted => {}
+        _ => unreachable!("a fresh scheduler admits its first endpoint"),
+    }
+    sched.run_to_completion();
+    let drain = sched
+        .take_finished()
+        .pop()
+        .expect("invariant: a solo admission always finishes");
+    let endpoint = drain.endpoint;
+    let faulted = FaultedDrain {
+        reports: drain.reports,
+        stats: drain.stats,
+        crash_lost: endpoint.crash_lost(),
+        crash_reboots: endpoint.crash_reboots(),
+        failovers: endpoint.failovers(),
+        secondary_served: endpoint.secondary_served(),
+    };
+    *agent = endpoint.into_agent();
+    (faulted, sched.stats().clone())
 }
 
 #[cfg(test)]

@@ -41,12 +41,14 @@ pub mod config;
 pub mod engine;
 pub use airstat_store::exec;
 pub mod faults;
+pub mod fleet;
 pub mod industry;
 pub mod population;
 pub mod surge;
 pub mod traffic;
 pub mod world;
 
-pub use config::{FleetConfig, MeasurementYear};
+pub use config::{FleetConfig, MeasurementYear, PollPath};
 pub use engine::{CampaignRun, FleetSimulation, SimulationOutput};
-pub use faults::{DegradationTally, FaultIntensity, FaultSchedule};
+pub use faults::{DegradationTally, FaultIntensity, FaultSchedule, FaultedEndpoint};
+pub use fleet::{run_fleet_campaign, FleetCampaignConfig, FleetCampaignRun};

@@ -23,6 +23,10 @@
 //! * [`poll`] — the backend's polling *policy*: capped exponential
 //!   backoff, per-device poll budgets, and virtual-time drain telemetry
 //!   (latency histograms) for degradation reporting;
+//! * [`sched`] — the backpressure-aware poll scheduler: priority poll
+//!   queues (recovering APs drain first), a time-ordered retry ledger,
+//!   admission-time dedup, and LOW-priority eviction under queue
+//!   pressure, all on deterministic virtual time;
 //! * [`failover`] — the second data-center tunnel of §2, with failover
 //!   and fail-back;
 //! * [`crash`] — §6.1's crash telemetry: reports, the bounded-heap device
@@ -42,6 +46,7 @@ pub mod crash;
 pub mod failover;
 pub mod poll;
 pub mod report;
+pub mod sched;
 pub mod timeseries;
 pub mod transport;
 pub mod wire;
@@ -49,4 +54,8 @@ pub mod wire;
 pub use backend::{Backend, WindowId};
 pub use poll::{DrainStats, LatencyHistogram, PollPolicy, PollSession};
 pub use report::{Report, ReportPayload};
+pub use sched::{
+    Admission, CompletedDrain, PollEndpoint, Priority, RetryLedger, RoundOutcome, SchedConfig,
+    SchedStats, Scheduler, TunnelEndpoint,
+};
 pub use transport::{DeviceAgent, Tunnel, TunnelConfig};

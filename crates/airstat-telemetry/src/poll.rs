@@ -103,12 +103,18 @@ impl PollSession {
     /// The backoff the *next* failure would cost, given the failures so
     /// far: `min(base << failures, max)`.
     pub fn next_backoff_s(&self) -> u64 {
-        let shifted = self
-            .policy
-            .base_backoff_s
-            .checked_shl(self.consecutive_failures)
-            .unwrap_or(self.policy.max_backoff_s);
-        shifted.min(self.policy.max_backoff_s)
+        let base = self.policy.base_backoff_s;
+        if base == 0 {
+            return 0;
+        }
+        // `checked_shl` only guards the shift *amount*; a long enough
+        // failure streak would wrap the shifted value itself below the
+        // base. Saturate at the cap once the shift would spill past the
+        // top bit.
+        if self.consecutive_failures >= base.leading_zeros() {
+            return self.policy.max_backoff_s;
+        }
+        (base << self.consecutive_failures).min(self.policy.max_backoff_s)
     }
 
     /// Records a delivered round: the failure streak resets and the clock
@@ -215,13 +221,63 @@ pub struct DrainStats {
 /// Drains `agent` through `tunnel` under `policy`, returning the
 /// delivered reports (in delivery order) and the drain's statistics.
 ///
-/// This replaces the bare `Tunnel::poll` retry loop: rounds are charged
-/// against [`PollPolicy::poll_budget`], failures advance the virtual
-/// clock by a capped exponential backoff, and every delivered report's
-/// latency is recorded. The poll sequence itself is exactly one
-/// [`Tunnel::poll`] per round, so for a given tunnel and RNG the wire
-/// behaviour is identical to the bare loop.
+/// Since the scheduler landed this is a thin wrapper over
+/// [`drain_scheduled`]: the drain runs as a single-AP admission on a
+/// zero-pressure [`Scheduler`](crate::sched::Scheduler), which executes
+/// exactly one [`Tunnel::poll`] per round under the same session clock —
+/// so for a given tunnel and RNG the wire behaviour and statistics are
+/// identical to the retired flat loop (kept as
+/// [`drain_flat_reference`] and pinned differentially in the tests).
 pub fn drain_with_policy<R: Rng + ?Sized>(
+    policy: PollPolicy,
+    tunnel: &mut Tunnel,
+    agent: &mut DeviceAgent,
+    rng: &mut R,
+) -> (Vec<Report>, DrainStats) {
+    let (reports, stats, _) = drain_scheduled(policy, tunnel, agent, rng);
+    (reports, stats)
+}
+
+/// Drains one device through a solo zero-pressure scheduler, returning
+/// the reports, the drain statistics, and the scheduler's own counters.
+///
+/// This is what [`drain_with_policy`] runs; the engine calls it directly
+/// so [`SchedStats`](crate::sched::SchedStats) can be merged fleet-wide.
+pub fn drain_scheduled<R: Rng + ?Sized>(
+    policy: PollPolicy,
+    tunnel: &mut Tunnel,
+    agent: &mut DeviceAgent,
+    rng: &mut R,
+) -> (Vec<Report>, DrainStats, crate::sched::SchedStats) {
+    use crate::sched::{Admission, SchedConfig, Scheduler, TunnelEndpoint};
+    let key = agent.device_id();
+    // The scheduler owns its endpoints; borrow the caller's tunnel and
+    // agent for the drain's duration and hand them back afterwards.
+    let owned_tunnel = std::mem::replace(tunnel, Tunnel::perfect());
+    let owned_agent = std::mem::replace(agent, DeviceAgent::new(0));
+    let mut sched = Scheduler::new(SchedConfig::solo(policy));
+    match sched.admit(
+        key,
+        crate::sched::Priority::Normal,
+        TunnelEndpoint::new(owned_tunnel, owned_agent, rng),
+    ) {
+        Admission::Admitted => {}
+        _ => unreachable!("a fresh scheduler admits its first endpoint"),
+    }
+    sched.run_to_completion();
+    let drain = sched
+        .take_finished()
+        .pop()
+        .expect("invariant: a solo admission always finishes");
+    let (t, a, _) = drain.endpoint.into_parts();
+    *tunnel = t;
+    *agent = a;
+    (drain.reports, drain.stats, sched.stats().clone())
+}
+
+/// The pre-scheduler flat drain loop, retained verbatim as the reference
+/// implementation for differential tests and the bench overhead gate.
+pub fn drain_flat_reference<R: Rng + ?Sized>(
     policy: PollPolicy,
     tunnel: &mut Tunnel,
     agent: &mut DeviceAgent,

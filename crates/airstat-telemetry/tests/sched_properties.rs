@@ -1,0 +1,163 @@
+//! Property tests for the poll scheduler ([`airstat_telemetry::sched`]).
+//!
+//! Invariants pinned here: exponential backoff never exceeds its
+//! configured cap; the retry ledger's drain order is *total* on
+//! `(due_time, ap_key)`; admission-time dedup always keeps the
+//! first-seen endpoint (and every report it queued); and no ready AP of
+//! any class ever waits beyond the scheduler's pinned poll-gap bound —
+//! the no-starvation property the fairness quotas exist to provide.
+
+use airstat_stats::SeedTree;
+use airstat_telemetry::poll::{PollPolicy, PollSession};
+use airstat_telemetry::report::ReportPayload;
+use airstat_telemetry::sched::{
+    Admission, Priority, RetryLedger, SchedConfig, Scheduler, TunnelEndpoint,
+};
+use airstat_telemetry::transport::{DeviceAgent, Tunnel, TunnelConfig};
+use proptest::prelude::*;
+
+fn endpoint(
+    seed: u64,
+    device: u64,
+    reports: u64,
+    drop_probability: f64,
+) -> TunnelEndpoint<rand::rngs::SmallRng> {
+    let mut agent = DeviceAgent::new(device);
+    for t in 0..reports {
+        agent.submit(t, ReportPayload::Usage(vec![]));
+    }
+    let tunnel = Tunnel::new(TunnelConfig {
+        drop_probability,
+        poll_batch: 4,
+    });
+    TunnelEndpoint::new(tunnel, agent, SeedTree::new(seed).indexed(device).rng())
+}
+
+proptest! {
+    #[test]
+    fn prop_backoff_is_capped(
+        base in 1u64..10_000,
+        cap_factor in 1u64..64,
+        failures in 0usize..80,
+    ) {
+        let policy = PollPolicy {
+            poll_interval_s: 1,
+            base_backoff_s: base,
+            max_backoff_s: base.saturating_mul(cap_factor),
+            poll_budget: 1_000,
+        };
+        let mut session = PollSession::new(policy);
+        let mut last_now = session.now_s();
+        for _ in 0..failures {
+            let backoff = session.next_backoff_s();
+            prop_assert!(backoff <= policy.max_backoff_s, "backoff {backoff} over cap");
+            prop_assert!(backoff >= policy.base_backoff_s.min(policy.max_backoff_s));
+            session.on_failure();
+            prop_assert_eq!(session.now_s() - last_now, backoff,
+                "a failure advances the clock by exactly its backoff");
+            last_now = session.now_s();
+        }
+        // One success resets the ladder to the base.
+        session.on_success();
+        prop_assert_eq!(
+            session.next_backoff_s(),
+            policy.base_backoff_s.min(policy.max_backoff_s)
+        );
+    }
+
+    #[test]
+    fn prop_retry_order_is_total_on_due_then_key(
+        entries in prop::collection::btree_set((0u64..1_000, 0u64..64), 1..60),
+        insert_seed in any::<u64>(),
+    ) {
+        // Insert in a seed-shuffled order; drain order must be the sorted
+        // (due, key) order regardless.
+        let mut shuffled: Vec<(u64, u64)> = entries.iter().copied().collect();
+        let mut state = insert_seed;
+        for i in (1..shuffled.len()).rev() {
+            state = airstat_stats::rng::splitmix64(state);
+            shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut ledger = RetryLedger::new();
+        for &(due, key) in &shuffled {
+            ledger.schedule(due, key);
+        }
+        prop_assert_eq!(ledger.len(), entries.len());
+        let mut drained = Vec::new();
+        while let Some(pair) = ledger.pop_due(u64::MAX) {
+            drained.push(pair);
+        }
+        let expected: Vec<(u64, u64)> = entries.into_iter().collect();
+        prop_assert_eq!(drained, expected, "drain order is sorted (due, key)");
+        prop_assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn prop_admission_dedup_keeps_first_seen(
+        first_reports in 1u64..12,
+        dup_reports in 1u64..12,
+        dup_count in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut sched = Scheduler::new(SchedConfig::solo(PollPolicy::default()));
+        sched.admit(9, Priority::Normal, endpoint(seed, 9, first_reports, 0.0));
+        for i in 0..dup_count {
+            match sched.admit(9, Priority::High, endpoint(seed ^ 1, 9, dup_reports, 0.0)) {
+                Admission::Deduped(dup) => {
+                    prop_assert_eq!(dup.agent().queued() as u64, dup_reports,
+                        "duplicate {i} handed back untouched");
+                }
+                other => prop_assert!(false, "expected dedup, got {other:?}"),
+            }
+        }
+        sched.run_to_completion();
+        let drains = sched.take_finished();
+        prop_assert_eq!(drains.len(), 1);
+        prop_assert_eq!(drains[0].reports.len() as u64, first_reports,
+            "the first-seen endpoint's reports all survive");
+        prop_assert_eq!(sched.stats().deduped, dup_count as u64);
+    }
+
+    #[test]
+    fn prop_no_ready_ap_waits_beyond_poll_gap_bound(
+        budget in 3usize..24,
+        high in 0usize..20,
+        normal in 0usize..20,
+        low in 0usize..40,
+        drop_millis in 0u64..400,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(high + normal + low > 0);
+        let mut sched = Scheduler::new(SchedConfig {
+            policy: PollPolicy::default(),
+            tick_poll_budget: budget,
+            capacity: None,
+        });
+        let drop_probability = drop_millis as f64 / 1000.0;
+        let mut key = 0u64;
+        for (priority, n) in [
+            (Priority::High, high),
+            (Priority::Normal, normal),
+            (Priority::Low, low),
+        ] {
+            for _ in 0..n {
+                key += 1;
+                sched.admit(key, priority, endpoint(seed, key, 4, drop_probability));
+            }
+        }
+        sched.run_to_completion();
+        let stats = sched.stats().clone();
+        prop_assert_eq!(stats.completed as usize, high + normal + low);
+        for class in Priority::ALL {
+            let bound = sched.poll_gap_bound_ticks(class)
+                .expect("budget >= 3 guarantees every class");
+            prop_assert!(
+                stats.max_queue_wait_ticks[class.index()] <= bound,
+                "{} waited {} ticks; pinned bound {} (budget {budget})",
+                class.label(),
+                stats.max_queue_wait_ticks[class.index()],
+                bound,
+            );
+        }
+    }
+}

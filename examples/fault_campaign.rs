@@ -1,6 +1,7 @@
-//! Fault campaigns: run the same fleet under the three canned fault
-//! scenarios and compare their degradation reports against the healthy
-//! baseline.
+//! Fault campaigns: run the same fleet under the canned fault scenarios
+//! and compare their degradation reports against the healthy baseline,
+//! then put the shared poll scheduler under real queue pressure with the
+//! `queue-pressure-fleet` cohort mix.
 //!
 //! ```text
 //! cargo run --release --example fault_campaign
@@ -11,7 +12,9 @@
 //! (at any `--threads` setting) reproduces the reports byte for byte.
 
 use airstat::core::DegradationReport;
-use airstat::sim::{FaultSchedule, FleetConfig, FleetSimulation};
+use airstat::sim::{
+    run_fleet_campaign, FaultSchedule, FleetCampaignConfig, FleetConfig, FleetSimulation,
+};
 
 fn small_config(faults: Option<FaultSchedule>) -> FleetConfig {
     FleetConfig {
@@ -34,19 +37,60 @@ fn main() {
         baseline.store.duplicates_dropped(),
     );
 
-    // The three canned scenarios, mildest first. See docs/EXPERIMENTS.md
+    // The canned engine scenarios, mildest first. See docs/EXPERIMENTS.md
     // ("Fault campaigns") for what each one is designed to demonstrate.
-    for name in ["tunnel-loss", "dc-outage", "queue-pressure"] {
+    // `queue-pressure-fleet` runs the heterogeneous cohort mix through
+    // the engine too — per-AP it behaves like its resolved cohort; the
+    // *scheduler*-level pressure needs the shared-scheduler campaign
+    // below.
+    for name in [
+        "tunnel-loss",
+        "dc-outage",
+        "queue-pressure",
+        "queue-pressure-fleet",
+    ] {
         let schedule = FaultSchedule::by_name(name).expect("canned scenario");
         let output = FleetSimulation::new(small_config(Some(schedule))).run();
         let report = DegradationReport::from_simulation(&output, name);
         println!("{report}\n");
     }
 
+    // The shared-scheduler fleet campaign: 20k APs admitted in waves
+    // against a bounded admission capacity, so the scheduler has to evict
+    // its oldest LOW (healthy) APs while the degraded and
+    // outage-recovering cohorts drain first.
+    let config = FleetCampaignConfig::queue_pressure_fleet(20_000);
+    let run = run_fleet_campaign(&config);
+    let (submitted, accounted) = run.accounting_identity();
     println!(
-        "note: tunnel-loss is lossy on the wire but lossless end-to-end —\n\
+        "queue-pressure-fleet, shared scheduler ({} APs, capacity {:?}):",
+        config.aps, config.sched_capacity,
+    );
+    println!("{}", run.sched);
+    println!(
+        "  accounting     {submitted} submitted = {accounted} accounted \
+         (identity {})",
+        if submitted == accounted {
+            "holds"
+        } else {
+            "BROKEN"
+        },
+    );
+    for class in airstat::telemetry::sched::Priority::ALL {
+        let bound = run.poll_gap_bounds[class.index()];
+        println!(
+            "  poll-gap bound {}: waited {} ticks, bound {:?}",
+            class.label(),
+            run.sched.max_queue_wait_ticks[class.index()],
+            bound,
+        );
+    }
+
+    println!(
+        "\nnote: tunnel-loss is lossy on the wire but lossless end-to-end —\n\
          retries plus sequence-number dedup recover every report. Loss only\n\
-         appears once queues overflow (bounded capacity), devices crash, or\n\
-         the poll budget runs out."
+         appears once queues overflow (bounded capacity), devices crash, the\n\
+         poll budget runs out, or the scheduler sheds LOW APs under admission\n\
+         pressure."
     );
 }

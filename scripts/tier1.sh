@@ -23,6 +23,19 @@ cargo test -q --offline -p airstat-store --test properties pruned_execution_matc
 echo "==> cargo test -q --test persistence (persist/reopen differential + tail-log crash recovery)"
 cargo test -q --offline --test persistence
 
+echo "==> cargo test -q --test scheduler (flat-vs-scheduler byte-identity differential + 100k-AP queue-pressure campaign)"
+cargo test -q --offline --test scheduler
+
+echo "==> cargo test -q -p airstat-telemetry sched (scheduler unit tests: priority queues, retry ledger, eviction, fairness)"
+cargo test -q --offline -p airstat-telemetry sched
+
+echo "==> cargo test -q -p airstat-telemetry --test sched_properties prop_no_ready_ap_waits_beyond_poll_gap_bound (no-starvation proptest)"
+cargo test -q --offline -p airstat-telemetry --test sched_properties \
+    prop_no_ready_ap_waits_beyond_poll_gap_bound
+
+echo "==> cargo clippy -p airstat-telemetry (scheduler crate, warnings are errors)"
+cargo clippy -q -p airstat-telemetry --all-targets --offline -- -D warnings
+
 echo "==> cargo test -q -p airstat-store segment (segment format: corruption sweep, schema pin, doc example)"
 cargo test -q --offline -p airstat-store segment
 

@@ -123,11 +123,20 @@ fn dc_outage_campaign_degrades_gracefully() {
     assert!(t.completeness() < 1.0, "outage overflows bounded queues");
     assert!(t.completeness() > 0.5, "but most data still arrives");
     assert!(t.dropped_overflow > 0, "loss is attributed to overflow");
-    // Every submitted report is accounted for exactly once.
+    // Every submitted report is accounted for exactly once — the
+    // eviction term included, though the engine's solo schedulers can
+    // never actually evict (that axis belongs to the shared-scheduler
+    // fleet campaigns in tests/scheduler.rs).
     assert_eq!(
         t.submitted,
-        t.accepted + t.dropped_overflow + t.lost_to_crash + t.left_queued,
+        t.accepted + t.dropped_overflow + t.lost_to_crash + t.left_queued + t.lost_to_eviction,
         "degradation accounting must balance"
+    );
+    assert_eq!(t.lost_to_eviction, 0, "solo schedulers never evict");
+    assert_eq!(
+        (t.evicted_high, t.evicted_normal, t.evicted_low),
+        (0, 0, 0),
+        "no class is evicted outside shared-scheduler campaigns"
     );
     // The outage forces traffic onto the secondary datacenter.
     assert!(t.failovers > 0);

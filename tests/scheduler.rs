@@ -1,0 +1,105 @@
+//! Acceptance tests for the backpressure-aware poll scheduler.
+//!
+//! Two contracts are pinned. First, *byte-identity at zero pressure*:
+//! the scheduler path (the default) must render exactly the same paper
+//! report as the retained flat-reference drain loops, at every thread
+//! and shard count — the queue discipline may not perturb a healthy
+//! fleet. Second, the *pressure contract* at fleet scale: a 100k-AP
+//! queue-pressure campaign must actually evict (LOW class only), keep
+//! the eviction-era accounting identity balanced, and never let any
+//! class's ready-queue wait exceed the pinned poll-gap bound.
+
+use airstat::core::PaperReport;
+use airstat::sim::{
+    run_fleet_campaign, FleetCampaignConfig, FleetConfig, FleetSimulation, PollPath,
+};
+
+fn config(threads: usize, shards: usize, poll_path: PollPath) -> FleetConfig {
+    FleetConfig {
+        threads,
+        shards,
+        poll_path,
+        // 6-hourly link reports keep radio queues small enough that the
+        // five runs below finish quickly at 0.2% scale.
+        link_report_interval_s: 6 * 3600,
+        ..FleetConfig::paper(0.002)
+    }
+}
+
+fn rendered(threads: usize, shards: usize, poll_path: PollPath) -> String {
+    let config = config(threads, shards, poll_path);
+    let output = FleetSimulation::new(config.clone()).run();
+    PaperReport::from_simulation(&output, &config).to_string()
+}
+
+#[test]
+fn zero_pressure_schedule_is_byte_identical_to_flat_reference() {
+    let flat = rendered(1, 1, PollPath::FlatReference);
+    for threads in [1, 4] {
+        for shards in [1, 8] {
+            let sched = rendered(threads, shards, PollPath::Scheduler);
+            assert_eq!(
+                sched, flat,
+                "scheduler output diverged from the flat reference \
+                 (threads={threads}, shards={shards})"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_path_reports_sched_stats_and_flat_path_does_not() {
+    let sched = FleetSimulation::new(config(1, 1, PollPath::Scheduler)).run();
+    assert!(
+        sched.sched.admissions > 0,
+        "every drained agent is admitted"
+    );
+    assert_eq!(sched.sched.evictions(), 0, "solo schedulers never evict");
+    assert!(sched.sched.completed > 0);
+    let flat = FleetSimulation::new(config(1, 1, PollPath::FlatReference)).run();
+    assert_eq!(
+        flat.sched.admissions, 0,
+        "the flat reference path bypasses the scheduler entirely"
+    );
+}
+
+#[test]
+fn hundred_k_ap_queue_pressure_campaign_holds_its_invariants() {
+    let config = FleetCampaignConfig::queue_pressure_fleet(100_000);
+    let run = run_fleet_campaign(&config);
+    let stats = &run.sched;
+
+    // Pressure must actually shed load — and only from the LOW class.
+    assert!(stats.evictions() > 0, "100k APs must outrun the capacity");
+    assert_eq!(stats.evicted_aps[0], 0, "HIGH APs are never evicted");
+    assert_eq!(stats.evicted_aps[1], 0, "NORMAL APs are never evicted");
+    assert!(run.degradation.lost_to_eviction > 0);
+
+    // The accounting identity survives eviction: every submitted report
+    // is accepted, destroyed (overflow / crash / eviction), or was still
+    // queued when its drain's poll budget ran out.
+    let (submitted, accounted) = run.accounting_identity();
+    assert_eq!(submitted, accounted, "accounting identity under eviction");
+    // Crash reboots submit crash reports on top of the preset load.
+    assert!(submitted >= 100_000 * config.reports_per_ap);
+
+    // No AP starves: each class's worst observed ready-queue wait stays
+    // within the pinned poll-gap bound derived from its fairness quota.
+    for class in airstat::telemetry::sched::Priority::ALL {
+        let bound =
+            run.poll_gap_bounds[class.index()].expect("the preset budget guarantees every class");
+        let waited = stats.max_queue_wait_ticks[class.index()];
+        assert!(
+            waited <= bound,
+            "{} waited {waited} ticks, pinned bound {bound}",
+            class.label(),
+        );
+    }
+
+    // The cohort mix really is heterogeneous: all three classes polled.
+    assert!(stats.polls_by_class.iter().all(|&p| p > 0));
+    assert!(
+        stats.retries_scheduled > 0,
+        "degraded cohorts hit the ledger"
+    );
+}
