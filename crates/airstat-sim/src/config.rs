@@ -129,6 +129,13 @@ pub struct FleetConfig {
     /// scheduler (default) or the retained flat reference loops. Both
     /// produce byte-identical reports.
     pub poll_path: PollPath,
+    /// Seal the store's columnar read layout every N ingested batches
+    /// mid-campaign (`None` seals only when the first query opens).
+    /// Reports are byte-identical for every cadence — a seal is purely a
+    /// read-layout projection — and with incremental delta segments each
+    /// mid-run seal costs in proportion to the rows dirtied since the
+    /// previous one, not the store size.
+    pub seal_every: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -159,6 +166,7 @@ impl FleetConfig {
             faults: None,
             query_backend: QueryBackend::default(),
             poll_path: PollPath::default(),
+            seal_every: None,
         }
     }
 

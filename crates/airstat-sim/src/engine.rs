@@ -47,7 +47,7 @@ use airstat_rf::propagation::{Environment, PathLoss};
 use airstat_stats::dist::{Exponential, LogNormal};
 use airstat_stats::SeedTree;
 use airstat_store::{
-    DurableStore, PersistenceStats, QueryBackend, QueryEngine, ReportSink, SegmentError,
+    DurableStore, PersistenceStats, QueryBackend, QueryEngine, ReportSink, SealEvery, SegmentError,
     ShardedStore, StoreConfig,
 };
 use airstat_telemetry::backend::WindowId;
@@ -249,11 +249,21 @@ impl FleetSimulation {
     }
 
     /// Runs the full campaign into a [`ShardedStore`] shaped by the
-    /// configuration's `shards`/`threads` knobs.
+    /// configuration's `shards`/`threads` knobs. With
+    /// `config.seal_every = Some(n)` the store re-seals its columnar
+    /// read layout every `n` ingested batches mid-campaign (identical
+    /// reports either way; only seal timing changes).
     pub fn run(&self) -> SimulationOutput {
-        let mut store = ShardedStore::with_config(self.store_config());
-        let run = self.run_into(&mut store);
-        self.finish_output(store, run)
+        let store = ShardedStore::with_config(self.store_config());
+        if let Some(every) = self.config.seal_every {
+            let mut sink = SealEvery::new(store, every);
+            let run = self.run_into(&mut sink);
+            self.finish_output(sink.into_inner(), run)
+        } else {
+            let mut store = store;
+            let run = self.run_into(&mut store);
+            self.finish_output(store, run)
+        }
     }
 
     /// Runs the full campaign into a fresh [`DurableStore`] rooted at
@@ -268,8 +278,16 @@ impl FleetSimulation {
         &self,
         dir: &Path,
     ) -> Result<(SimulationOutput, PersistenceStats), SegmentError> {
-        let mut durable = DurableStore::create(dir, self.store_config())?;
-        let run = self.run_into(&mut durable);
+        let durable = DurableStore::create(dir, self.store_config())?;
+        let (durable, run) = if let Some(every) = self.config.seal_every {
+            let mut sink = SealEvery::new(durable, every);
+            let run = self.run_into(&mut sink);
+            (sink.into_inner(), run)
+        } else {
+            let mut durable = durable;
+            let run = self.run_into(&mut durable);
+            (durable, run)
+        };
         let (store, persisted) = durable.into_store()?;
         Ok((self.finish_output(store, run), persisted))
     }

@@ -38,7 +38,7 @@ use airstat_telemetry::backend::{
 };
 use airstat_telemetry::crash::CrashReport;
 
-use crate::shard::{ClientMeta, StoreShard, WindowTables};
+use crate::shard::{ClientMeta, DirtyShard, StoreShard, WindowTables};
 
 /// Dense accumulator lanes for [`Application`] (indexed by
 /// discriminant).
@@ -81,6 +81,66 @@ impl ColumnarShard {
     pub fn window_ids(&self) -> impl Iterator<Item = WindowId> + '_ {
         self.windows.keys().copied()
     }
+
+    /// Projects only the rows named by `dirty` — the **delta segment**
+    /// an incremental seal cuts. Each projected row carries the key's
+    /// *current* value from the live tables, so within a shard's
+    /// segment stack the newest segment holding a key always holds the
+    /// value a monolithic rebuild would have produced — the invariant
+    /// every newest-wins fold below relies on.
+    pub(crate) fn build_delta(shard: &StoreShard, dirty: &DirtyShard) -> Self {
+        ColumnarShard {
+            windows: dirty
+                .windows
+                .iter()
+                .filter(|(_, dw)| !dw.is_empty())
+                .filter_map(|(&window, dw)| {
+                    shard
+                        .window(window)
+                        .map(|tables| (window, ColumnarWindow::build(&tables.filtered(dw))))
+                })
+                .collect(),
+        }
+    }
+
+    /// The key sets this segment holds, as a [`DirtyShard`] — the unit
+    /// compaction works in: merging adjacent segments is exactly
+    /// [`ColumnarShard::build_delta`] over the union of their key sets
+    /// (current values shadow both inputs correctly because any key
+    /// written after these segments sealed lives in a newer segment).
+    pub(crate) fn key_sets(&self) -> DirtyShard {
+        let mut dirty = DirtyShard::default();
+        for (&window, w) in &self.windows {
+            let dw = dirty.windows.entry(window).or_default();
+            for i in 0..w.usage_mac.len() {
+                dw.usage.insert((w.usage_mac[i], w.usage_app[i]));
+            }
+            dw.clients.extend(w.client_mac.iter().copied());
+            dw.links.extend(w.link_keys.iter().copied());
+            dw.airtime.extend(w.airtime_key.iter().copied());
+            dw.neighbors.extend(w.census_device.iter().copied());
+            dw.scans.extend(w.scan_device.iter().copied());
+            dw.crashes.extend(w.crash_device.iter().copied());
+        }
+        dirty
+    }
+
+    /// Total keyed rows across all windows and tables — the size the
+    /// deterministic compaction policy compares segments by.
+    pub(crate) fn row_count(&self) -> u64 {
+        self.windows
+            .values()
+            .map(|w| {
+                (w.usage_mac.len()
+                    + w.client_mac.len()
+                    + w.link_keys.len()
+                    + w.airtime_key.len()
+                    + w.census_device.len()
+                    + w.scan_device.len()
+                    + w.crash_device.len()) as u64
+            })
+            .sum()
+    }
 }
 
 /// The struct-of-arrays tables for one `(shard, window)` pair.
@@ -113,9 +173,12 @@ pub struct ColumnarWindow {
     pub(crate) airtime_key: Vec<(u64, Band)>,
     pub(crate) airtime_elapsed: Vec<u64>,
     pub(crate) airtime_busy: Vec<u64>,
-    // census: flat — latest neighbour rows, grouped by device; the
-    // kernels only need whole-window sums, so no offsets are kept.
+    // census: CSR — latest neighbour rows, grouped by device. The scan
+    // kernels only need whole-window sums, but the newest-wins segment
+    // merge must replace a device's census wholesale, so offsets are
+    // kept alongside the flat row columns.
     pub(crate) census_device: Vec<u64>,
+    pub(crate) census_offsets: Vec<usize>,
     pub(crate) census_band: Vec<Band>,
     pub(crate) census_channel: Vec<u16>,
     pub(crate) census_networks: Vec<u32>,
@@ -262,6 +325,7 @@ impl ColumnarWindow {
             w.airtime_busy.push(ledger.busy_us());
         }
 
+        w.census_offsets.push(0);
         for (&device, (_, rows)) in &t.neighbors {
             w.census_device.push(device);
             for &(band, number, networks, hotspots) in rows {
@@ -270,6 +334,7 @@ impl ColumnarWindow {
                 w.census_networks.push(networks);
                 w.census_hotspots.push(hotspots);
             }
+            w.census_offsets.push(w.census_band.len());
         }
 
         w.scan_offsets.push(0);
@@ -363,6 +428,11 @@ impl ColumnarWindow {
     /// The crash-report rows for the `i`-th device, `(seq, slot)` order.
     pub(crate) fn crash_rows_at(&self, i: usize) -> &[CrashReport] {
         &self.crash_rows[self.crash_offsets[i]..self.crash_offsets[i + 1]]
+    }
+
+    /// The census row range for the `i`-th device.
+    pub(crate) fn census_rows_at(&self, i: usize) -> std::ops::Range<usize> {
+        self.census_offsets[i]..self.census_offsets[i + 1]
     }
 
     /// Reconstructs one link observation.
@@ -524,6 +594,212 @@ pub(crate) fn merge_runs<K: Ord + Copy, V>(
             merged.expect("invariant: min was drawn from one of these runs"),
         ));
     }
+}
+
+/// Table families of a [`ColumnarWindow`], as a bitmask — the unit the
+/// query-time segment merge works in, so resolving a stack for a
+/// link-series plan never touches a large usage delta.
+pub(crate) const FAM_USAGE: u8 = 1 << 0;
+pub(crate) const FAM_CLIENTS: u8 = 1 << 1;
+pub(crate) const FAM_LINKS: u8 = 1 << 2;
+pub(crate) const FAM_AIRTIME: u8 = 1 << 3;
+pub(crate) const FAM_CENSUS: u8 = 1 << 4;
+pub(crate) const FAM_SCANS: u8 = 1 << 5;
+pub(crate) const FAM_CRASHES: u8 = 1 << 6;
+
+/// The newest member of a k-way group: segment runs are ordered oldest
+/// to newest and [`kway_groups`] lists members in ascending run order,
+/// so the last member is the newest segment holding the key.
+fn newest(members: &[(usize, usize)]) -> (usize, usize) {
+    *members
+        .last()
+        .expect("invariant: kway_groups never emits an empty group")
+}
+
+/// Newest-wins merge of one shard's segment stack for one window:
+/// `segs` lists the segments holding the window, **oldest to newest**,
+/// and the result is the single [`ColumnarWindow`] a monolithic seal
+/// would have produced — restricted to the table `families` requested.
+///
+/// Correctness leans on the delta-build invariant: a delta row always
+/// carries the key's full value at seal time, so taking the newest
+/// segment's row for each key reconstructs the live table exactly. Key
+/// columns stay sorted because [`kway_groups`] emits groups in
+/// ascending key order; the zone map is rebuilt over the merged
+/// columns, so segment-granular pruning composes with shard-granular
+/// pruning untouched.
+pub(crate) fn merge_segments(segs: &[&ColumnarWindow], families: u8) -> ColumnarWindow {
+    let mut w = ColumnarWindow::default();
+    if families & FAM_USAGE != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.usage_mac.len()).collect();
+        kway_groups(
+            &lens,
+            |r, i| (segs[r].usage_mac[i], segs[r].usage_app[i]),
+            |(mac, app), members| {
+                let (r, i) = newest(members);
+                w.usage_mac.push(mac);
+                w.usage_app.push(app);
+                w.usage_up.push(segs[r].usage_up[i]);
+                w.usage_down.push(segs[r].usage_down[i]);
+            },
+        );
+    }
+    if families & FAM_CLIENTS != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.client_mac.len()).collect();
+        kway_groups(
+            &lens,
+            |r, i| segs[r].client_mac[i],
+            |mac, members| {
+                let (r, i) = newest(members);
+                w.client_mac.push(mac);
+                w.client_meta.push(segs[r].client_meta[i]);
+                w.client_os.push(segs[r].client_os[i]);
+                w.client_caps.push(segs[r].client_caps[i]);
+                w.client_band.push(segs[r].client_band[i]);
+                w.client_rssi.push(segs[r].client_rssi[i]);
+            },
+        );
+    }
+    if families & FAM_LINKS != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.link_keys.len()).collect();
+        w.link_offsets.push(0);
+        kway_groups(
+            &lens,
+            |r, i| segs[r].link_keys[i],
+            |key, members| {
+                let (r, i) = newest(members);
+                let (ts, ratio) = segs[r].link_series_at(i);
+                w.link_keys.push(key);
+                w.link_ts.extend_from_slice(ts);
+                w.link_ratio.extend_from_slice(ratio);
+                w.link_offsets.push(w.link_ts.len());
+            },
+        );
+    }
+    if families & FAM_AIRTIME != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.airtime_key.len()).collect();
+        kway_groups(
+            &lens,
+            |r, i| segs[r].airtime_key[i],
+            |key, members| {
+                let (r, i) = newest(members);
+                w.airtime_key.push(key);
+                w.airtime_elapsed.push(segs[r].airtime_elapsed[i]);
+                w.airtime_busy.push(segs[r].airtime_busy[i]);
+            },
+        );
+    }
+    if families & FAM_CENSUS != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.census_device.len()).collect();
+        w.census_offsets.push(0);
+        kway_groups(
+            &lens,
+            |r, i| segs[r].census_device[i],
+            |device, members| {
+                let (r, i) = newest(members);
+                let rows = segs[r].census_rows_at(i);
+                w.census_device.push(device);
+                w.census_band
+                    .extend_from_slice(&segs[r].census_band[rows.clone()]);
+                w.census_channel
+                    .extend_from_slice(&segs[r].census_channel[rows.clone()]);
+                w.census_networks
+                    .extend_from_slice(&segs[r].census_networks[rows.clone()]);
+                w.census_hotspots
+                    .extend_from_slice(&segs[r].census_hotspots[rows]);
+                w.census_offsets.push(w.census_band.len());
+            },
+        );
+    }
+    if families & FAM_SCANS != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.scan_device.len()).collect();
+        w.scan_offsets.push(0);
+        kway_groups(
+            &lens,
+            |r, i| segs[r].scan_device[i],
+            |device, members| {
+                let (r, i) = newest(members);
+                let rows = segs[r].scan_rows_at(i);
+                w.scan_device.push(device);
+                w.scan_ts.extend_from_slice(&segs[r].scan_ts[rows.clone()]);
+                w.scan_channel
+                    .extend_from_slice(&segs[r].scan_channel[rows.clone()]);
+                w.scan_util_ppm
+                    .extend_from_slice(&segs[r].scan_util_ppm[rows.clone()]);
+                w.scan_decodable_ppm
+                    .extend_from_slice(&segs[r].scan_decodable_ppm[rows.clone()]);
+                w.scan_networks
+                    .extend_from_slice(&segs[r].scan_networks[rows]);
+                w.scan_offsets.push(w.scan_ts.len());
+            },
+        );
+    }
+    if families & FAM_CRASHES != 0 {
+        let lens: Vec<usize> = segs.iter().map(|s| s.crash_device.len()).collect();
+        w.crash_offsets.push(0);
+        kway_groups(
+            &lens,
+            |r, i| segs[r].crash_device[i],
+            |device, members| {
+                let (r, i) = newest(members);
+                w.crash_device.push(device);
+                w.crash_rows.extend_from_slice(segs[r].crash_rows_at(i));
+                w.crash_offsets.push(w.crash_rows.len());
+            },
+        );
+    }
+    w.zone = WindowZoneMap::build(&w);
+    w
+}
+
+/// Stack-aware variant of [`ColumnarWindow::usage_totals_by_mac`]: one
+/// fused newest-wins + group-by pass over a shard's segment runs
+/// (oldest to newest), so the vectorized usage kernels pay one k-way
+/// walk instead of materializing a merged window. Output is identical
+/// to `merge_segments(segs, FAM_USAGE).usage_totals_by_mac()`.
+pub(crate) fn usage_totals_by_mac_stack(
+    segs: &[&ColumnarWindow],
+) -> (Vec<MacAddress>, Vec<UsageTotals>) {
+    let mut macs: Vec<MacAddress> = Vec::new();
+    let mut totals: Vec<UsageTotals> = Vec::new();
+    let lens: Vec<usize> = segs.iter().map(|s| s.usage_mac.len()).collect();
+    kway_groups(
+        &lens,
+        |r, i| (segs[r].usage_mac[i], segs[r].usage_app[i]),
+        |(mac, _), members| {
+            let (r, i) = newest(members);
+            if macs.last() != Some(&mac) {
+                macs.push(mac);
+                totals.push(UsageTotals::default());
+            }
+            let slot = totals
+                .last_mut()
+                .expect("invariant: pushed alongside macs above");
+            slot.up_bytes = slot.up_bytes.saturating_add(segs[r].usage_up[i]);
+            slot.down_bytes = slot.down_bytes.saturating_add(segs[r].usage_down[i]);
+        },
+    );
+    (macs, totals)
+}
+
+/// Stack-aware variant of [`ColumnarWindow::add_usage_by_app`]: rolls
+/// the newest-wins resolution of a shard's usage cells into dense
+/// per-application lanes in one k-way pass.
+pub(crate) fn add_usage_by_app_stack(
+    segs: &[&ColumnarWindow],
+    lanes: &mut [UsageTotals; APP_LANES],
+) {
+    let lens: Vec<usize> = segs.iter().map(|s| s.usage_mac.len()).collect();
+    kway_groups(
+        &lens,
+        |r, i| (segs[r].usage_mac[i], segs[r].usage_app[i]),
+        |(_, app), members| {
+            let (r, i) = newest(members);
+            let slot = &mut lanes[app as usize];
+            slot.up_bytes = slot.up_bytes.saturating_add(segs[r].usage_up[i]);
+            slot.down_bytes = slot.down_bytes.saturating_add(segs[r].usage_down[i]);
+        },
+    );
 }
 
 #[cfg(test)]

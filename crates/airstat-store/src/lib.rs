@@ -50,4 +50,7 @@ pub use segment::{
     DurableStore, PersistenceStats, RecoveryStats, SegmentError, SEGMENT_SCHEMA_VERSION,
 };
 pub use shard::StoreShard;
-pub use store::{ReportSink, ShardedStore, Snapshot, StoreConfig, DEFAULT_SHARDS};
+pub use store::{
+    ReportSink, SealEvery, SealStats, Sealable, SegmentStack, ShardedStore, Snapshot, StoreConfig,
+    DEFAULT_SHARDS,
+};

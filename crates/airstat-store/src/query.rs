@@ -46,12 +46,14 @@ use airstat_telemetry::backend::{
 use airstat_telemetry::crash::CrashAggregator;
 
 use crate::columnar::{
-    kway_groups, merge_runs, select_indices, ColumnarWindow, WindowZoneMap, APP_LANES, OS_LANES,
+    add_usage_by_app_stack, kway_groups, merge_runs, merge_segments, select_indices,
+    usage_totals_by_mac_stack, ColumnarWindow, WindowZoneMap, APP_LANES, FAM_AIRTIME, FAM_CENSUS,
+    FAM_CLIENTS, FAM_CRASHES, FAM_LINKS, FAM_SCANS, FAM_USAGE, OS_LANES,
 };
 use crate::exec::run_ordered;
 use crate::segment::PersistenceStats;
 use crate::shard::StoreShard;
-use crate::store::Snapshot;
+use crate::store::{SealStats, Snapshot};
 
 /// Which physical execution strategy the engine's kernels use.
 ///
@@ -409,6 +411,9 @@ pub struct StoreStats {
     /// On-disk persistence counters carried over from the snapshot
     /// (segments written/loaded, bytes, CRC checks, tail-log replays).
     pub persistence: PersistenceStats,
+    /// Incremental-seal counters carried over from the snapshot
+    /// (seals, live delta segments, compactions, rows resealed).
+    pub seal: SealStats,
 }
 
 impl std::fmt::Display for StoreStats {
@@ -441,6 +446,16 @@ impl std::fmt::Display for StoreStats {
             "  plan choices   {:>7} vectorized  {:>6} columnar  {:>4} legacy",
             self.plans_vectorized, self.plans_columnar, self.plans_legacy,
         )?;
+        // Seal counters only appear once a seal happened, so callers
+        // printing stats about an unsealed engine see the old block.
+        if self.seal.seals_total > 0 {
+            let s = self.seal;
+            write!(
+                f,
+                "\n  incremental seal {:>5} seals  {:>4} segments live  {:>4} compacted  {} rows resealed",
+                s.seals_total, s.segments_live, s.segments_compacted, s.rows_resealed,
+            )?;
+        }
         // Persistence is opt-in (`--store-dir`); keep the stderr block
         // unchanged for purely in-memory runs.
         if self.persistence.any() {
@@ -457,6 +472,41 @@ impl std::fmt::Display for StoreStats {
             )?;
         }
         Ok(())
+    }
+}
+
+/// One shard's segment stack resolved to a single logical view of a
+/// window: a zero-cost borrow when exactly one segment holds the
+/// window (the common post-compaction shape — this path reduces to the
+/// pre-LSM engine byte for byte), or an owned newest-wins merge
+/// ([`merge_segments`]) restricted to the table families the plan
+/// reads.
+enum ResolvedView<'a> {
+    /// The window lives in one segment; borrow it directly.
+    Borrowed(&'a ColumnarWindow),
+    /// The window spans several delta segments; an owned merge.
+    Merged(Box<ColumnarWindow>),
+}
+
+impl ResolvedView<'_> {
+    /// The resolved window, whichever variant holds it.
+    fn get(&self) -> &ColumnarWindow {
+        match self {
+            ResolvedView::Borrowed(w) => w,
+            ResolvedView::Merged(w) => w,
+        }
+    }
+}
+
+/// Resolves one shard's per-segment views of a window (oldest to
+/// newest) into a single view, or `None` when no segment holds it.
+fn resolve_views<'a>(views: &[&'a ColumnarWindow], families: u8) -> Option<ResolvedView<'a>> {
+    match views {
+        [] => None,
+        [only] => Some(ResolvedView::Borrowed(only)),
+        many => Some(ResolvedView::Merged(Box::new(merge_segments(
+            many, families,
+        )))),
     }
 }
 
@@ -544,6 +594,7 @@ impl QueryEngine {
             plans_columnar: self.counters.plans_columnar.load(Ordering::Relaxed),
             plans_legacy: self.counters.plans_legacy.load(Ordering::Relaxed),
             persistence: self.snapshot.persistence(),
+            seal: self.snapshot.seal_stats(),
         }
     }
 
@@ -629,32 +680,36 @@ impl QueryEngine {
         }
     }
 
-    /// Zone-gated shard windows for the vectorized kernels: `Some` for
-    /// shards whose zone map admits the plan's filter, `None` (pruned)
-    /// otherwise, in shard order. Shards without the window at all are
-    /// counted as pruned — the zone level already proved them empty.
-    ///
-    /// Pruning is byte-transparent because every kernel treats a `None`
-    /// shard exactly as it treats a window with zero matching rows: it
-    /// contributes nothing to the merge.
-    fn admitted_windows(
+    /// Per-shard segment views of `window`, gated by the zone
+    /// predicate: each admitted shard yields the segments holding the
+    /// window (oldest to newest); pruned shards yield an empty list. A
+    /// shard is admitted when ANY of its segments' zones admits —
+    /// every admission predicate is monotone in "some segment holds a
+    /// row the plan reads", so the OR over segments admits exactly the
+    /// shards a monolithic zone map would (a falsely-admitted shadowed
+    /// row merges away to a zero contribution, never a wrong byte).
+    fn admitted_segment_views(
         &self,
         window: WindowId,
         admit: impl Fn(&WindowZoneMap) -> bool,
-    ) -> Vec<Option<&ColumnarWindow>> {
+    ) -> Vec<Vec<&ColumnarWindow>> {
         let (mut scanned, mut pruned) = (0u64, 0u64);
-        let out: Vec<Option<&ColumnarWindow>> = self
+        let out: Vec<Vec<&ColumnarWindow>> = self
             .snapshot
             .columnar()
             .iter()
-            .map(|shard| match shard.window(window) {
-                Some(w) if admit(w.zone()) => {
+            .map(|stack| {
+                let views: Vec<&ColumnarWindow> = stack
+                    .segments()
+                    .iter()
+                    .filter_map(|seg| seg.window(window))
+                    .collect();
+                if views.iter().any(|w| admit(w.zone())) {
                     scanned += 1;
-                    Some(w)
-                }
-                _ => {
+                    views
+                } else {
                     pruned += 1;
-                    None
+                    Vec::new()
                 }
             })
             .collect();
@@ -667,53 +722,110 @@ impl QueryEngine {
         out
     }
 
-    /// Parallel twin of [`QueryEngine::admitted_windows`]: runs `f`
-    /// over the admitted shards via [`run_ordered`] (pruned shards see
-    /// `None`), returning partials in shard order.
-    fn vectorized_map<T: Send>(
+    /// Zone-gated resolved shard views for the vectorized kernels:
+    /// `Some` for shards whose stack admits the plan's filter, `None`
+    /// (pruned) otherwise, in shard order. Multi-segment stacks
+    /// resolve through [`merge_segments`] in parallel, restricted to
+    /// `families`; single-segment stacks borrow at zero cost.
+    ///
+    /// Pruning is byte-transparent because every kernel treats a `None`
+    /// shard exactly as it treats a window with zero matching rows: it
+    /// contributes nothing to the merge.
+    fn admitted_windows(
         &self,
         window: WindowId,
         admit: impl Fn(&WindowZoneMap) -> bool,
-        f: impl Fn(Option<&ColumnarWindow>) -> T + Sync,
-    ) -> Vec<T> {
-        let admitted = self.admitted_windows(window, admit);
-        let mut partials = Vec::with_capacity(admitted.len());
+        families: u8,
+    ) -> Vec<Option<ResolvedView<'_>>> {
+        let stacks = self.admitted_segment_views(window, admit);
+        let mut out = Vec::with_capacity(stacks.len());
         run_ordered(
             self.threads,
-            admitted.len(),
-            |i| f(admitted[i]),
+            stacks.len(),
+            |i| resolve_views(&stacks[i], families),
+            |_, resolved| out.push(resolved),
+        );
+        out
+    }
+
+    /// Parallel map over the admitted per-shard segment views: runs
+    /// `f` on each shard's view list (empty when pruned) via
+    /// [`run_ordered`], returning partials in shard order — the entry
+    /// point for fused stack kernels that never materialize a merge.
+    fn stack_map<T: Send>(
+        &self,
+        window: WindowId,
+        admit: impl Fn(&WindowZoneMap) -> bool,
+        f: impl Fn(&[&ColumnarWindow]) -> T + Sync,
+    ) -> Vec<T> {
+        let stacks = self.admitted_segment_views(window, admit);
+        let mut partials = Vec::with_capacity(stacks.len());
+        run_ordered(
+            self.threads,
+            stacks.len(),
+            |i| f(&stacks[i]),
             |_, partial| partials.push(partial),
         );
         partials
     }
 
-    /// Sums `f` over the zone maps of every shard holding `window` —
+    /// Sums `f` over the zone maps of every segment holding `window` —
     /// the zone-only execution path: no column is touched at all, so
-    /// every shard counts as pruned.
+    /// every shard counts as pruned. Only exact when every stack holds
+    /// the window in at most one segment (overlapping deltas would
+    /// double-count shadowed keys); callers gate on
+    /// [`QueryEngine::window_is_flat`].
     fn zone_sum(&self, window: WindowId, f: impl Fn(&WindowZoneMap) -> u64) -> u64 {
         let mut sum = 0u64;
-        for shard in self.snapshot.columnar() {
-            if let Some(w) = shard.window(window) {
-                sum += f(w.zone());
+        for stack in self.snapshot.columnar() {
+            for seg in stack.segments() {
+                if let Some(w) = seg.window(window) {
+                    sum += f(w.zone());
+                }
             }
         }
         sum
     }
 
-    /// Runs `f` over every shard's columnar projection of `window` in
-    /// parallel, returning partials in shard order (the columnar twin
-    /// of [`QueryEngine::shard_map`]).
+    /// Whether every shard holds `window` in at most one segment — the
+    /// shape under which per-segment zone counters are exact (no key
+    /// can be shadowed), and the always-true case before the first
+    /// incremental reseal or after full compaction.
+    fn window_is_flat(&self, window: WindowId) -> bool {
+        self.snapshot.columnar().iter().all(|stack| {
+            stack
+                .segments()
+                .iter()
+                .filter(|seg| seg.window(window).is_some())
+                .count()
+                <= 1
+        })
+    }
+
+    /// Runs `f` over every shard's resolved columnar projection of
+    /// `window` in parallel, returning partials in shard order (the
+    /// columnar twin of [`QueryEngine::shard_map`]). Multi-segment
+    /// stacks are newest-wins merged, restricted to `families`.
     fn columnar_map<T: Send>(
         &self,
         window: WindowId,
+        families: u8,
         f: impl Fn(Option<&ColumnarWindow>) -> T + Sync,
     ) -> Vec<T> {
-        let shards = self.snapshot.columnar();
-        let mut partials = Vec::with_capacity(shards.len());
+        let stacks = self.snapshot.columnar();
+        let mut partials = Vec::with_capacity(stacks.len());
         run_ordered(
             self.threads,
-            shards.len(),
-            |i| f(shards[i].window(window)),
+            stacks.len(),
+            |i| {
+                let views: Vec<&ColumnarWindow> = stacks[i]
+                    .segments()
+                    .iter()
+                    .filter_map(|seg| seg.window(window))
+                    .collect();
+                let resolved = resolve_views(&views, families);
+                f(resolved.as_ref().map(ResolvedView::get))
+            },
             |_, partial| partials.push(partial),
         );
         partials
@@ -727,7 +839,7 @@ impl QueryEngine {
         &self,
         window: WindowId,
     ) -> Vec<((MacAddress, Application), UsageTotals)> {
-        let runs = self.columnar_map(window, |w| {
+        let runs = self.columnar_map(window, FAM_USAGE, |w| {
             w.map(|w| w.usage_cells().collect::<Vec<_>>())
                 .unwrap_or_default()
         });
@@ -793,7 +905,7 @@ impl QueryEngine {
                 QueryValue::Count(clients.len() as u64)
             }
             QueryPlan::Clients(window) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_CLIENTS, |w| {
                     w.map(|w| w.client_rows().collect::<Vec<_>>())
                         .unwrap_or_default()
                 });
@@ -818,7 +930,7 @@ impl QueryEngine {
                     .count() as u64,
             ),
             QueryPlan::LinkKeys(window, band) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_LINKS, |w| {
                     w.map_or_else(Vec::new, |w| {
                         w.link_keys
                             .iter()
@@ -833,22 +945,27 @@ impl QueryEngine {
                 QueryValue::LinkKeys(merged.into_iter().map(|(k, ())| k).collect())
             }
             QueryPlan::LinkSeries(window, key) => {
-                for shard in self.snapshot.columnar() {
-                    if let Some(w) = shard.window(window) {
-                        if let Ok(i) = w.link_keys.binary_search(&key) {
-                            let (ts, ratio) = w.link_series_at(i);
-                            return QueryValue::Series(
-                                (0..ts.len())
-                                    .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
-                                    .collect(),
-                            );
+                for stack in self.snapshot.columnar() {
+                    // Newest-first: a delta row carries the key's full
+                    // series at seal time, so the newest segment
+                    // holding the key is authoritative — no merge.
+                    for seg in stack.segments().iter().rev() {
+                        if let Some(w) = seg.window(window) {
+                            if let Ok(i) = w.link_keys.binary_search(&key) {
+                                let (ts, ratio) = w.link_series_at(i);
+                                return QueryValue::Series(
+                                    (0..ts.len())
+                                        .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
+                                        .collect(),
+                                );
+                            }
                         }
                     }
                 }
                 QueryValue::Series(Vec::new())
             }
             QueryPlan::LatestDeliveryRatios(window, band) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_LINKS, |w| {
                     w.map_or_else(Vec::new, |w| {
                         (0..w.link_keys.len())
                             .filter(|&i| w.link_keys[i].band == band)
@@ -863,7 +980,7 @@ impl QueryEngine {
                 QueryValue::Ratios(merged.into_iter().map(|(_, r)| r).collect())
             }
             QueryPlan::MeanDeliveryRatios(window, band) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_LINKS, |w| {
                     w.map_or_else(Vec::new, |w| {
                         (0..w.link_keys.len())
                             .filter(|&i| w.link_keys[i].band == band)
@@ -884,7 +1001,7 @@ impl QueryEngine {
                 QueryValue::Ratios(merged.into_iter().map(|(_, r)| r).collect())
             }
             QueryPlan::ServingUtilizations(window, band) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_AIRTIME, |w| {
                     w.map_or_else(Vec::new, |w| {
                         (0..w.airtime_key.len())
                             .filter(|&i| w.airtime_key[i].1 == band)
@@ -903,12 +1020,14 @@ impl QueryEngine {
                 QueryValue::Ratios(merged.into_iter().map(|(_, u)| u).collect())
             }
             QueryPlan::CensusDeviceCount(window) => QueryValue::Count(
-                self.columnar_map(window, |w| w.map_or(0, |w| w.census_device.len() as u64))
-                    .into_iter()
-                    .sum(),
+                self.columnar_map(window, FAM_CENSUS, |w| {
+                    w.map_or(0, |w| w.census_device.len() as u64)
+                })
+                .into_iter()
+                .sum(),
             ),
             QueryPlan::NearbySummary(window, band) => {
-                let partials = self.columnar_map(window, |w| {
+                let partials = self.columnar_map(window, FAM_CENSUS, |w| {
                     let (mut total, mut hotspots, mut devices) = (0u64, 0u64, 0u64);
                     if let Some(w) = w {
                         devices = w.census_device.len() as u64;
@@ -943,7 +1062,7 @@ impl QueryEngine {
                     .into_iter()
                     .map(|ch| (ch.number, 0))
                     .collect();
-                let partials = self.columnar_map(window, |w| {
+                let partials = self.columnar_map(window, FAM_CENSUS, |w| {
                     let mut sums: BTreeMap<u16, u64> = BTreeMap::new();
                     if let Some(w) = w {
                         for i in 0..w.census_band.len() {
@@ -965,7 +1084,7 @@ impl QueryEngine {
             QueryPlan::Crashes(window) => {
                 // Presence semantics mirror the legacy arm: an
                 // aggregator exists only once a crash payload arrived.
-                let partials = self.columnar_map(window, |w| {
+                let partials = self.columnar_map(window, FAM_CRASHES, |w| {
                     w.filter(|w| !w.crash_device.is_empty()).map(|w| {
                         (0..w.crash_device.len())
                             .map(|i| (w.crash_device[i], w.crash_rows_at(i).to_vec()))
@@ -986,7 +1105,7 @@ impl QueryEngine {
                 QueryValue::Crashes(Some(aggregator))
             }
             QueryPlan::ScanObservations(window, band) => {
-                let runs = self.columnar_map(window, |w| {
+                let runs = self.columnar_map(window, FAM_SCANS, |w| {
                     w.map_or_else(Vec::new, |w| {
                         (0..w.scan_device.len())
                             .map(|i| {
@@ -1021,25 +1140,31 @@ impl QueryEngine {
     fn compute_vectorized(&self, plan: &QueryPlan) -> QueryValue {
         match *plan {
             QueryPlan::UsageByApp(window) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.usage_rows > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
-                // Totals: dense per-app lanes, one linear pass per shard.
-                // Re-associating the saturating sums per shard first is
-                // byte-safe (see `ColumnarWindow::add_usage_by_app`).
+                let stacks = self.admitted_segment_views(window, |z| z.usage_rows > 0);
+                // Totals: dense per-app lanes, one fused newest-wins
+                // k-way pass per shard's stack (no merged window is
+                // materialized). Re-associating the saturating sums per
+                // shard first is byte-safe (see
+                // `ColumnarWindow::add_usage_by_app`).
                 let mut lanes = [UsageTotals::default(); APP_LANES];
-                for w in &wins {
-                    w.add_usage_by_app(&mut lanes);
+                for segs in &stacks {
+                    match segs[..] {
+                        // Flat stack: the original linear pass, no
+                        // cursor overhead.
+                        [w] => w.add_usage_by_app(&mut lanes),
+                        _ => add_usage_by_app_stack(segs, &mut lanes),
+                    }
                 }
                 // Distinct clients: count distinct (mac, app) cells with
-                // a zero-copy cursor walk over the sorted key columns.
+                // a zero-copy cursor walk over every segment's sorted key
+                // columns — a cell shadowed across deltas lands in the
+                // same group as a cross-shard duplicate and counts once.
+                let flat: Vec<&ColumnarWindow> = stacks.iter().flatten().copied().collect();
                 let mut counts = [0u64; APP_LANES];
-                let lens: Vec<usize> = wins.iter().map(|w| w.usage_mac.len()).collect();
+                let lens: Vec<usize> = flat.iter().map(|w| w.usage_mac.len()).collect();
                 kway_groups(
                     &lens,
-                    |r, i| (wins[r].usage_mac[i], wins[r].usage_app[i]),
+                    |r, i| (flat[r].usage_mac[i], flat[r].usage_app[i]),
                     |(_, app), _| counts[app as usize] += 1,
                 );
                 // Emit ascending discriminant == ascending `Ord`, matching
@@ -1063,14 +1188,19 @@ impl QueryEngine {
                 let QueryValue::Clients(clients) = self.execute(&QueryPlan::Clients(window)) else {
                     unreachable!("Clients plan yields Clients");
                 };
-                // Pass 1 (parallel): per-shard per-MAC rollups over the
-                // sorted mac column — shrinks the cross-shard merge by
-                // the apps-per-MAC factor, byte-safe under the
+                // Pass 1 (parallel): per-shard per-MAC rollups fused
+                // over each stack's sorted mac columns (newest segment
+                // wins per cell) — shrinks the cross-shard merge by the
+                // apps-per-MAC factor, byte-safe under the
                 // saturating-add monoid.
-                let runs = self.vectorized_map(
+                let runs = self.stack_map(
                     window,
                     |z| z.usage_rows > 0,
-                    |w| w.map(|w| w.usage_totals_by_mac()).unwrap_or_default(),
+                    |segs| match segs {
+                        // Flat stack: the original linear group-by.
+                        [w] => w.usage_totals_by_mac(),
+                        _ => usage_totals_by_mac_stack(segs),
+                    },
                 );
                 // Pass 2: cursor k-way merge + merge-join against the
                 // sorted client list, aggregating into dense OS lanes.
@@ -1120,11 +1250,9 @@ impl QueryEngine {
                 QueryValue::Count(clients.len() as u64)
             }
             QueryPlan::Clients(window) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.client_rows > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(window, |z| z.client_rows > 0, FAM_CLIENTS);
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let lens: Vec<usize> = wins.iter().map(|w| w.client_mac.len()).collect();
                 let mut out = Vec::with_capacity(lens.iter().sum());
                 kway_groups(
@@ -1155,11 +1283,10 @@ impl QueryEngine {
             }
             QueryPlan::AppClientCount(window, app) => {
                 let bit = 1u64 << (app as usize);
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.apps_present & bit != 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved =
+                    self.admitted_windows(window, |z| z.apps_present & bit != 0, FAM_USAGE);
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let sels: Vec<Vec<u32>> = wins
                     .iter()
                     .map(|w| select_indices(w.usage_app.len(), |i| w.usage_app[i] == app))
@@ -1176,11 +1303,13 @@ impl QueryEngine {
                 QueryValue::Count(count)
             }
             QueryPlan::LinkKeys(window, band) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.link_keys_per_band[band as usize] > 0,
+                    FAM_LINKS,
+                );
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let sels: Vec<Vec<u32>> = wins
                     .iter()
                     .map(|w| select_indices(w.link_keys.len(), |i| w.link_keys[i].band == band))
@@ -1196,28 +1325,37 @@ impl QueryEngine {
                 QueryValue::LinkKeys(keys)
             }
             QueryPlan::LinkSeries(window, key) => {
-                let admitted = self.admitted_windows(window, |z| {
+                let in_range = |z: &WindowZoneMap| {
                     z.link_key_range
                         .is_some_and(|(lo, hi)| lo <= key && key <= hi)
-                });
-                for w in admitted.into_iter().flatten() {
-                    if let Ok(i) = w.link_keys.binary_search(&key) {
-                        let (ts, ratio) = w.link_series_at(i);
-                        return QueryValue::Series(
-                            (0..ts.len())
-                                .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
-                                .collect(),
-                        );
+                };
+                let stacks = self.admitted_segment_views(window, in_range);
+                for segs in &stacks {
+                    // Newest-first within the stack: a delta row carries
+                    // the full series, so the first hit is the answer.
+                    // Per-segment zone ranges skip the binary searches
+                    // that cannot match.
+                    for w in segs.iter().rev().filter(|w| in_range(w.zone())) {
+                        if let Ok(i) = w.link_keys.binary_search(&key) {
+                            let (ts, ratio) = w.link_series_at(i);
+                            return QueryValue::Series(
+                                (0..ts.len())
+                                    .map(|j| ColumnarWindow::link_observation(ts, ratio, j))
+                                    .collect(),
+                            );
+                        }
                     }
                 }
                 QueryValue::Series(Vec::new())
             }
             QueryPlan::LatestDeliveryRatios(window, band) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.link_keys_per_band[band as usize] > 0,
+                    FAM_LINKS,
+                );
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let sels: Vec<Vec<u32>> = wins
                     .iter()
                     .map(|w| {
@@ -1240,11 +1378,13 @@ impl QueryEngine {
                 QueryValue::Ratios(ratios)
             }
             QueryPlan::MeanDeliveryRatios(window, band) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.link_keys_per_band[band as usize] > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.link_keys_per_band[band as usize] > 0,
+                    FAM_LINKS,
+                );
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let sels: Vec<Vec<u32>> = wins
                     .iter()
                     .map(|w| {
@@ -1271,11 +1411,13 @@ impl QueryEngine {
                 QueryValue::Ratios(ratios)
             }
             QueryPlan::ServingUtilizations(window, band) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.airtime_rows_per_band[band as usize] > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.airtime_rows_per_band[band as usize] > 0,
+                    FAM_AIRTIME,
+                );
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 let sels: Vec<Vec<u32>> = wins
                     .iter()
                     .map(|w| {
@@ -1302,21 +1444,55 @@ impl QueryEngine {
                 QueryValue::Ratios(ratios)
             }
             QueryPlan::CensusDeviceCount(window) => {
-                // Zone-only: the answer is a sum of zone-map counters,
-                // so every shard is "pruned" (no column scanned).
-                self.counters
-                    .shards_pruned
-                    .fetch_add(self.snapshot.columnar().len() as u64, Ordering::Relaxed);
-                QueryValue::Count(self.zone_sum(window, |z| z.census_devices as u64))
+                if self.window_is_flat(window) {
+                    // Zone-only: the answer is a sum of zone-map
+                    // counters, so every shard is "pruned" (no column
+                    // scanned).
+                    self.counters
+                        .shards_pruned
+                        .fetch_add(self.snapshot.columnar().len() as u64, Ordering::Relaxed);
+                    QueryValue::Count(self.zone_sum(window, |z| z.census_devices as u64))
+                } else {
+                    // Overlapping deltas can shadow the same device, so
+                    // the zone counters overcount: resolve and count
+                    // distinct census filers per shard instead.
+                    let resolved =
+                        self.admitted_windows(window, |z| z.census_devices > 0, FAM_CENSUS);
+                    QueryValue::Count(
+                        resolved
+                            .iter()
+                            .flatten()
+                            .map(|v| v.get().census_device.len() as u64)
+                            .sum(),
+                    )
+                }
             }
             QueryPlan::NearbySummary(window, band) => {
                 // Devices count every census filer regardless of band
-                // (legacy semantics) and comes straight from the zones.
-                let devices = self.zone_sum(window, |z| z.census_devices as u64);
-                let wins =
-                    self.admitted_windows(window, |z| z.census_rows_per_band[band as usize] > 0);
+                // (legacy semantics): straight from the zones when no
+                // stack overlaps, from the resolved views otherwise
+                // (shadowed filers must count once).
+                let flat = self.window_is_flat(window);
+                let resolved = if flat {
+                    self.admitted_windows(
+                        window,
+                        |z| z.census_rows_per_band[band as usize] > 0,
+                        FAM_CENSUS,
+                    )
+                } else {
+                    self.admitted_windows(window, |z| z.census_devices > 0, FAM_CENSUS)
+                };
+                let devices = if flat {
+                    self.zone_sum(window, |z| z.census_devices as u64)
+                } else {
+                    resolved
+                        .iter()
+                        .flatten()
+                        .map(|v| v.get().census_device.len() as u64)
+                        .sum()
+                };
                 let (mut total, mut hotspots) = (0u64, 0u64);
-                for w in wins.into_iter().flatten() {
+                for w in resolved.iter().flatten().map(ResolvedView::get) {
                     // Branchless mask-multiply accumulate: non-matching
                     // rows add exact zeros, so the u64 sums are the
                     // fused kernel's bytes.
@@ -1342,9 +1518,12 @@ impl QueryEngine {
                     .into_iter()
                     .map(|ch| (ch.number, 0))
                     .collect();
-                let wins =
-                    self.admitted_windows(window, |z| z.census_rows_per_band[band as usize] > 0);
-                for w in wins.into_iter().flatten() {
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.census_rows_per_band[band as usize] > 0,
+                    FAM_CENSUS,
+                );
+                for w in resolved.iter().flatten().map(ResolvedView::get) {
                     let sel = select_indices(w.census_band.len(), |i| w.census_band[i] == band);
                     for &i in &sel {
                         *per.entry(w.census_channel[i as usize]).or_default() +=
@@ -1354,11 +1533,9 @@ impl QueryEngine {
                 QueryValue::PerChannel(per.into_iter().collect())
             }
             QueryPlan::Crashes(window) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.crash_devices > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(window, |z| z.crash_devices > 0, FAM_CRASHES);
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 // Presence semantics: a zone with crash_devices > 0 is
                 // exactly a shard whose crash table is non-empty.
                 if wins.is_empty() {
@@ -1381,11 +1558,13 @@ impl QueryEngine {
                 QueryValue::Crashes(Some(aggregator))
             }
             QueryPlan::ScanObservations(window, band) => {
-                let wins: Vec<&ColumnarWindow> = self
-                    .admitted_windows(window, |z| z.scan_obs_per_band[band as usize] > 0)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let resolved = self.admitted_windows(
+                    window,
+                    |z| z.scan_obs_per_band[band as usize] > 0,
+                    FAM_SCANS,
+                );
+                let wins: Vec<&ColumnarWindow> =
+                    resolved.iter().flatten().map(ResolvedView::get).collect();
                 // Pass 1: branch-free selection over the flat channel
                 // column of each admitted shard.
                 let sels: Vec<Vec<u32>> = wins
@@ -1472,15 +1651,27 @@ impl QueryEngine {
             total_shards: self.snapshot.columnar().len(),
             ..PlanZoneStats::default()
         };
-        for shard in self.snapshot.columnar() {
-            let Some(w) = shard.window(window) else {
-                continue;
-            };
-            let (admitted, rows) = plan_zone_estimate(plan, w.zone());
-            stats.total_rows += rows;
-            if admitted {
+        for stack in self.snapshot.columnar() {
+            // Segment-granular admission: a shard is admitted when any
+            // of its delta segments admits; rows are estimated per
+            // segment, so a plan whose filter only touches a small
+            // recent delta is costed against that delta, not the whole
+            // shard. Shadowed keys may be counted twice — acceptable
+            // for ranking, never for results.
+            let mut shard_admitted = false;
+            for seg in stack.segments() {
+                let Some(w) = seg.window(window) else {
+                    continue;
+                };
+                let (admitted, rows) = plan_zone_estimate(plan, w.zone());
+                stats.total_rows += rows;
+                if admitted {
+                    shard_admitted = true;
+                    stats.admitted_rows += rows;
+                }
+            }
+            if shard_admitted {
                 stats.admitted_shards += 1;
-                stats.admitted_rows += rows;
             }
         }
         stats

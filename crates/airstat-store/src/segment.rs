@@ -50,13 +50,20 @@ use airstat_telemetry::report::{ChannelScanRecord, Report};
 use airstat_telemetry::wire::{put_varint, Reader, WireError};
 
 use crate::shard::{ClientMeta, SeqSet, StoreShard, WindowTables};
-use crate::store::{ReportSink, ShardedStore, StoreConfig};
+use crate::store::{ReportSink, Sealable, ShardedStore, StoreConfig};
 
 /// Schema version written into every segment, manifest, and tail-log
 /// header. Bump on any byte-level layout change; readers reject other
 /// versions with [`SegmentError::Version`]. The value is pinned against
 /// `docs/SEGMENT_FORMAT.md` by `schema_version_matches_the_spec`.
-pub const SEGMENT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 made the manifest a **delta-chain list**: instead of one
+/// segment per shard it names, per shard, an ordered chain of delta
+/// segments (oldest to newest) that `read_store` folds back together.
+/// Segment bytes themselves are unchanged from version 1 apart from the
+/// header's version field; the `epoch` header field now records the
+/// epoch the delta was persisted at rather than always the store epoch.
+pub const SEGMENT_SCHEMA_VERSION: u32 = 2;
 
 /// Magic prefix of a segment file.
 pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"ASEG";
@@ -1565,22 +1572,38 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SegmentError> {
     fs::rename(&tmp, path).map_err(io_err("rename temp store file into place"))
 }
 
-/// Parsed manifest: the store's committed epoch and live segment set.
+/// One live delta segment named by the manifest: the epoch it was
+/// persisted at (which names its file — see [`segment_file_name`]) and
+/// its byte length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ManifestEntry {
+    /// Persist epoch the delta was written at.
+    pub(crate) epoch: u64,
+    /// Byte length of the segment file.
+    pub(crate) len: u64,
+}
+
+/// Parsed manifest: the store's committed epoch and, per shard, the
+/// ordered delta chain (oldest to newest) that reconstructs it.
 #[derive(Debug, Clone)]
 pub(crate) struct Manifest {
     pub(crate) epoch: u64,
-    /// Byte length of each shard's segment file, in shard order.
-    pub(crate) segment_lens: Vec<u64>,
+    /// Per-shard delta chains, in shard order.
+    pub(crate) lists: Vec<Vec<ManifestEntry>>,
 }
 
-fn encode_manifest(epoch: u64, segment_lens: &[u64]) -> Vec<u8> {
+fn encode_manifest(epoch: u64, lists: &[Vec<ManifestEntry>]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MANIFEST_MAGIC);
     out.extend_from_slice(&SEGMENT_SCHEMA_VERSION.to_le_bytes());
     out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(&(segment_lens.len() as u32).to_le_bytes());
-    for len in segment_lens {
-        out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+    for chain in lists {
+        out.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+        for entry in chain {
+            out.extend_from_slice(&entry.epoch.to_le_bytes());
+            out.extend_from_slice(&entry.len.to_le_bytes());
+        }
     }
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -1610,17 +1633,42 @@ fn decode_manifest(bytes: &[u8], tally: &mut DecodeTally) -> Result<Manifest, Se
     );
     let count = cur.u32_le("truncated manifest")?;
     let count = usize::try_from(count).map_err(|_| corrupt("manifest shard count out of range"))?;
-    if count == 0 || count.saturating_mul(8) > cur.remaining() {
+    if count == 0 || count.saturating_mul(4) > cur.remaining() {
         return Err(corrupt("manifest shard count exceeds file size"));
     }
-    let mut segment_lens = Vec::with_capacity(count);
+    let mut lists = Vec::with_capacity(count);
     for _ in 0..count {
-        let len_bytes = cur.take(8, "truncated manifest entry")?;
-        segment_lens.push(u64::from_le_bytes(
-            len_bytes
-                .try_into()
-                .expect("invariant: take(8) returned exactly 8 bytes"),
-        ));
+        let deltas = cur.u32_le("truncated manifest delta count")?;
+        let deltas =
+            usize::try_from(deltas).map_err(|_| corrupt("manifest delta count out of range"))?;
+        if deltas.saturating_mul(16) > cur.remaining() {
+            return Err(corrupt("manifest delta count exceeds file size"));
+        }
+        let mut chain = Vec::with_capacity(deltas);
+        let mut previous: Option<u64> = None;
+        for _ in 0..deltas {
+            let epoch_bytes = cur.take(8, "truncated manifest entry")?;
+            let delta_epoch = u64::from_le_bytes(
+                epoch_bytes
+                    .try_into()
+                    .expect("invariant: take(8) returned exactly 8 bytes"),
+            );
+            if previous.is_some_and(|p| delta_epoch <= p) {
+                return Err(corrupt("manifest delta chain not in ascending epoch order"));
+            }
+            previous = Some(delta_epoch);
+            let len_bytes = cur.take(8, "truncated manifest entry")?;
+            let len = u64::from_le_bytes(
+                len_bytes
+                    .try_into()
+                    .expect("invariant: take(8) returned exactly 8 bytes"),
+            );
+            chain.push(ManifestEntry {
+                epoch: delta_epoch,
+                len,
+            });
+        }
+        lists.push(chain);
     }
     let stored = cur.u32_le("truncated manifest checksum")?;
     let computed = crc32(&bytes[..bytes.len() - 4]);
@@ -1635,52 +1683,36 @@ fn decode_manifest(bytes: &[u8], tally: &mut DecodeTally) -> Result<Manifest, Se
     if !cur.done() {
         return Err(corrupt("trailing bytes in manifest"));
     }
-    Ok(Manifest {
-        epoch,
-        segment_lens,
-    })
+    Ok(Manifest { epoch, lists })
 }
 
-/// Persists the full segment set + manifest into `dir` and resets the
-/// tail log (docs/SEGMENT_FORMAT.md §6).
-///
-/// Write order is the atomicity argument: every new epoch-named segment
-/// is written and renamed first, then the manifest rename commits the
-/// new set, then stale segment files are deleted and the tail log is
-/// reset. A crash before the manifest rename leaves the old store
-/// intact (new segments are unreferenced garbage, cleaned next
-/// persist); a crash after it leaves the new store committed and at
-/// worst a stale tail log, which `open` detects by epoch and skips.
-pub(crate) fn write_store(
-    shards: &[Arc<StoreShard>],
+/// Commits `lists` as the live segment set: writes the manifest (the
+/// single commit point), deletes files the new set no longer
+/// references, and resets the tail log to base `epoch`.
+fn commit_manifest(
+    lists: &[Vec<ManifestEntry>],
     epoch: u64,
     dir: &Path,
-) -> Result<PersistenceStats, SegmentError> {
-    fs::create_dir_all(dir).map_err(io_err("create store directory"))?;
-    let count = u32::try_from(shards.len()).map_err(|_| corrupt("too many shards to persist"))?;
-    let mut stats = PersistenceStats::default();
-    let mut segment_lens = Vec::with_capacity(shards.len());
-    let mut live_names = Vec::with_capacity(shards.len());
-    for (i, shard) in shards.iter().enumerate() {
-        let bytes = encode_segment(shard, epoch, i as u32, count);
-        let name = segment_file_name(epoch, i as u32);
-        write_atomic(&dir.join(&name), &bytes)?;
-        stats.segments_written += 1;
-        stats.bytes_written += bytes.len() as u64;
-        segment_lens.push(bytes.len() as u64);
-        live_names.push(name);
-    }
-    let manifest = encode_manifest(epoch, &segment_lens);
+    stats: &mut PersistenceStats,
+) -> Result<(), SegmentError> {
+    let manifest = encode_manifest(epoch, lists);
     write_atomic(&dir.join(MANIFEST_NAME), &manifest)?;
     stats.bytes_written += manifest.len() as u64;
 
     // The new set is committed; delete segments it no longer references.
     // Best-effort: a leftover file is garbage, not corruption.
+    let live = |name: &str| {
+        lists.iter().enumerate().any(|(i, chain)| {
+            chain
+                .iter()
+                .any(|e| segment_file_name(e.epoch, i as u32) == name)
+        })
+    };
     if let Ok(entries) = fs::read_dir(dir) {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            let stale_segment = name.ends_with(".aseg") && !live_names.iter().any(|l| l == name);
+            let stale_segment = name.ends_with(".aseg") && !live(name);
             let orphan_temp = name.ends_with(".tmp");
             if stale_segment || orphan_temp {
                 let _ = fs::remove_file(entry.path());
@@ -1691,7 +1723,74 @@ pub(crate) fn write_store(
     let wal = encode_wal_header(epoch);
     write_atomic(&dir.join(WAL_NAME), &wal)?;
     stats.bytes_written += wal.len() as u64;
-    Ok(stats)
+    Ok(())
+}
+
+/// Persists the full segment set + manifest into `dir` and resets the
+/// tail log (docs/SEGMENT_FORMAT.md §6): every shard becomes a
+/// single-delta chain. Returns what was written and the committed
+/// chains.
+///
+/// Write order is the atomicity argument: every new epoch-named segment
+/// is written and renamed first, then the manifest rename commits the
+/// new set, then stale segment files are deleted and the tail log is
+/// reset. A crash before the manifest rename leaves the old store
+/// intact (new segments are unreferenced garbage, cleaned next
+/// persist); a crash after it leaves the new store committed and at
+/// worst a stale tail log, which `open` detects by epoch and skips.
+pub(crate) fn write_store_full(
+    shards: &[Arc<StoreShard>],
+    epoch: u64,
+    dir: &Path,
+) -> Result<(PersistenceStats, Vec<Vec<ManifestEntry>>), SegmentError> {
+    fs::create_dir_all(dir).map_err(io_err("create store directory"))?;
+    let count = u32::try_from(shards.len()).map_err(|_| corrupt("too many shards to persist"))?;
+    let mut stats = PersistenceStats::default();
+    let mut lists = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.iter().enumerate() {
+        let bytes = encode_segment(shard, epoch, i as u32, count);
+        write_atomic(&dir.join(segment_file_name(epoch, i as u32)), &bytes)?;
+        stats.segments_written += 1;
+        stats.bytes_written += bytes.len() as u64;
+        lists.push(vec![ManifestEntry {
+            epoch,
+            len: bytes.len() as u64,
+        }]);
+    }
+    commit_manifest(&lists, epoch, dir, &mut stats)?;
+    Ok((stats, lists))
+}
+
+/// Persists an **incremental** delta on top of the committed chains in
+/// `prior` (docs/SEGMENT_FORMAT.md §6): each `Some` shard appends one
+/// epoch-named delta segment holding only that shard's rows dirtied
+/// since the previous persist; `None` shards keep their chains as-is.
+/// The manifest rename commits the grown chains exactly as in
+/// [`write_store_full`] — same crash-safety argument, since prior
+/// chains' files are never touched.
+pub(crate) fn write_store_delta(
+    deltas: &[Option<StoreShard>],
+    prior: &[Vec<ManifestEntry>],
+    epoch: u64,
+    dir: &Path,
+) -> Result<(PersistenceStats, Vec<Vec<ManifestEntry>>), SegmentError> {
+    fs::create_dir_all(dir).map_err(io_err("create store directory"))?;
+    let count = u32::try_from(deltas.len()).map_err(|_| corrupt("too many shards to persist"))?;
+    let mut stats = PersistenceStats::default();
+    let mut lists = prior.to_vec();
+    for (i, delta) in deltas.iter().enumerate() {
+        let Some(delta) = delta else { continue };
+        let bytes = encode_segment(delta, epoch, i as u32, count);
+        write_atomic(&dir.join(segment_file_name(epoch, i as u32)), &bytes)?;
+        stats.segments_written += 1;
+        stats.bytes_written += bytes.len() as u64;
+        lists[i].push(ManifestEntry {
+            epoch,
+            len: bytes.len() as u64,
+        });
+    }
+    commit_manifest(&lists, epoch, dir, &mut stats)?;
+    Ok((stats, lists))
 }
 
 /// What `read_store` recovered from the committed segment set.
@@ -1699,12 +1798,19 @@ pub(crate) fn write_store(
 pub(crate) struct LoadedStore {
     pub(crate) epoch: u64,
     pub(crate) shards: Vec<StoreShard>,
+    /// The committed delta chains, handed to the store so a later
+    /// persist back into the same directory can stay incremental.
+    pub(crate) lists: Vec<Vec<ManifestEntry>>,
     pub(crate) bytes_read: u64,
     pub(crate) crc_checks: u64,
 }
 
 /// Reads the committed segment set named by the manifest, if one
-/// exists. `Ok(None)` means a fresh directory (no manifest).
+/// exists. `Ok(None)` means a fresh directory (no manifest). Each
+/// shard's delta chain is folded oldest to newest through
+/// [`StoreShard::absorb`] — the newest delta naming a key holds its
+/// full current value, so the fold reconstructs the exact shard a
+/// monolithic persist would have written.
 pub(crate) fn read_store(dir: &Path) -> Result<Option<LoadedStore>, SegmentError> {
     let manifest_bytes = match fs::read(dir.join(MANIFEST_NAME)) {
         Ok(bytes) => bytes,
@@ -1714,30 +1820,35 @@ pub(crate) fn read_store(dir: &Path) -> Result<Option<LoadedStore>, SegmentError
     let mut tally = DecodeTally::default();
     let mut bytes_read = manifest_bytes.len() as u64;
     let manifest = decode_manifest(&manifest_bytes, &mut tally)?;
-    let count = u32::try_from(manifest.segment_lens.len())
+    let count = u32::try_from(manifest.lists.len())
         .map_err(|_| corrupt("manifest shard count out of range"))?;
-    let mut shards = Vec::with_capacity(manifest.segment_lens.len());
-    for (i, &expected_len) in manifest.segment_lens.iter().enumerate() {
-        let name = segment_file_name(manifest.epoch, i as u32);
-        let bytes = fs::read(dir.join(&name)).map_err(io_err("read segment file"))?;
-        if bytes.len() as u64 != expected_len {
-            return Err(corrupt("segment length disagrees with the manifest"));
+    let mut shards = Vec::with_capacity(manifest.lists.len());
+    for (i, chain) in manifest.lists.iter().enumerate() {
+        let mut shard = StoreShard::default();
+        for entry in chain {
+            let name = segment_file_name(entry.epoch, i as u32);
+            let bytes = fs::read(dir.join(&name)).map_err(io_err("read segment file"))?;
+            if bytes.len() as u64 != entry.len {
+                return Err(corrupt("segment length disagrees with the manifest"));
+            }
+            bytes_read += bytes.len() as u64;
+            let delta = decode_segment(
+                &bytes,
+                SegmentExpectation {
+                    epoch: entry.epoch,
+                    index: i as u32,
+                    count,
+                },
+                &mut tally,
+            )?;
+            shard.absorb(delta);
         }
-        bytes_read += bytes.len() as u64;
-        let shard = decode_segment(
-            &bytes,
-            SegmentExpectation {
-                epoch: manifest.epoch,
-                index: i as u32,
-                count,
-            },
-            &mut tally,
-        )?;
         shards.push(shard);
     }
     Ok(Some(LoadedStore {
         epoch: manifest.epoch,
         shards,
+        lists: manifest.lists,
         bytes_read,
         crc_checks: tally.crc_checks,
     }))
@@ -2026,6 +2137,12 @@ impl DurableStore {
     pub fn into_store(mut self) -> Result<(ShardedStore, PersistenceStats), SegmentError> {
         let stats = self.persist()?;
         Ok((self.store, stats))
+    }
+}
+
+impl Sealable for DurableStore {
+    fn reseal(&mut self) {
+        let _ = self.store.seal();
     }
 }
 
@@ -2417,18 +2534,20 @@ mod pinned_example {
     /// The exact hex dump printed in docs/SEGMENT_FORMAT.md §8 for the
     /// example segment. Any byte-layout change shows up here first.
     const EXPECTED_SEGMENT: [&str; 6] = [
-        "0000  41 53 45 47 01 00 00 00 01 00 00 00 00 00 00 00",
+        "0000  41 53 45 47 02 00 00 00 01 00 00 00 00 00 00 00",
         "0010  00 00 00 00 01 00 00 00 01 00 00 00 dd 05 dd 05",
-        "0020  01 00 00 00 00 00 00 00 0d db c0 37 01 02 dd 0b",
+        "0020  01 00 00 00 00 00 00 00 f3 a0 20 53 01 02 dd 0b",
         "0030  cd 0e 38 39 02 0b 01 00 04 06 00 00 07 06 ac 02",
         "0040  00 c6 95 a8 31 09 07 01 dd 0b 07 00 01 03 fa c6",
         "0050  ad 22 0a 02 01 00 57 da 66 54 00 00 ff 12 d9 41",
     ];
 
-    /// The manifest dump for the same example store.
-    const EXPECTED_MANIFEST: [&str; 2] = [
-        "0000  41 4d 41 4e 01 00 00 00 01 00 00 00 00 00 00 00",
-        "0010  01 00 00 00 60 00 00 00 00 00 00 00 c6 d7 60 f3",
+    /// The manifest dump for the same example store: one shard whose
+    /// delta chain holds a single 96-byte segment persisted at epoch 1.
+    const EXPECTED_MANIFEST: [&str; 3] = [
+        "0000  41 4d 41 4e 02 00 00 00 01 00 00 00 00 00 00 00",
+        "0010  01 00 00 00 01 00 00 00 01 00 00 00 00 00 00 00",
+        "0020  60 00 00 00 00 00 00 00 07 3c b4 cc",
     ];
 
     /// Pins the encoder to the spec's worked example three ways: the
@@ -2445,7 +2564,13 @@ mod pinned_example {
              a byte-layout change requires a SEGMENT_SCHEMA_VERSION bump and a spec update"
         );
 
-        let manifest = encode_manifest(1, &[segment.len() as u64]);
+        let manifest = encode_manifest(
+            1,
+            &[vec![ManifestEntry {
+                epoch: 1,
+                len: segment.len() as u64,
+            }]],
+        );
         assert_eq!(
             hex_dump_lines(&manifest),
             EXPECTED_MANIFEST,

@@ -110,6 +110,85 @@ pub struct ClientMeta {
 /// Per-device census rows: `(band, channel number, networks, hotspots)`.
 pub type CensusRows = Vec<(Band, u16, u32, u32)>;
 
+/// The keys one window dirtied since a seal (or persist) baseline: one
+/// set per table, mirroring [`WindowTables`] key for key.
+///
+/// Marking is a deliberate **superset**: every key a report's payload
+/// names is marked on accept, even when the write turned out to be a
+/// no-op (a losing `ClientInfo` conflict, say). Re-emitting an
+/// unchanged row into a delta is harmless under the newest-wins
+/// resolution rule — the delta row equals the row it shadows — while a
+/// missed key would corrupt the stack, so the cheap superset is the
+/// safe one.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DirtyWindow {
+    pub(crate) usage: BTreeSet<(MacAddress, Application)>,
+    pub(crate) clients: BTreeSet<MacAddress>,
+    pub(crate) links: BTreeSet<LinkKey>,
+    pub(crate) airtime: BTreeSet<(u64, Band)>,
+    pub(crate) neighbors: BTreeSet<u64>,
+    pub(crate) scans: BTreeSet<u64>,
+    pub(crate) crashes: BTreeSet<u64>,
+}
+
+impl DirtyWindow {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.usage.is_empty()
+            && self.clients.is_empty()
+            && self.links.is_empty()
+            && self.airtime.is_empty()
+            && self.neighbors.is_empty()
+            && self.scans.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &DirtyWindow) {
+        self.usage.extend(other.usage.iter().copied());
+        self.clients.extend(other.clients.iter().copied());
+        self.links.extend(other.links.iter().copied());
+        self.airtime.extend(other.airtime.iter().copied());
+        self.neighbors.extend(other.neighbors.iter().copied());
+        self.scans.extend(other.scans.iter().copied());
+        self.crashes.extend(other.crashes.iter().copied());
+    }
+}
+
+/// Everything one shard dirtied since a baseline: per-window key sets
+/// plus the shard-level dedup-ledger entries and counters.
+///
+/// [`crate::ShardedStore`] keeps one of these per shard for the
+/// seal baseline (rows since the last delta segment was cut) and one
+/// for the persist baseline (rows since the last on-disk delta).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DirtyShard {
+    pub(crate) windows: BTreeMap<WindowId, DirtyWindow>,
+    /// `(window, device)` dedup-ledger entries whose [`SeqSet`] changed.
+    pub(crate) dedup: BTreeSet<(WindowId, u64)>,
+    /// Whether either acceptance counter moved (set on every ingest,
+    /// including rejected duplicates).
+    pub(crate) counters_touched: bool,
+}
+
+impl DirtyShard {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.windows.values().all(DirtyWindow::is_empty)
+            && self.dedup.is_empty()
+            && !self.counters_touched
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = DirtyShard::default();
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &DirtyShard) {
+        for (&window, dirty) in &other.windows {
+            self.windows.entry(window).or_default().merge_from(dirty);
+        }
+        self.dedup.extend(other.dedup.iter().copied());
+        self.counters_touched |= other.counters_touched;
+    }
+}
+
 /// The aggregates one shard maintains for one window.
 #[derive(Debug, Clone, Default)]
 pub struct WindowTables {
@@ -130,6 +209,51 @@ pub struct WindowTables {
     pub scans: BTreeMap<u64, BTreeMap<(u64, u32), ScanObservation>>,
     /// Crash reports per device, ordered by `(seq, slot)`.
     pub crashes: BTreeMap<u64, BTreeMap<(u64, u32), CrashReport>>,
+}
+
+impl WindowTables {
+    /// Clones the rows named by `dirty` out of the live tables — the
+    /// current (newest) value of every dirtied key. Keys are never
+    /// removed from a shard, so every dirty key resolves.
+    pub(crate) fn filtered(&self, dirty: &DirtyWindow) -> WindowTables {
+        WindowTables {
+            usage: dirty
+                .usage
+                .iter()
+                .filter_map(|k| self.usage.get(k).map(|v| (*k, *v)))
+                .collect(),
+            clients: dirty
+                .clients
+                .iter()
+                .filter_map(|k| self.clients.get(k).map(|v| (*k, *v)))
+                .collect(),
+            links: dirty
+                .links
+                .iter()
+                .filter_map(|k| self.links.get(k).map(|v| (*k, v.clone())))
+                .collect(),
+            airtime: dirty
+                .airtime
+                .iter()
+                .filter_map(|k| self.airtime.get(k).map(|v| (*k, *v)))
+                .collect(),
+            neighbors: dirty
+                .neighbors
+                .iter()
+                .filter_map(|k| self.neighbors.get(k).map(|v| (*k, v.clone())))
+                .collect(),
+            scans: dirty
+                .scans
+                .iter()
+                .filter_map(|k| self.scans.get(k).map(|v| (*k, v.clone())))
+                .collect(),
+            crashes: dirty
+                .crashes
+                .iter()
+                .filter_map(|k| self.crashes.get(k).map(|v| (*k, v.clone())))
+                .collect(),
+        }
+    }
 }
 
 /// One shard: an independent store with its own dedup state.
@@ -328,6 +452,123 @@ impl StoreShard {
             }
         }
         true
+    }
+
+    /// [`StoreShard::ingest`] plus dirty-key tracking: on accept, every
+    /// key the payload names is recorded in `dirty` (see [`DirtyWindow`]
+    /// for why the superset is the safe marking policy). Both the accept
+    /// and the duplicate path move an acceptance counter, so
+    /// `counters_touched` is set unconditionally.
+    pub(crate) fn ingest_tracked(
+        &mut self,
+        window: WindowId,
+        report: &Report,
+        dirty: &mut DirtyShard,
+    ) -> bool {
+        let accepted = self.ingest(window, report);
+        dirty.counters_touched = true;
+        if !accepted {
+            return false;
+        }
+        dirty.dedup.insert((window, report.device));
+        let w = dirty.windows.entry(window).or_default();
+        match &report.payload {
+            ReportPayload::Usage(records) => {
+                for r in records {
+                    w.usage.insert((r.mac, r.app));
+                }
+            }
+            ReportPayload::ClientInfo(records) => {
+                for r in records {
+                    w.clients.insert(r.mac);
+                }
+            }
+            ReportPayload::Links(records) => {
+                for r in records {
+                    if r.delivery_ratio().is_some() {
+                        w.links.insert(LinkKey {
+                            rx_device: report.device,
+                            tx_device: r.peer_device,
+                            band: r.band,
+                        });
+                    }
+                }
+            }
+            ReportPayload::Airtime(records) => {
+                for r in records {
+                    w.airtime.insert((report.device, r.channel.band));
+                }
+            }
+            ReportPayload::Neighbors(_) => {
+                w.neighbors.insert(report.device);
+            }
+            ReportPayload::ChannelScan(_) => {
+                w.scans.insert(report.device);
+            }
+            ReportPayload::Crash(_) => {
+                w.crashes.insert(report.device);
+            }
+        }
+        true
+    }
+
+    /// A self-contained delta shard: the current rows of every key in
+    /// `dirty`, the touched dedup-ledger entries, and the full
+    /// acceptance counters (counters are totals, so the newest delta's
+    /// values win wholesale on reload).
+    ///
+    /// Encoding this through the ordinary segment writer yields an
+    /// on-disk **delta segment**; [`StoreShard::absorb`] is its reload
+    /// inverse.
+    pub(crate) fn delta_snapshot(&self, dirty: &DirtyShard) -> StoreShard {
+        // airstat::allow(no-hashmap-iter): keyed lookups driven by the
+        // BTreeSet of dirty entries — iteration order is the set's.
+        let mut seen = HashMap::with_capacity(dirty.dedup.len());
+        for &(window, device) in &dirty.dedup {
+            if let Some(set) = self.seen.get(&(window, device)) {
+                seen.insert((window, device), set.clone());
+            }
+        }
+        let windows = dirty
+            .windows
+            .iter()
+            .filter(|(_, dw)| !dw.is_empty())
+            .filter_map(|(&window, dw)| {
+                self.windows
+                    .get(&window)
+                    .map(|tables| (window, tables.filtered(dw)))
+            })
+            .collect();
+        StoreShard {
+            seen,
+            duplicates_dropped: self.duplicates_dropped,
+            reports_ingested: self.reports_ingested,
+            windows,
+        }
+    }
+
+    /// Folds a newer delta shard into this one, newest-wins per key:
+    /// each delta row carries the full value it had at persist time, so
+    /// plain replacement reconstructs the original state when deltas are
+    /// applied oldest to newest.
+    pub(crate) fn absorb(&mut self, delta: StoreShard) {
+        // airstat::allow(no-hashmap-iter): drained into another map —
+        // insertion order is irrelevant to the result.
+        for (key, set) in delta.seen {
+            self.seen.insert(key, set);
+        }
+        self.duplicates_dropped = delta.duplicates_dropped;
+        self.reports_ingested = delta.reports_ingested;
+        for (window, tables) in delta.windows {
+            let into = self.windows.entry(window).or_default();
+            into.usage.extend(tables.usage);
+            into.clients.extend(tables.clients);
+            into.links.extend(tables.links);
+            into.airtime.extend(tables.airtime);
+            into.neighbors.extend(tables.neighbors);
+            into.scans.extend(tables.scans);
+            into.crashes.extend(tables.crashes);
+        }
     }
 }
 

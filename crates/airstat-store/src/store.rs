@@ -7,8 +7,18 @@
 //! `seal()` is a handful of `Arc` clones, and ingest after a seal lazily
 //! clones only the shards it actually touches (`Arc::make_mut`), so
 //! queries keep running against frozen state while the next epoch fills.
+//!
+//! Sealing is **incremental** (LSM-style): each shard's read layout is a
+//! [`SegmentStack`] — immutable delta [`ColumnarShard`] segments, oldest
+//! to newest — plus the mutable row tables as the tail. Ingest tracks
+//! dirtied keys per shard, so a seal projects only the rows touched
+//! since the previous seal into a new delta segment and the cost of
+//! making new data queryable is proportional to the delta, not the
+//! campaign. A deterministic size-tiered compaction pass (driven purely
+//! by segment row counts — no wall clock) folds small adjacent deltas
+//! back into larger runs so stacks stay shallow.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use airstat_stats::rng::splitmix64;
@@ -17,8 +27,8 @@ use airstat_telemetry::report::Report;
 
 use crate::columnar::ColumnarShard;
 use crate::exec::run_ordered;
-use crate::segment::{self, PersistenceStats, RecoveryStats, SegmentError};
-use crate::shard::StoreShard;
+use crate::segment::{self, ManifestEntry, PersistenceStats, RecoveryStats, SegmentError};
+use crate::shard::{DirtyShard, StoreShard};
 
 /// Store shape and ingest parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,20 +58,108 @@ impl Default for StoreConfig {
 /// reports across a thread pool costs more than the ingest itself.
 const PARALLEL_INGEST_MIN: usize = 1024;
 
+/// Size-tiered compaction trigger: the two newest segments merge while
+/// the older one holds fewer than this many times the newer one's rows.
+/// Evaluated on row counts only — a pure function of store state, so
+/// compaction timing is byte-reproducible across runs, threads, and
+/// hosts (no wall clock anywhere).
+const COMPACTION_RATIO: u64 = 3;
+
+/// On-disk delta chains longer than this trigger a full rewrite at the
+/// next persist (on-disk compaction) — bounds reload cost and the
+/// redundant bytes shadowed rows accumulate.
+const MAX_DELTAS_ON_DISK: usize = 8;
+
+/// One shard's sealed read layout: immutable delta segments ordered
+/// **oldest to newest**. Within a stack, the newest segment holding a
+/// key holds its authoritative value (each delta row carries the key's
+/// full value at seal time), so a newest-wins fold over the stack
+/// reconstructs exactly what a monolithic seal would have built.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentStack {
+    segments: Vec<Arc<ColumnarShard>>,
+}
+
+impl SegmentStack {
+    /// The delta segments, oldest to newest.
+    pub fn segments(&self) -> &[Arc<ColumnarShard>] {
+        &self.segments
+    }
+
+    /// Number of live segments in the stack.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the stack holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Cumulative incremental-seal counters, carried into snapshots and
+/// surfaced through `StoreStats` (the CLI stderr block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealStats {
+    /// Seals that actually built state (epoch-memoized re-seals of an
+    /// unchanged store are not counted).
+    pub seals_total: u64,
+    /// Delta segments currently live across all shard stacks.
+    pub segments_live: u64,
+    /// Segments consumed by compaction merges so far (two per merge).
+    pub segments_compacted: u64,
+    /// Rows written into segments by seals and compaction merges — the
+    /// actual projection work done. Flat growth per seal is the
+    /// incremental win; a monolithic re-seal would grow this by the
+    /// whole store every epoch.
+    pub rows_resealed: u64,
+}
+
+/// Mutable seal-side state, behind one mutex: the current segment
+/// stacks, the per-shard dirty sets for both baselines, and counters.
+#[derive(Debug, Clone, Default)]
+struct SealState {
+    /// Epoch the stacks were last brought up to date at.
+    sealed_epoch: Option<u64>,
+    /// Per-shard segment stacks, current as of `sealed_epoch`.
+    stacks: Vec<SegmentStack>,
+    /// Per-shard keys dirtied since the last seal.
+    dirty: Vec<DirtyShard>,
+    /// Per-shard keys sealed since the last persist (the on-disk delta
+    /// a future incremental persist writes).
+    persist_pending: Vec<DirtyShard>,
+    stats: SealStats,
+}
+
+impl SealState {
+    fn sized(shards: usize) -> SealState {
+        SealState {
+            sealed_epoch: None,
+            stacks: vec![SegmentStack::default(); shards],
+            dirty: vec![DirtyShard::default(); shards],
+            persist_pending: vec![DirtyShard::default(); shards],
+            stats: SealStats::default(),
+        }
+    }
+}
+
 /// A sharded aggregation store (the fleet backend at scale).
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<Arc<StoreShard>>,
     epoch: u64,
     config: StoreConfig,
-    /// Memoized columnar projection for the current epoch, so repeated
-    /// `seal()` calls against unchanged state (the common read pattern)
-    /// build the read-optimized layout once. Keyed by epoch: any ingest
-    /// bumps the epoch and naturally invalidates it.
-    columnar: Mutex<Option<(u64, Vec<Arc<ColumnarShard>>)>>,
+    /// Segment stacks, dirty tracking, and seal counters. Epoch-keyed:
+    /// `seal()` against an unchanged store reuses the stacks by `Arc`
+    /// clone; after an ingest it projects only the dirtied rows.
+    seal: Mutex<SealState>,
     /// Cumulative on-disk activity ([`ShardedStore::persist`] /
     /// [`ShardedStore::open`]), carried into snapshots for `StoreStats`.
     persistence: PersistenceStats,
+    /// Where the last persist committed and what the manifest lists per
+    /// shard — a persist back to the same directory appends delta
+    /// segments instead of rewriting the store.
+    persist_state: Option<(PathBuf, Vec<Vec<ManifestEntry>>)>,
 }
 
 impl Clone for ShardedStore {
@@ -70,8 +168,16 @@ impl Clone for ShardedStore {
             shards: self.shards.clone(),
             epoch: self.epoch,
             config: self.config,
-            columnar: Mutex::new(self.columnar.lock().expect("invariant: columnar lock is never poisoned (projection code does not panic)").clone()),
+            seal: Mutex::new(
+                self.seal
+                    .lock()
+                    .expect(
+                        "invariant: seal lock is never poisoned (projection code does not panic)",
+                    )
+                    .clone(),
+            ),
             persistence: self.persistence,
+            persist_state: self.persist_state.clone(),
         }
     }
 }
@@ -103,18 +209,58 @@ impl ShardedStore {
                 shards,
                 threads: config.threads.max(1),
             },
-            columnar: Mutex::new(None),
+            seal: Mutex::new(SealState::sized(shards)),
             persistence: PersistenceStats::default(),
+            persist_state: None,
         }
     }
 
     /// Persists the current state into `dir` as a committed segment set
-    /// (one segment file per shard plus a manifest) and resets the tail
-    /// log, returning what this call wrote. The write order makes the
-    /// manifest rename the single commit point — see
-    /// [`crate::segment`] and docs/SEGMENT_FORMAT.md §6.
+    /// and resets the tail log, returning what this call wrote. The
+    /// write order makes the manifest rename the single commit point —
+    /// see [`crate::segment`] and docs/SEGMENT_FORMAT.md §6.
+    ///
+    /// A persist back to the directory of the previous persist (or of
+    /// [`ShardedStore::open`]) is **incremental**: each shard appends
+    /// one delta segment holding only the rows dirtied since that
+    /// persist, and the new manifest commits the grown delta chains.
+    /// Persisting anywhere else — or once any shard's chain exceeds the
+    /// on-disk compaction bound — rewrites the store as one full
+    /// segment per shard.
     pub fn persist(&mut self, dir: &Path) -> Result<PersistenceStats, SegmentError> {
-        let stats = segment::write_store(&self.shards, self.epoch, dir)?;
+        // Seal first: with the seal-side dirty sets drained into
+        // `persist_pending`, the pending sets alone name exactly the
+        // rows this persist must write.
+        let _ = self.seal();
+        let n = self.shards.len();
+        let state = self
+            .seal
+            .get_mut()
+            .expect("invariant: seal lock is never poisoned (projection code does not panic)");
+        let incremental = matches!(
+            &self.persist_state,
+            Some((prev, lists)) if prev == dir
+                && lists.len() == n
+                && lists.iter().all(|list| list.len() < MAX_DELTAS_ON_DISK)
+        );
+        let (stats, lists) = if incremental {
+            let Some((_, prior)) = &self.persist_state else {
+                unreachable!("invariant: incremental implies persist_state is Some");
+            };
+            let deltas: Vec<Option<StoreShard>> = (0..n)
+                .map(|i| {
+                    let pending = &state.persist_pending[i];
+                    (!pending.is_empty()).then(|| self.shards[i].delta_snapshot(pending))
+                })
+                .collect();
+            segment::write_store_delta(&deltas, prior, self.epoch, dir)?
+        } else {
+            segment::write_store_full(&self.shards, self.epoch, dir)?
+        };
+        for pending in &mut state.persist_pending {
+            pending.clear();
+        }
+        self.persist_state = Some((dir.to_path_buf(), lists));
         self.persistence.absorb(stats);
         Ok(stats)
     }
@@ -137,20 +283,22 @@ impl ShardedStore {
         let mut recovery = RecoveryStats::default();
         let mut store = match segment::read_store(dir)? {
             Some(loaded) => {
-                recovery.segments_loaded = loaded.shards.len() as u64;
+                recovery.segments_loaded = loaded.lists.iter().map(|l| l.len() as u64).sum();
                 recovery.bytes_read = loaded.bytes_read;
                 recovery.crc_checks = loaded.crc_checks;
                 let shards: Vec<Arc<StoreShard>> =
                     loaded.shards.into_iter().map(Arc::new).collect();
+                let n = shards.len();
                 ShardedStore {
                     config: StoreConfig {
-                        shards: shards.len(),
+                        shards: n,
                         threads: config.threads.max(1),
                     },
                     shards,
                     epoch: loaded.epoch,
-                    columnar: Mutex::new(None),
+                    seal: Mutex::new(SealState::sized(n)),
                     persistence: PersistenceStats::default(),
+                    persist_state: Some((dir.to_path_buf(), loaded.lists)),
                 }
             }
             None => ShardedStore::with_config(config),
@@ -240,35 +388,47 @@ impl ShardedStore {
         }
         let threads = self.config.threads;
         let mut accepted = 0u64;
+        let state = self
+            .seal
+            .get_mut()
+            .expect("invariant: seal lock is never poisoned (projection code does not panic)");
         if threads > 1 && reports.len() >= PARALLEL_INGEST_MIN {
-            // Each worker takes exclusive ownership of one shard slot; the
-            // mutexes are uncontended (one lock per shard per batch) and
-            // only exist to hand `&mut StoreShard` across the scope.
-            let slots: Vec<Mutex<&mut StoreShard>> = self
+            // Each worker takes exclusive ownership of one shard slot
+            // (row tables plus that shard's dirty set); the mutexes are
+            // uncontended (one lock per shard per batch) and only exist
+            // to hand the `&mut` pair across the scope.
+            let slots: Vec<Mutex<(&mut StoreShard, &mut DirtyShard)>> = self
                 .shards
                 .iter_mut()
-                .map(|shard| Mutex::new(Arc::make_mut(shard)))
+                .zip(state.dirty.iter_mut())
+                .map(|(shard, dirty)| Mutex::new((Arc::make_mut(shard), dirty)))
                 .collect();
             run_ordered(
                 threads,
                 n,
                 |i| {
-                    let mut shard = slots[i]
+                    let mut slot = slots[i]
                         .lock()
                         .expect("invariant: shard lock is never poisoned (ingest does not panic)");
+                    let (shard, dirty) = &mut *slot;
                     routed[i]
                         .iter()
-                        .filter(|report| shard.ingest(window, report))
+                        .filter(|report| shard.ingest_tracked(window, report, dirty))
                         .count() as u64
                 },
                 |_, a| accepted += a,
             );
         } else {
-            for (shard, batch) in self.shards.iter_mut().zip(&routed) {
+            for ((shard, dirty), batch) in self
+                .shards
+                .iter_mut()
+                .zip(state.dirty.iter_mut())
+                .zip(&routed)
+            {
                 let shard = Arc::make_mut(shard);
                 accepted += batch
                     .iter()
-                    .filter(|report| shard.ingest(window, report))
+                    .filter(|report| shard.ingest_tracked(window, report, dirty))
                     .count() as u64;
             }
         }
@@ -279,40 +439,117 @@ impl ShardedStore {
     ///
     /// The row side is cheap (one `Arc` clone per shard): the shards are
     /// shared, not copied, and later ingest copies-on-write only what it
-    /// touches. Sealing additionally builds each shard's read-optimized
-    /// [`ColumnarShard`] projection — in parallel across shards via
-    /// [`run_ordered`] — together with its per-window
-    /// [`crate::columnar::WindowZoneMap`]s (row counts and key/time
-    /// ranges the query planner prunes shards with), and memoizes the
-    /// result by epoch, so only the first seal after an ingest pays the
-    /// projection cost; every later seal of the same epoch reuses the
-    /// packed columns by `Arc` clone.
+    /// touches. Sealing additionally brings each shard's
+    /// [`SegmentStack`] up to date — **incrementally**: only the rows
+    /// dirtied since the previous seal are projected (in parallel across
+    /// shards via [`run_ordered`]) into one new delta [`ColumnarShard`],
+    /// complete with per-window [`crate::columnar::WindowZoneMap`]s, so
+    /// seal cost tracks the delta, not the campaign. A deterministic
+    /// size-tiered compaction pass then folds the newest segments
+    /// together while the older of the top two holds fewer than
+    /// `COMPACTION_RATIO`× the newer one's rows, keeping stacks
+    /// shallow. The result is memoized by epoch: every later seal of the
+    /// same epoch reuses the stacks by `Arc` clone.
     pub fn seal(&self) -> Snapshot {
-        let mut cache = self
-            .columnar
+        let mut state = self
+            .seal
             .lock()
-            .expect("invariant: columnar lock is never poisoned (projection code does not panic)");
-        let columnar = match cache.as_ref() {
-            Some((epoch, shards)) if *epoch == self.epoch => shards.clone(),
-            _ => {
-                let mut built = Vec::with_capacity(self.shards.len());
-                run_ordered(
-                    self.config.threads,
-                    self.shards.len(),
-                    |i| ColumnarShard::build(&self.shards[i]),
-                    |_, shard| built.push(Arc::new(shard)),
-                );
-                *cache = Some((self.epoch, built.clone()));
-                built
+            .expect("invariant: seal lock is never poisoned (projection code does not panic)");
+        if state.sealed_epoch != Some(self.epoch) {
+            // Take the stacks and dirty sets out of the guard so the
+            // parallel closure borrows only immutable locals.
+            let stacks = std::mem::take(&mut state.stacks);
+            let dirty = std::mem::take(&mut state.dirty);
+            let mut sealed = Vec::with_capacity(self.shards.len());
+            run_ordered(
+                self.config.threads,
+                self.shards.len(),
+                |i| seal_shard(&self.shards[i], &stacks[i], &dirty[i]),
+                |_, out| sealed.push(out),
+            );
+            let mut live = 0u64;
+            state.stacks = Vec::with_capacity(sealed.len());
+            for (i, (stack, compacted, rows)) in sealed.into_iter().enumerate() {
+                live += stack.len() as u64;
+                state.stacks.push(stack);
+                state.stats.segments_compacted += compacted;
+                state.stats.rows_resealed += rows;
+                state.persist_pending[i].merge_from(&dirty[i]);
             }
-        };
+            state.dirty = dirty.into_iter().map(|_| DirtyShard::default()).collect();
+            state.stats.seals_total += 1;
+            state.stats.segments_live = live;
+            state.sealed_epoch = Some(self.epoch);
+        }
         Snapshot {
             epoch: self.epoch,
             shards: self.shards.clone(),
-            columnar,
+            columnar: state.stacks.clone(),
+            seal: state.stats,
             persistence: self.persistence,
         }
     }
+}
+
+/// Brings one shard's segment stack up to date: projects the dirtied
+/// rows into a new delta segment, then runs the size-tiered compaction
+/// loop. Returns the new stack plus (segments consumed by compaction,
+/// rows written into segments by this call).
+fn seal_shard(
+    shard: &StoreShard,
+    stack: &SegmentStack,
+    dirty: &DirtyShard,
+) -> (SegmentStack, u64, u64) {
+    let mut segments = stack.segments.clone();
+    let mut compacted = 0u64;
+    let mut rows = 0u64;
+    if segments.is_empty() {
+        // First seal for this shard in this process. The row tables may
+        // hold rows the dirty set does not cover — a store reopened from
+        // disk loads its segments straight into the tables without
+        // marking them dirty — so project everything. For a store built
+        // purely by ingest this is the same bytes as the delta build:
+        // every live row is dirty relative to the (nonexistent) last
+        // seal.
+        let full = ColumnarShard::build(shard);
+        if full.row_count() > 0 {
+            rows += full.row_count();
+            segments.push(Arc::new(full));
+        }
+    } else if !dirty.is_empty() {
+        let delta = ColumnarShard::build_delta(shard, dirty);
+        // A counters-only dirty set (every write lost a conflict, or
+        // only dedup state moved) projects zero rows — push nothing.
+        if delta.row_count() > 0 {
+            rows += delta.row_count();
+            segments.push(Arc::new(delta));
+        }
+    }
+    // Size-tiered compaction: merge the top two segments while the older
+    // one is small relative to the newer (row counts only — fully
+    // deterministic). Merging the top of the stack is a filtered rebuild
+    // from the live row tables: no newer segment exists to shadow these
+    // keys, so their current live values are exactly the merged result.
+    while segments.len() >= 2 {
+        let newer = segments[segments.len() - 1].row_count();
+        let older = segments[segments.len() - 2].row_count();
+        if older >= newer.saturating_mul(COMPACTION_RATIO) {
+            break;
+        }
+        let top = segments
+            .pop()
+            .expect("invariant: len >= 2 guarantees a top segment");
+        let below = segments
+            .pop()
+            .expect("invariant: len >= 2 guarantees a second segment");
+        let mut keys = below.key_sets();
+        keys.merge_from(&top.key_sets());
+        let merged = ColumnarShard::build_delta(shard, &keys);
+        compacted += 2;
+        rows += merged.row_count();
+        segments.push(Arc::new(merged));
+    }
+    (SegmentStack { segments }, compacted, rows)
 }
 
 /// Routes `(window, device)` to a shard with a splitmix64 hash, so the
@@ -323,16 +560,18 @@ fn shard_index(window: WindowId, device: u64, shards: usize) -> usize {
 
 /// An immutable, epoch-numbered view of the store, carrying both
 /// physical layouts: the row-oriented shard tables (the write layout)
-/// and their packed columnar projection (the read layout the
+/// and their segmented columnar projection (the read layout the
 /// [`crate::query::QueryBackend::Columnar`] and
-/// [`crate::query::QueryBackend::Vectorized`] kernels scan, carrying
-/// the zone maps the cost-based planner consults before touching a
-/// shard's columns).
+/// [`crate::query::QueryBackend::Vectorized`] kernels scan — a
+/// [`SegmentStack`] of delta segments per shard, each segment carrying
+/// the zone maps the cost-based planner consults before touching its
+/// columns).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     epoch: u64,
     shards: Vec<Arc<StoreShard>>,
-    columnar: Vec<Arc<ColumnarShard>>,
+    columnar: Vec<SegmentStack>,
+    seal: SealStats,
     persistence: PersistenceStats,
 }
 
@@ -347,9 +586,14 @@ impl Snapshot {
         &self.shards
     }
 
-    /// The frozen shards' columnar projections, in shard order.
-    pub fn columnar(&self) -> &[Arc<ColumnarShard>] {
+    /// The frozen shards' columnar segment stacks, in shard order.
+    pub fn columnar(&self) -> &[SegmentStack] {
         &self.columnar
+    }
+
+    /// Cumulative incremental-seal counters at seal time.
+    pub fn seal_stats(&self) -> SealStats {
+        self.seal
     }
 
     /// Reports accepted across all shards at seal time.
@@ -388,6 +632,66 @@ impl ReportSink for ShardedStore {
 impl ReportSink for Backend {
     fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
         Backend::ingest_batch(self, window, reports)
+    }
+}
+
+/// Sinks that can seal mid-campaign, so the engine's `--seal-every`
+/// cadence works against any store flavor. Sealing is about keeping the
+/// incremental projection warm — for sinks with no columnar layout (the
+/// legacy [`Backend`]) it is a no-op.
+pub trait Sealable {
+    /// Brings the sink's read layout up to date with what has been
+    /// ingested so far.
+    fn reseal(&mut self);
+}
+
+impl Sealable for ShardedStore {
+    fn reseal(&mut self) {
+        let _ = self.seal();
+    }
+}
+
+impl Sealable for Backend {
+    fn reseal(&mut self) {}
+}
+
+/// A [`ReportSink`] adapter that seals its inner sink every `every`
+/// ingested batches — the mid-campaign cadence behind the CLI's
+/// `--seal-every` flag. With incremental sealing each re-seal projects
+/// only the rows the batches since the last seal dirtied, so a steady
+/// cadence keeps per-seal cost flat as the campaign grows.
+#[derive(Debug)]
+pub struct SealEvery<S> {
+    inner: S,
+    every: u64,
+    batches: u64,
+}
+
+impl<S> SealEvery<S> {
+    /// Wraps `inner`, sealing after every `every` batches (`every` is
+    /// clamped to at least 1).
+    pub fn new(inner: S, every: u64) -> Self {
+        SealEvery {
+            inner,
+            every: every.max(1),
+            batches: 0,
+        }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ReportSink + Sealable> ReportSink for SealEvery<S> {
+    fn ingest_batch(&mut self, window: WindowId, reports: &[Report]) -> u64 {
+        let accepted = self.inner.ingest_batch(window, reports);
+        self.batches += 1;
+        if self.batches % self.every == 0 {
+            self.inner.reseal();
+        }
+        accepted
     }
 }
 
@@ -454,33 +758,65 @@ mod tests {
         let mut store = ShardedStore::new(3);
         store.ingest_batch(W, &[usage_report(1, 0, 10)]);
         let first = store.seal();
-        assert_eq!(first.columnar().len(), 3, "one projection per shard");
+        assert_eq!(first.columnar().len(), 3, "one stack per shard");
         let again = store.seal();
         for (a, b) in first.columnar().iter().zip(again.columnar()) {
-            assert!(Arc::ptr_eq(a, b), "same epoch reuses the projection");
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.segments().iter().zip(b.segments()) {
+                assert!(Arc::ptr_eq(sa, sb), "same epoch reuses the segments");
+            }
         }
         store.ingest_batch(W, &[usage_report(2, 0, 10)]);
         let later = store.seal();
-        assert!(
-            first
-                .columnar()
-                .iter()
-                .zip(later.columnar())
-                .all(|(a, b)| !Arc::ptr_eq(a, b)),
-            "ingest invalidates the memoized projection"
-        );
-        // The projection mirrors the row tables cell for cell.
-        for (shard, cols) in later.shards().iter().zip(later.columnar()) {
+        assert_eq!(later.seal_stats().seals_total, 2);
+        // Only the shard that took device 2 re-projects; shards with no
+        // dirtied rows keep their segments pointer-identical.
+        let touched = store.shard_of(W, 2);
+        for (i, (a, b)) in first.columnar().iter().zip(later.columnar()).enumerate() {
+            if i == touched {
+                continue;
+            }
+            assert_eq!(a.len(), b.len(), "untouched shard keeps its stack");
+            for (sa, sb) in a.segments().iter().zip(b.segments()) {
+                assert!(Arc::ptr_eq(sa, sb), "untouched shard reuses segments");
+            }
+        }
+        // Folding every stack newest-wins mirrors the row tables cell
+        // for cell, regardless of how many delta segments are live.
+        for (shard, stack) in later.shards().iter().zip(later.columnar()) {
             let row_cells: Vec<_> = shard
                 .window(W)
                 .map(|t| t.usage.iter().map(|(&k, &v)| (k, v)).collect())
                 .unwrap_or_default();
-            let col_cells: Vec<_> = cols
-                .window(W)
-                .map(|w| w.usage_cells().collect())
-                .unwrap_or_default();
+            let views: Vec<&crate::columnar::ColumnarWindow> = stack
+                .segments()
+                .iter()
+                .filter_map(|seg| seg.window(W))
+                .collect();
+            let col_cells: Vec<_> = match views.len() {
+                0 => Vec::new(),
+                1 => views[0].usage_cells().collect(),
+                _ => crate::columnar::merge_segments(&views, crate::columnar::FAM_USAGE)
+                    .usage_cells()
+                    .collect(),
+            };
             assert_eq!(row_cells, col_cells);
         }
+    }
+
+    #[test]
+    fn seal_every_wrapper_seals_on_cadence() {
+        let mut sink = SealEvery::new(ShardedStore::new(2), 2);
+        for batch in 0..5u64 {
+            let reports: Vec<Report> = (0..4).map(|d| usage_report(d, batch, 10)).collect();
+            ReportSink::ingest_batch(&mut sink, W, &reports);
+        }
+        let store = sink.into_inner();
+        let snap = store.seal();
+        // 5 batches at cadence 2 → seals after batches 2 and 4, plus the
+        // final explicit seal here.
+        assert_eq!(snap.seal_stats().seals_total, 3);
+        assert_eq!(store.reports_ingested(), 20);
     }
 
     #[test]

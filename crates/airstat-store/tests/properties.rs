@@ -287,4 +287,89 @@ proptest! {
         // empty window sweep (every shard's zone map rejects it).
         prop_assert!(pruned.stats().shards_pruned > 0, "zone maps never fired");
     }
+
+    /// Seal placement is invisible in results: chopping one ingest
+    /// stream into chunks and sealing after every 1st, 3rd, 7th, or no
+    /// intermediate chunk leaves every backend's answers identical to
+    /// the single monolithic seal — whatever delta-segment stacks and
+    /// compaction schedules each cadence produced along the way.
+    #[test]
+    fn results_are_seal_placement_invariant(
+        payloads in prop::collection::vec(any_payload(), 1..20),
+        shards in 1usize..9,
+        threads in 1usize..4,
+    ) {
+        let reports: Vec<Report> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| Report {
+                device: (i % 5) as u64,
+                seq: (i / 5) as u64 + 1,
+                timestamp_s: 1_000 + i as u64,
+                payload,
+            })
+            .collect();
+        let mut monolithic = ShardedStore::with_config(StoreConfig { shards, threads });
+        monolithic.ingest_batch(W, &reports);
+        let reference = QueryEngine::new(monolithic.seal(), threads);
+
+        for seal_every in [1usize, 3, 7, usize::MAX] {
+            let mut store = ShardedStore::with_config(StoreConfig { shards, threads });
+            let mut sealed_mid_stream = 0u64;
+            for (i, chunk) in reports.chunks(2).enumerate() {
+                store.ingest_batch(W, chunk);
+                if (i + 1) % seal_every == 0 {
+                    let _ = store.seal();
+                    sealed_mid_stream += 1;
+                }
+            }
+            let snapshot = store.seal();
+            prop_assert!(
+                snapshot.seal_stats().seals_total >= sealed_mid_stream,
+                "seal counters went backwards"
+            );
+            for backend in [
+                QueryBackend::Planner,
+                QueryBackend::Vectorized,
+                QueryBackend::Columnar,
+                QueryBackend::Legacy,
+            ] {
+                let engine = QueryEngine::with_backend(snapshot.clone(), threads, backend);
+                prop_assert_eq!(engine.usage_by_app(W), reference.usage_by_app(W));
+                prop_assert_eq!(engine.usage_by_os(W), reference.usage_by_os(W));
+                prop_assert_eq!(engine.client_count(W), reference.client_count(W));
+                prop_assert_eq!(engine.clients(W), reference.clients(W));
+                prop_assert_eq!(
+                    engine.census_device_count(W),
+                    reference.census_device_count(W)
+                );
+                for band in [Band::Ghz2_4, Band::Ghz5] {
+                    let keys = engine.link_keys(W, band);
+                    prop_assert_eq!(&keys, &reference.link_keys(W, band));
+                    for key in keys {
+                        prop_assert_eq!(
+                            engine.link_series(W, key),
+                            reference.link_series(W, key)
+                        );
+                    }
+                    prop_assert_eq!(
+                        engine.mean_delivery_ratios(W, band),
+                        reference.mean_delivery_ratios(W, band)
+                    );
+                    prop_assert_eq!(
+                        engine.nearby_summary(W, band),
+                        reference.nearby_summary(W, band)
+                    );
+                    prop_assert_eq!(
+                        engine.nearby_per_channel(W, band),
+                        reference.nearby_per_channel(W, band)
+                    );
+                    prop_assert_eq!(
+                        engine.scan_observations(W, band),
+                        reference.scan_observations(W, band)
+                    );
+                }
+            }
+        }
+    }
 }

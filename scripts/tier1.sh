@@ -23,6 +23,12 @@ cargo test -q --offline -p airstat-store --test properties pruned_execution_matc
 echo "==> cargo test -q --test persistence (persist/reopen differential + tail-log crash recovery)"
 cargo test -q --offline --test persistence
 
+echo "==> cargo test -q --test incremental_seal (mid-campaign delta seals: backend x shard x cadence differential, persisted/reloaded included)"
+cargo test -q --offline --test incremental_seal
+
+echo "==> cargo test -q -p airstat-store --test properties results_are_seal_placement_invariant (seal-placement/compaction-schedule invariance proptest)"
+cargo test -q --offline -p airstat-store --test properties results_are_seal_placement_invariant
+
 echo "==> cargo test -q --test scheduler (flat-vs-scheduler byte-identity differential + 100k-AP queue-pressure campaign)"
 cargo test -q --offline --test scheduler
 

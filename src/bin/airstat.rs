@@ -56,6 +56,7 @@ struct Options {
     explain: bool,
     store_dir: Option<String>,
     resume: bool,
+    seal_every: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -87,6 +88,11 @@ fn usage() -> &'static str {
                    (map-backed); output is byte-identical for all\n\
      --explain     print the planner's per-plan path choice and zone-map\n\
                    estimates to stderr\n\
+     --seal-every N\n\
+                   re-seal the store's columnar read layout every N\n\
+                   ingested batches mid-campaign (incremental delta\n\
+                   segments; seal counters print to stderr); stdout is\n\
+                   byte-identical for every cadence\n\
      --store-dir DIR\n\
                    persist the store into DIR (docs/SEGMENT_FORMAT.md):\n\
                    every batch hits a crash-safe tail log during the run\n\
@@ -118,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut explain = false;
     let mut store_dir = None;
     let mut resume = false;
+    let mut seal_every = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -182,6 +189,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 ))?);
             }
             "--explain" => explain = true,
+            "--seal-every" => {
+                i += 1;
+                let value = args.get(i).ok_or("--seal-every needs a batch count")?;
+                let n = parse_u64(value).map_err(|_| format!("bad seal cadence: {value}"))?;
+                if n == 0 {
+                    return Err("--seal-every must be >= 1".into());
+                }
+                seal_every = Some(n);
+            }
             "--store-dir" => {
                 i += 1;
                 let value = args.get(i).ok_or("--store-dir needs a directory")?;
@@ -246,6 +262,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         explain,
         store_dir,
         resume,
+        seal_every,
     })
 }
 
@@ -269,6 +286,7 @@ fn run(options: Options) -> Result<(), String> {
     if let Some(path) = options.poll_path {
         config.poll_path = path;
     }
+    config.seal_every = options.seal_every;
     if options.command == Command::Info {
         println!(
             "scale {:.4}: {} usage networks, {} MR16 APs, {} MR18 APs, {} clients (2015) / {} (2014), seed {:#x}",
@@ -477,6 +495,18 @@ mod tests {
         assert!(!parse(&["report"]).unwrap().explain);
         assert_eq!(parse(&["report"]).unwrap().store_dir, None);
         assert!(!parse(&["report"]).unwrap().resume);
+        assert_eq!(parse(&["report"]).unwrap().seal_every, None);
+    }
+
+    #[test]
+    fn parses_seal_every() {
+        let o = parse(&["report", "--seal-every", "50"]).unwrap();
+        assert_eq!(o.seal_every, Some(50));
+        let o = parse(&["--seal-every", "0x10", "table", "4"]).unwrap();
+        assert_eq!(o.seal_every, Some(16));
+        assert!(parse(&["report", "--seal-every", "0"]).is_err());
+        assert!(parse(&["report", "--seal-every", "often"]).is_err());
+        assert!(parse(&["report", "--seal-every"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Differential tests for incremental sealing: a campaign that re-seals
+//! its store mid-stream (`FleetConfig::seal_every`) builds per-shard
+//! stacks of delta segments plus whatever compaction folded together —
+//! and none of that may show in results. Every backend must answer
+//! byte-identically to the never-sealed-mid-run baseline, for every
+//! shard count, thread count, and seal cadence, including a store that
+//! went through persist + reload in between.
+
+use airstat::core::PaperReport;
+use airstat::sim::{FleetConfig, FleetSimulation};
+use airstat::store::{QueryBackend, QueryEngine, ShardedStore, StoreConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BACKENDS: [QueryBackend; 4] = [
+    QueryBackend::Planner,
+    QueryBackend::Vectorized,
+    QueryBackend::Columnar,
+    QueryBackend::Legacy,
+];
+
+/// A unique scratch directory per call — process id plus a
+/// process-wide counter, no wall clock involved.
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("airstat-seal-{}-{tag}-{id}", std::process::id()))
+}
+
+#[test]
+fn mid_campaign_seals_are_invisible_to_every_backend() {
+    // One baseline: the smoke campaign with no mid-run seals, default
+    // knobs. Reports are byte-identical across shards/threads already,
+    // so every combination below compares against this single string.
+    let base_config = FleetConfig::smoke();
+    let output = FleetSimulation::new(base_config.clone()).run();
+    let baseline = PaperReport::from_query(&output.query(), &base_config).to_string();
+
+    for shards in [1usize, 4, 8] {
+        for threads in [1usize, 4] {
+            for seal_every in [1u64, 7] {
+                let config = FleetConfig {
+                    shards,
+                    threads,
+                    seal_every: Some(seal_every),
+                    ..FleetConfig::smoke()
+                };
+                let label = format!("shards {shards}, threads {threads}, seal every {seal_every}");
+                let output = FleetSimulation::new(config.clone()).run();
+                let snapshot = output.store.seal();
+                let stats = snapshot.seal_stats();
+                assert!(stats.seals_total > 1, "no mid-run seal happened ({label})");
+                assert!(stats.segments_live >= 1, "no live segments ({label})");
+                assert!(stats.rows_resealed > 0, "no rows projected ({label})");
+                for backend in BACKENDS {
+                    let engine =
+                        QueryEngine::with_backend(snapshot.clone(), output.threads, backend);
+                    assert_eq!(
+                        baseline,
+                        PaperReport::from_query(&engine, &config).to_string(),
+                        "report diverged on the {} backend ({label})",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sealed_segment_stacks_survive_persist_and_reload() {
+    let base_config = FleetConfig::smoke();
+    let baseline_output = FleetSimulation::new(base_config.clone()).run();
+    let baseline = PaperReport::from_query(&baseline_output.query(), &base_config).to_string();
+
+    let dir = temp_store_dir("reload");
+    let config = FleetConfig {
+        shards: 4,
+        threads: 4,
+        seal_every: Some(5),
+        ..FleetConfig::smoke()
+    };
+    // The durable run seals every 5 batches, so the final persist writes
+    // a store whose read layout went through many delta seals and
+    // compactions. Reloading must reconstruct identical answers.
+    let (output, persisted) = FleetSimulation::new(config.clone())
+        .run_durable(&dir)
+        .expect("durable run");
+    assert!(persisted.segments_written > 0);
+    assert_eq!(
+        baseline,
+        PaperReport::from_query(&output.query(), &config).to_string(),
+        "durable sealed run diverged before reload"
+    );
+
+    let (reopened, recovery) = ShardedStore::open(&dir, StoreConfig::default()).expect("open");
+    assert!(recovery.segments_loaded > 0);
+    let snapshot = reopened.seal();
+    for backend in BACKENDS {
+        let engine = QueryEngine::with_backend(snapshot.clone(), 4, backend);
+        assert_eq!(
+            baseline,
+            PaperReport::from_query(&engine, &config).to_string(),
+            "reloaded report diverged on the {} backend",
+            backend.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
