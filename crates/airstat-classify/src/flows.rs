@@ -12,10 +12,6 @@
 //! classification. TCP FIN (or an idle timeout) retires the entry, and
 //! the table is bounded — eviction picks the least-recently-used flow, a
 //! real constraint on 64 MB devices.
-
-// airstat::allow(no-hashmap-iter): the flow table is the per-packet hot
-// path; `flows` stays a HashMap (keyed access + a tie-broken min scan),
-// `usage` is a BTreeMap so harvesting is sorted by construction.
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 

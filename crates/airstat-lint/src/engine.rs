@@ -1,11 +1,20 @@
-//! The audit engine: walks the workspace, applies the rules, resolves
-//! suppressions.
+//! The audit engine: walks the workspace, applies both rule
+//! generations, resolves suppressions, and polices the suppressions
+//! themselves.
 //!
 //! Scope: every `.rs` file under `src/` and `crates/*/src/` — library
 //! and binary sources, the code whose behavior ships. Test files
 //! (`tests/`, `benches/`, `examples/`) are out of scope, as are
 //! `#[cfg(test)]` modules inside library files; test code may unwrap
 //! and hash freely without touching report bytes.
+//!
+//! Per file the engine lexes once, runs the generation-1 token rules,
+//! parses the token stream ([`crate::parser`]), indexes the file's
+//! symbols ([`crate::symbols`]), and runs the generation-2
+//! parser/dataflow rules ([`crate::rules::check_ast`]). Across the
+//! tree it aggregates a workspace symbol table and feeds the spec-doc
+//! pins (`docs/SEGMENT_FORMAT.md`, `docs/LINTS.md`) to the
+//! schema-drift rule.
 //!
 //! Suppressions are inline comments:
 //!
@@ -16,15 +25,18 @@
 //!
 //! A leading comment suppresses the next code line; a trailing comment
 //! suppresses its own line. The reason is mandatory — an `airstat::allow`
-//! without one is itself a `malformed-allow` finding, because an
-//! unexplained suppression is exactly the kind of silent invariant leak
-//! this tool exists to prevent.
+//! without one is itself a `malformed-allow` finding. And a directive
+//! whose rule no longer fires on the line it covers is a
+//! `stale-suppression` finding: the audit trail must only contain live
+//! suppressions.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Token, TokenKind};
-use crate::rules::{check_tokens, FileContext, RuleId};
+use crate::parser;
+use crate::rules::{check_ast, check_tokens, DocPins, FileContext, RawFinding, RuleId};
+use crate::symbols::SymbolTable;
 
 /// An unsuppressed rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,12 +75,22 @@ pub struct AuditReport {
     pub suppressed: Vec<Suppressed>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Number of fn/struct/const symbols indexed across the scan.
+    pub symbols_indexed: usize,
 }
 
 impl AuditReport {
     /// True when the tree is clean (exit code 0).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Drops findings and suppressions that `keep` rejects, for the
+    /// `--rule` / `--generation` CLI filters. Scan counters stay as
+    /// measured.
+    pub fn retain_rules(&mut self, keep: impl Fn(RuleId) -> bool) {
+        self.findings.retain(|f| keep(f.rule));
+        self.suppressed.retain(|s| keep(s.rule));
     }
 }
 
@@ -79,24 +101,71 @@ struct Directive {
     reason: String,
     /// The line(s) of code this directive covers.
     covers: Vec<u32>,
+    /// Where the directive comment itself sits.
+    line: u32,
+    col: u32,
+    /// Whether the comment lives inside a `#[cfg(test)]` region (such
+    /// directives are exempt from staleness — the rules they name do
+    /// not run there).
+    in_test: bool,
 }
 
-/// Audits a single file's source text. Exposed for the fixture tests.
+/// Audits a single file's source text with no spec docs in play (the
+/// schema-drift rule stays silent). Exposed for the fixture tests.
 pub fn audit_source(rel_path: &str, src: &str) -> AuditReport {
+    audit_source_with_pins(rel_path, src, &DocPins::default())
+}
+
+/// Audits a single file's source text against explicit spec-doc pins.
+pub fn audit_source_with_pins(rel_path: &str, src: &str, pins: &DocPins) -> AuditReport {
     let ctx = FileContext::from_rel_path(rel_path);
     let tokens = lex(src);
     let in_test = test_regions(&tokens);
-    let mut raw = check_tokens(&ctx, &tokens, &in_test);
-    let (directives, mut malformed) = parse_directives(&tokens);
+
+    let file = parser::parse(&tokens);
+    let mut symbols = SymbolTable::default();
+    symbols.add_file(rel_path, &ctx.crate_name, &file);
+    let test_lines = line_test_map(&tokens, &in_test);
+    let ast = check_ast(&ctx, &file, &symbols, &test_lines, pins);
+
+    let mut raw = check_tokens(&ctx, &tokens, &in_test, &ast.hashmap_exempt_lines);
+    raw.extend(ast.findings);
+    let (directives, mut malformed) = parse_directives(&tokens, &in_test);
     raw.append(&mut malformed);
+
+    // Suppression hygiene, two passes so `allow(stale-suppression)` can
+    // itself be vouched for: first find directives whose rule no longer
+    // fires where they point, then check the vouchers against those.
+    let stale_first: Vec<RawFinding> = directives
+        .iter()
+        .filter(|d| !d.in_test && d.rule != RuleId::StaleSuppression)
+        .filter(|d| {
+            !raw.iter()
+                .any(|f| f.rule == d.rule && d.covers.contains(&f.line))
+        })
+        .map(stale_finding)
+        .collect();
+    let stale_second: Vec<RawFinding> = directives
+        .iter()
+        .filter(|d| !d.in_test && d.rule == RuleId::StaleSuppression)
+        .filter(|d| !stale_first.iter().any(|f| d.covers.contains(&f.line)))
+        .map(stale_finding)
+        .collect();
+    raw.extend(stale_first);
+    raw.extend(stale_second);
 
     let mut report = AuditReport {
         files_scanned: 1,
+        symbols_indexed: symbols.len(),
         ..AuditReport::default()
     };
     for f in raw {
         let covering = directives.iter().find(|d| {
-            d.rule == f.rule && f.rule != RuleId::MalformedAllow && d.covers.contains(&f.line)
+            d.rule == f.rule
+                && f.rule != RuleId::MalformedAllow
+                && d.covers.contains(&f.line)
+                // A voucher cannot vouch for its own staleness.
+                && !(f.rule == RuleId::StaleSuppression && d.line == f.line)
         });
         match covering {
             Some(d) => report.suppressed.push(Suppressed {
@@ -117,7 +186,37 @@ pub fn audit_source(rel_path: &str, src: &str) -> AuditReport {
     report
 }
 
+fn stale_finding(d: &Directive) -> RawFinding {
+    RawFinding {
+        rule: RuleId::StaleSuppression,
+        line: d.line,
+        col: d.col,
+        message: format!(
+            "stale suppression: `airstat::allow({})` covers no `{}` finding any \
+             more — remove the directive",
+            d.rule.name(),
+            d.rule.name()
+        ),
+    }
+}
+
+/// Maps 1-based line numbers to "sits in a `#[cfg(test)]` region", for
+/// the AST rules whose nodes carry line positions rather than token
+/// indices.
+fn line_test_map(tokens: &[Token], in_test: &[bool]) -> Vec<bool> {
+    let max_line = tokens.last().map(|t| t.line as usize).unwrap_or(0);
+    let mut lines = vec![false; max_line + 2];
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            lines[t.line as usize] = true;
+        }
+    }
+    lines
+}
+
 /// Audits every in-scope file under `root`, returning a merged report.
+/// Spec-doc pins are read from `docs/` under the same root when
+/// present.
 pub fn audit_tree(root: &Path) -> Result<AuditReport, String> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("src"), &mut files);
@@ -141,6 +240,10 @@ pub fn audit_tree(root: &Path) -> Result<AuditReport, String> {
     }
     files.sort();
 
+    let segment_doc = fs::read_to_string(root.join("docs/SEGMENT_FORMAT.md")).ok();
+    let lints_doc = fs::read_to_string(root.join("docs/LINTS.md")).ok();
+    let pins = DocPins::parse(segment_doc.as_deref(), lints_doc.as_deref());
+
     let mut report = AuditReport::default();
     for file in &files {
         let rel = file
@@ -150,10 +253,11 @@ pub fn audit_tree(root: &Path) -> Result<AuditReport, String> {
             .replace('\\', "/");
         let src =
             fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let one = audit_source(&rel, &src);
+        let one = audit_source_with_pins(&rel, &src, &pins);
         report.findings.extend(one.findings);
         report.suppressed.extend(one.suppressed);
         report.files_scanned += 1;
+        report.symbols_indexed += one.symbols_indexed;
     }
     report
         .findings
@@ -252,7 +356,7 @@ pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
 
 /// Extracts `airstat::allow` directives from comments; malformed ones
 /// come back as findings.
-fn parse_directives(tokens: &[Token]) -> (Vec<Directive>, Vec<crate::rules::RawFinding>) {
+fn parse_directives(tokens: &[Token], in_test: &[bool]) -> (Vec<Directive>, Vec<RawFinding>) {
     const NEEDLE: &str = "airstat::allow";
     let mut directives = Vec::new();
     let mut malformed = Vec::new();
@@ -271,7 +375,7 @@ fn parse_directives(tokens: &[Token]) -> (Vec<Directive>, Vec<crate::rules::RawF
             continue;
         }
         let mut bad = |why: &str| {
-            malformed.push(crate::rules::RawFinding {
+            malformed.push(RawFinding {
                 rule: RuleId::MalformedAllow,
                 line: t.line,
                 col: t.col,
@@ -309,7 +413,8 @@ fn parse_directives(tokens: &[Token]) -> (Vec<Directive>, Vec<crate::rules::RawF
         }
 
         // A trailing comment covers its own line; a leading comment
-        // covers the next code line.
+        // covers every line down to (and including) the next code line,
+        // so stacked directives can vouch for one another.
         let leading = !tokens[..idx]
             .iter()
             .rev()
@@ -321,13 +426,16 @@ fn parse_directives(tokens: &[Token]) -> (Vec<Directive>, Vec<crate::rules::RawF
                 .iter()
                 .find(|n| !n.is_comment() && n.line > t.line)
             {
-                covers.push(next.line);
+                covers.extend(t.line + 1..=next.line);
             }
         }
         directives.push(Directive {
             rule,
             reason: reason.to_string(),
             covers,
+            line: t.line,
+            col: t.col,
+            in_test: in_test[idx],
         });
     }
     (directives, malformed)
@@ -340,7 +448,7 @@ mod tests {
     #[test]
     fn cfg_test_mod_is_exempt() {
         let src = "\
-use std::collections::HashMap;
+struct S { m: std::collections::HashMap<u8, u8> }
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;
@@ -414,14 +522,54 @@ let m: HashMap<u8, u8> = make();
     }
 
     #[test]
-    fn allow_only_covers_its_rule() {
+    fn allow_only_covers_its_rule_and_goes_stale() {
         let src = "\
 // airstat::allow(no-wall-clock): wrong rule for this line
 let m: HashMap<u8, u8> = make();
 ";
         let report = audit_source("crates/airstat-store/src/x.rs", src);
-        assert_eq!(report.findings.len(), 1);
+        // The hashmap finding survives, and the useless directive is
+        // itself flagged as stale.
+        assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
         assert_eq!(report.findings[0].rule, RuleId::NoHashmapIter);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::StaleSuppression && f.line == 1));
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "\
+// airstat::allow(no-hashmap-iter): keyed access only
+let m: HashMap<u8, u8> = make();
+";
+        let report = audit_source("crates/airstat-store/src/x.rs", src);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn stale_allow_can_be_vouched_for() {
+        let src = "\
+// airstat::allow(stale-suppression): kept while the migration lands
+// airstat::allow(no-hashmap-iter): converted to BTreeMap last PR
+let m: BTreeMap<u8, u8> = make();
+";
+        let report = audit_source("crates/airstat-store/src/x.rs", src);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].rule, RuleId::StaleSuppression);
+    }
+
+    #[test]
+    fn unvouched_stale_voucher_is_itself_stale() {
+        let src = "\
+// airstat::allow(stale-suppression): nothing stale here any more
+let m: BTreeMap<u8, u8> = make();
+";
+        let report = audit_source("crates/airstat-store/src/x.rs", src);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, RuleId::StaleSuppression);
     }
 
     #[test]
@@ -456,5 +604,23 @@ fn f() {}
         let report = audit_source("crates/airstat-store/src/x.rs", src);
         assert!(report.is_clean());
         assert!(report.suppressed.is_empty());
+    }
+
+    #[test]
+    fn use_imports_no_longer_fire_hashmap_rule() {
+        let src = "\
+use std::collections::HashMap;
+struct S { m: HashMap<u8, u8> }
+";
+        let report = audit_source("crates/airstat-store/src/x.rs", src);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].line, 2); // the field, not the import
+    }
+
+    #[test]
+    fn drift_rule_silent_without_docs() {
+        let src = "pub const SEGMENT_SCHEMA_VERSION: u32 = 99;\n";
+        let report = audit_source("crates/airstat-store/src/x.rs", src);
+        assert!(report.is_clean(), "{:?}", report.findings);
     }
 }

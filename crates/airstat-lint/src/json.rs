@@ -6,25 +6,29 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "files_scanned": 93,
 //!   "findings": [
-//!     {"rule": "...", "file": "...", "line": 1, "col": 1, "message": "..."}
+//!     {"rule": "...", "generation": 2, "file": "...", "line": 1, "col": 1, "message": "..."}
 //!   ],
 //!   "suppressed": [
-//!     {"rule": "...", "file": "...", "line": 1, "reason": "..."}
+//!     {"rule": "...", "generation": 1, "file": "...", "line": 1, "reason": "..."}
 //!   ]
 //! }
 //! ```
 //!
+//! Schema 2 (this PR) added the per-entry `"generation"` field — `1`
+//! for the token-pattern rules, `2` for the parser/dataflow rules — so
+//! downstream tooling can segment the catalogue without a name table.
 //! Arrays are sorted (file, line, col, rule), objects use exactly the
 //! key order shown, and output ends with a newline. Bump
-//! `SCHEMA_VERSION` on any shape change.
+//! `SCHEMA_VERSION` on any shape change; the number is cross-checked
+//! against `docs/LINTS.md` by the `schema-spec-drift` rule.
 
 use crate::engine::AuditReport;
 
 /// Version stamped into the output; see the module docs for the contract.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Escapes a string for a JSON double-quoted context.
 pub fn escape(s: &str) -> String {
@@ -55,8 +59,9 @@ pub fn render(report: &AuditReport) -> String {
     for (i, f) in report.findings.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            "    {{\"rule\": \"{}\", \"generation\": {}, \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
             f.rule.name(),
+            f.rule.generation(),
             escape(&f.file),
             f.line,
             f.col,
@@ -72,8 +77,9 @@ pub fn render(report: &AuditReport) -> String {
     for (i, s) in report.suppressed.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+            "    {{\"rule\": \"{}\", \"generation\": {}, \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
             s.rule.name(),
+            s.rule.generation(),
             escape(&s.file),
             s.line,
             escape(&s.reason)
@@ -103,7 +109,7 @@ mod tests {
         let rendered = render(&AuditReport::default());
         assert_eq!(
             rendered,
-            "{\n  \"schema_version\": 1,\n  \"files_scanned\": 0,\n  \"findings\": [],\n  \"suppressed\": []\n}\n"
+            "{\n  \"schema_version\": 2,\n  \"files_scanned\": 0,\n  \"findings\": [],\n  \"suppressed\": []\n}\n"
         );
     }
 }

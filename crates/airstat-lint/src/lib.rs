@@ -9,10 +9,13 @@
 //! source level, so a nondeterministic path cannot hide behind an
 //! unexercised branch.
 //!
-//! It is a std-only tool — a small lossless Rust lexer
-//! ([`lexer`]) and a token-pattern rule engine ([`rules`], [`engine`])
-//! — because the build environment has no crates.io access and the
-//! auditor must stay runnable before anything else compiles.
+//! It is a std-only tool — a small lossless Rust lexer ([`lexer`]), a
+//! tolerant recursive-descent parser producing a lightweight
+//! item/expression tree ([`parser`]), a workspace symbol table
+//! ([`symbols`]), an intraprocedural provenance dataflow pass
+//! ([`dataflow`]), and a two-generation rule engine ([`rules`],
+//! [`engine`]) — because the build environment has no crates.io access
+//! and the auditor must stay runnable before anything else compiles.
 //!
 //! Run it from the workspace root:
 //!
@@ -28,7 +31,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod dataflow;
 pub mod engine;
 pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;

@@ -1,7 +1,8 @@
 //! CLI entry point: `cargo run -q -p airstat-lint -- [--json] [--root DIR]`.
 //!
-//! Exit codes: `0` clean tree, `1` at least one unsuppressed finding,
-//! `2` usage or I/O error.
+//! Exit codes (unchanged since v1): `0` clean tree, `1` at least one
+//! unsuppressed finding (after `--rule`/`--generation` filtering, when
+//! given), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,11 +18,16 @@ USAGE:
     cargo run -q -p airstat-lint -- [OPTIONS]
 
 OPTIONS:
-    --json          machine-readable output (schema pinned by tests/json_schema.rs)
-    --root DIR      workspace root to scan (default: nearest ancestor with a
-                    [workspace] Cargo.toml)
-    --list-rules    print the rule catalogue and exit
-    -h, --help      this text
+    --json            machine-readable output (schema pinned by tests/json_schema.rs)
+    --root DIR        workspace root to scan (default: nearest ancestor with a
+                      [workspace] Cargo.toml)
+    --rule NAME       only report findings from this rule (repeatable)
+    --generation N    only report findings from rule generation 1 or 2
+    --explain RULE    print what a rule checks, why, and how to fix it
+    --list-rules      print the rule catalogue and exit
+    -h, --help        this text
+
+Exit codes: 0 clean, 1 findings (after filters), 2 usage or I/O error.
 
 Suppress a finding inline, reason mandatory:
     // airstat::allow(rule-name): why this site cannot break byte-identity
@@ -30,6 +36,8 @@ Suppress a finding inline, reason mandatory:
 fn main() -> ExitCode {
     let mut json_output = false;
     let mut root: Option<PathBuf> = None;
+    let mut only_rules: Vec<RuleId> = Vec::new();
+    let mut only_generation: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,9 +49,54 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" => match args.next().as_deref().map(RuleId::from_name) {
+                Some(Some(rule)) => only_rules.push(rule),
+                Some(None) => {
+                    eprintln!("--rule needs a known rule name (see --list-rules)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--rule needs a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--generation" => match args.next().as_deref() {
+                Some("1") => only_generation = Some(1),
+                Some("2") => only_generation = Some(2),
+                _ => {
+                    eprintln!("--generation must be 1 or 2\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next().as_deref().map(RuleId::from_name) {
+                Some(Some(rule)) => {
+                    println!(
+                        "{} (generation {})\n\n{}\n\nSuppress with:\n    \
+                         // airstat::allow({}): why this site cannot break byte-identity",
+                        rule.name(),
+                        rule.generation(),
+                        rule.explain(),
+                        rule.name()
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                Some(None) => {
+                    eprintln!("--explain needs a known rule name (see --list-rules)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--explain needs a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for rule in RuleId::ALL {
-                    println!("{:<18} {}", rule.name(), rule.description());
+                    println!(
+                        "{:<28} gen {}  {}",
+                        rule.name(),
+                        rule.generation(),
+                        rule.description()
+                    );
                 }
                 return ExitCode::SUCCESS;
             }
@@ -66,13 +119,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match audit_tree(&root) {
+    let mut report = match audit_tree(&root) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("audit failed: {err}");
             return ExitCode::from(2);
         }
     };
+
+    if !only_rules.is_empty() || only_generation.is_some() {
+        report.retain_rules(|rule| {
+            (only_rules.is_empty() || only_rules.contains(&rule))
+                && only_generation.map_or(true, |g| rule.generation() == g)
+        });
+    }
 
     if json_output {
         print!("{}", json::render(&report));
@@ -88,8 +148,9 @@ fn main() -> ExitCode {
             );
         }
         eprintln!(
-            "airstat-lint: {} files, {} findings, {} suppressed",
+            "airstat-lint: {} files, {} symbols, {} findings, {} suppressed",
             report.files_scanned,
+            report.symbols_indexed,
             report.findings.len(),
             report.suppressed.len()
         );

@@ -1,0 +1,42 @@
+pub struct Session {
+    now_s: u64,
+    consecutive_failures: u32,
+    base_backoff_s: u64,
+    max_backoff_s: u64,
+}
+
+impl Session {
+    pub fn buggy_backoff(&self) -> u64 {
+        self.base_backoff_s
+            .checked_shl(self.consecutive_failures)
+            .unwrap_or(self.max_backoff_s)
+            .min(self.max_backoff_s)
+    }
+
+    pub fn fixed_backoff(&self) -> u64 {
+        if self.consecutive_failures >= self.base_backoff_s.leading_zeros() {
+            return self.max_backoff_s;
+        }
+        (self.base_backoff_s << self.consecutive_failures).min(self.max_backoff_s)
+    }
+
+    pub fn advance(&mut self, interval_s: u64) {
+        self.now_s += interval_s;
+        self.now_s = self.now_s.wrapping_add(interval_s);
+        let due = self.now_s + interval_s;
+        let scaled = due * 2;
+        let _ = scaled;
+    }
+
+    pub fn refill(&mut self, now_s: f64, rate_bytes_per_s: f64) -> f64 {
+        now_s * rate_bytes_per_s
+    }
+
+    pub fn budgeted(&self, tick_poll_budget: usize) -> usize {
+        tick_poll_budget + 1
+    }
+
+    pub fn safe(&mut self, interval_s: u64) {
+        self.now_s = self.now_s.saturating_add(interval_s);
+    }
+}

@@ -1,0 +1,21 @@
+use std::collections::HashMap;
+
+pub fn leaks() -> HashMap<u64, u64> {
+    let m = HashMap::new();
+    m
+}
+
+pub fn feeds(sink: &mut Sink) {
+    let m: HashMap<u64, u64> = HashMap::new();
+    sink.consume(m.values());
+}
+
+pub fn drained_sorted(src: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in src {
+        m.insert(*k, *v);
+    }
+    let mut rows: Vec<(u64, u64)> = m.into_iter().collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}

@@ -1,0 +1,7 @@
+pub const SEGMENT_SCHEMA_VERSION: u32 = 3;
+
+pub const SCHEMA_VERSION: u32 = 2;
+
+pub mod nested {
+    pub const SEGMENT_SCHEMA_VERSION: u32 = 2;
+}

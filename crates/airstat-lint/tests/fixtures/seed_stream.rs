@@ -1,0 +1,14 @@
+pub fn undisciplined(seed: &SeedTree, rows: &mut Vec<Row>) {
+    let a = seed.child("poll");
+    let b = seed.child("poll");
+    let mut m: HashMap<u64, u32> = HashMap::new();
+    m.insert(a.next_u64(), 1);
+    rows.sort_by_key(|_r| b.next_u64());
+}
+
+pub fn disciplined(seed: &SeedTree, rows: &mut Vec<Row>) {
+    let admit = seed.child("admit");
+    let retry = seed.child("retry");
+    rows.sort_by_key(|r| r.stable_key);
+    consume(admit, retry);
+}

@@ -1,0 +1,20 @@
+pub fn live() -> u32 {
+    // airstat::allow(no-unwrap-in-lib): fixture exercises liveness
+    Some(1).unwrap()
+}
+
+// airstat::allow(no-hashmap-iter): nothing hashy on the next line
+pub fn stale() -> u32 {
+    2
+}
+
+// airstat::allow(stale-suppression): migration voucher kept on purpose
+// airstat::allow(no-wall-clock): clock moved out two PRs ago
+pub fn vouched() -> u32 {
+    3
+}
+
+// airstat::allow(stale-suppression): voucher with nothing to vouch for
+pub fn unvouched() -> u32 {
+    4
+}

@@ -2,7 +2,8 @@
 //!
 //! Downstream tooling (tier1.sh, CI dashboards) parses this shape; any field
 //! rename, reorder, or type change must bump `SCHEMA_VERSION` and update
-//! these snapshots deliberately.
+//! these snapshots deliberately — together with the `SCHEMA_VERSION: N`
+//! pin in docs/LINTS.md, which the `schema-spec-drift` rule cross-checks.
 
 use airstat_lint::engine::{AuditReport, Finding, Suppressed};
 use airstat_lint::json::{render, SCHEMA_VERSION};
@@ -10,7 +11,7 @@ use airstat_lint::rules::RuleId;
 
 #[test]
 fn schema_version_is_pinned() {
-    assert_eq!(SCHEMA_VERSION, 1);
+    assert_eq!(SCHEMA_VERSION, 2);
 }
 
 #[test]
@@ -19,12 +20,13 @@ fn empty_report_snapshot() {
         findings: Vec::new(),
         suppressed: Vec::new(),
         files_scanned: 89,
+        symbols_indexed: 0,
     };
     assert_eq!(
         render(&report),
         concat!(
             "{\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"files_scanned\": 89,\n",
             "  \"findings\": [],\n",
             "  \"suppressed\": []\n",
@@ -36,13 +38,22 @@ fn empty_report_snapshot() {
 #[test]
 fn populated_report_snapshot() {
     let report = AuditReport {
-        findings: vec![Finding {
-            rule: RuleId::NoHashmapIter,
-            file: "crates/airstat-store/src/shard.rs".to_string(),
-            line: 12,
-            col: 5,
-            message: "iteration order is per-instance \"random\"".to_string(),
-        }],
+        findings: vec![
+            Finding {
+                rule: RuleId::NoHashmapIter,
+                file: "crates/airstat-store/src/shard.rs".to_string(),
+                line: 12,
+                col: 5,
+                message: "iteration order is per-instance \"random\"".to_string(),
+            },
+            Finding {
+                rule: RuleId::ClockArithmeticOverflow,
+                file: "crates/airstat-telemetry/src/poll.rs".to_string(),
+                line: 130,
+                col: 20,
+                message: "unchecked `+` on a virtual-time value".to_string(),
+            },
+        ],
         suppressed: vec![Suppressed {
             rule: RuleId::FloatFoldOrder,
             file: "crates/airstat-core/src/figures/link_timeseries.rs".to_string(),
@@ -50,19 +61,24 @@ fn populated_report_snapshot() {
             reason: "sealed order".to_string(),
         }],
         files_scanned: 2,
+        symbols_indexed: 41,
     };
     assert_eq!(
         render(&report),
         concat!(
             "{\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"files_scanned\": 2,\n",
             "  \"findings\": [\n",
-            "    {\"rule\": \"no-hashmap-iter\", \"file\": \"crates/airstat-store/src/shard.rs\", ",
-            "\"line\": 12, \"col\": 5, \"message\": \"iteration order is per-instance \\\"random\\\"\"}\n",
+            "    {\"rule\": \"no-hashmap-iter\", \"generation\": 1, ",
+            "\"file\": \"crates/airstat-store/src/shard.rs\", ",
+            "\"line\": 12, \"col\": 5, \"message\": \"iteration order is per-instance \\\"random\\\"\"},\n",
+            "    {\"rule\": \"clock-arithmetic-overflow\", \"generation\": 2, ",
+            "\"file\": \"crates/airstat-telemetry/src/poll.rs\", ",
+            "\"line\": 130, \"col\": 20, \"message\": \"unchecked `+` on a virtual-time value\"}\n",
             "  ],\n",
             "  \"suppressed\": [\n",
-            "    {\"rule\": \"float-fold-order\", ",
+            "    {\"rule\": \"float-fold-order\", \"generation\": 1, ",
             "\"file\": \"crates/airstat-core/src/figures/link_timeseries.rs\", ",
             "\"line\": 30, \"reason\": \"sealed order\"}\n",
             "  ]\n",

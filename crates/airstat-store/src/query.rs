@@ -28,10 +28,6 @@
 //! Results are memoized in an epoch-keyed LRU [`ResultCache`]; the
 //! hit/miss/eviction counters surface in [`StoreStats`], which the CLI
 //! prints next to the engine's throughput summary.
-
-// airstat::allow(no-hashmap-iter): the result cache is exact-key lookup
-// only; its one scan (LRU eviction) minimizes a unique monotone stamp,
-// so the chosen victim is identical in every process.
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

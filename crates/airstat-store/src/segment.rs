@@ -27,8 +27,6 @@
 //!   first incomplete or CRC-failing record, recovering every batch
 //!   that was fully appended before the crash.
 
-// airstat::allow(no-hashmap-iter): the rebuilt dedup ledger mirrors the
-// shard's (keyed access only); segment bytes come from sorted entries.
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::fs;
@@ -1297,8 +1295,6 @@ fn decode_dedup(body: &[u8]) -> Result<HashMap<(WindowId, u64), SeqSet>, Segment
     for _ in 0..n {
         lens.push(cur.count(1, "sparse tail length exceeds block size")?);
     }
-    // airstat::allow(no-hashmap-iter): keyed-access dedup ledger being
-    // rebuilt; its canonical order lives in the segment bytes, not here.
     let mut map = HashMap::with_capacity(n);
     let mut last_key: Option<(WindowId, u64)> = None;
     for i in 0..n {
@@ -1326,6 +1322,9 @@ fn decode_dedup(body: &[u8]) -> Result<HashMap<(WindowId, u64), SeqSet>, Segment
     if !cur.done() {
         return Err(corrupt("trailing bytes in dedup block"));
     }
+    // airstat::allow(unordered-collection-escape): the rebuilt dedup
+    // ledger is keyed-access only; its canonical order lives in the
+    // sorted segment bytes it was decoded from, never in map iteration.
     Ok(map)
 }
 

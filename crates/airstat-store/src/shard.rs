@@ -23,8 +23,6 @@
 //! [`crate::columnar::WindowZoneMap`] shows no rows for a plan's filter
 //! can be skipped without changing a single output byte.
 
-// airstat::allow(no-hashmap-iter): the dedup ledger is keyed-access
-// only (entry per incoming report); aggregates all live in BTreeMaps.
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use airstat_classify::apps::Application;
@@ -315,6 +313,9 @@ impl StoreShard {
         windows: BTreeMap<WindowId, WindowTables>,
     ) -> StoreShard {
         StoreShard {
+            // airstat::allow(unordered-collection-escape): constructor
+            // hand-off of the keyed-access dedup ledger; every site
+            // that drains it sorts (or never iterates it) downstream.
             seen,
             duplicates_dropped,
             reports_ingested,
@@ -521,8 +522,6 @@ impl StoreShard {
     /// on-disk **delta segment**; [`StoreShard::absorb`] is its reload
     /// inverse.
     pub(crate) fn delta_snapshot(&self, dirty: &DirtyShard) -> StoreShard {
-        // airstat::allow(no-hashmap-iter): keyed lookups driven by the
-        // BTreeSet of dirty entries — iteration order is the set's.
         let mut seen = HashMap::with_capacity(dirty.dedup.len());
         for &(window, device) in &dirty.dedup {
             if let Some(set) = self.seen.get(&(window, device)) {
@@ -540,6 +539,9 @@ impl StoreShard {
             })
             .collect();
         StoreShard {
+            // airstat::allow(unordered-collection-escape): delta
+            // hand-off of the keyed-access dedup ledger; the segment
+            // writer sorts its entries before a single byte is emitted.
             seen,
             duplicates_dropped: self.duplicates_dropped,
             reports_ingested: self.reports_ingested,
@@ -552,8 +554,6 @@ impl StoreShard {
     /// plain replacement reconstructs the original state when deltas are
     /// applied oldest to newest.
     pub(crate) fn absorb(&mut self, delta: StoreShard) {
-        // airstat::allow(no-hashmap-iter): drained into another map —
-        // insertion order is irrelevant to the result.
         for (key, set) in delta.seen {
             self.seen.insert(key, set);
         }

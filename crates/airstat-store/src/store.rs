@@ -380,7 +380,7 @@ impl ShardedStore {
         if reports.is_empty() {
             return 0;
         }
-        self.epoch += 1;
+        self.epoch = self.epoch.saturating_add(1);
         let n = self.shards.len();
         let mut routed: Vec<Vec<&Report>> = (0..n).map(|_| Vec::new()).collect();
         for report in reports {

@@ -121,13 +121,13 @@ impl PollSession {
     /// advances by one poll interval.
     pub fn on_success(&mut self) {
         self.consecutive_failures = 0;
-        self.now_s += self.policy.poll_interval_s;
+        self.now_s = self.now_s.saturating_add(self.policy.poll_interval_s);
     }
 
     /// Records a failed round (lost or disconnected): the clock advances
     /// by the current backoff, which then doubles toward the cap.
     pub fn on_failure(&mut self) {
-        self.now_s += self.next_backoff_s();
+        self.now_s = self.now_s.saturating_add(self.next_backoff_s());
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
     }
 }

@@ -543,9 +543,11 @@ impl<E: PollEndpoint> Scheduler<E> {
             polled |= self.poll_one(class, key);
         }
         if polled {
-            self.now_s += self.config.policy.poll_interval_s;
+            self.now_s = self
+                .now_s
+                .saturating_add(self.config.policy.poll_interval_s);
         }
-        self.tick_index += 1;
+        self.tick_index = self.tick_index.saturating_add(1);
         !self.entries.is_empty()
     }
 
@@ -664,7 +666,7 @@ impl<E: PollEndpoint> Scheduler<E> {
                 entry.reports.extend(reports);
                 if entry.endpoint.pending() {
                     // Still draining: back into the rotation next tick.
-                    entry.enqueued_tick = self.tick_index + 1;
+                    entry.enqueued_tick = self.tick_index.saturating_add(1);
                     self.entries.insert(key, entry);
                     self.push_ready(class, key);
                 } else {
@@ -696,7 +698,7 @@ impl<E: PollEndpoint> Scheduler<E> {
     /// Parks a failed AP in the retry ledger at its session's next poll
     /// time, expressed on the global clock.
     fn schedule_retry(&mut self, key: u64, mut entry: Entry<E>) {
-        let due = entry.admitted_at_s + entry.session.now_s();
+        let due = entry.admitted_at_s.saturating_add(entry.session.now_s());
         entry.retry_due = Some(due);
         self.ledger.schedule(due, key);
         self.entries.insert(key, entry);

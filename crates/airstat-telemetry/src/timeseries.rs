@@ -60,7 +60,7 @@ impl Bucket {
 
     /// End of the bucket's span given its resolution step.
     pub fn end_s(&self, step_s: u64) -> u64 {
-        self.start_s + step_s
+        self.start_s.saturating_add(step_s)
     }
 }
 

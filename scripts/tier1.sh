@@ -49,8 +49,10 @@ echo "==> cargo clippy --workspace (warnings are errors; vendored crates exclude
 cargo clippy -q --workspace --exclude rand --exclude proptest \
     --all-targets --offline -- -D warnings
 
-echo "==> airstat-lint (determinism audit: zero unsuppressed findings)"
-cargo run -q -p airstat-lint --offline -- --json > /dev/null
+echo "==> airstat-lint (determinism audit: zero unsuppressed findings, schema-2 JSON)"
+lint_json="$(cargo run -q -p airstat-lint --offline -- --json)"
+grep -q '"schema_version": 2' <<<"$lint_json" \
+    || { echo "lint JSON is not schema 2" >&2; exit 1; }
 
 echo "==> cargo test -q -p airstat-lint (lexer, rule, corpus, and JSON schema tests)"
 cargo test -q --offline -p airstat-lint
